@@ -1,0 +1,302 @@
+//! CBPF: collective Bayesian Poisson factorization for cold-start events.
+//!
+//! The defining structural property (and, per the paper, the limiting one):
+//! an event has **no free latent vector** — its representation is the
+//! weighted *average* of the latent vectors of its auxiliary entities
+//! (content words, region, time slots). User vectors and auxiliary vectors
+//! are non-negative, and the user→event response is modelled as a Poisson
+//! rate `λ_ux = u·x̄`.
+//!
+//! Inference simplification (documented in DESIGN.md): instead of full
+//! variational Bayes we fit the Poisson log-likelihood with projected SGD
+//! over observed attendances plus sampled zero pairs. This preserves the
+//! averaging bottleneck that drives CBPF's relative performance; absolute
+//! calibration of the posterior is irrelevant to top-n ranking.
+
+use gem_core::math::dot;
+use gem_core::EventScorer;
+use gem_ebsn::{EventId, TrainingGraphs, UserId};
+use gem_sampling::{rng_from_seed, GaussianSampler};
+use rand::RngExt;
+
+/// CBPF hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct CbpfConfig {
+    /// Latent dimension.
+    pub dim: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Zero (negative) pairs sampled per positive.
+    pub zeros_per_positive: usize,
+    /// Number of positive-pair steps.
+    pub steps: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CbpfConfig {
+    fn default() -> Self {
+        Self { dim: 60, learning_rate: 0.02, zeros_per_positive: 2, steps: 2_000_000, seed: 42 }
+    }
+}
+
+/// One auxiliary component of an event (index into one of the aux matrices).
+#[derive(Debug, Clone, Copy)]
+struct AuxRef {
+    /// 0 = region, 1 = time slot, 2 = word.
+    table: u8,
+    idx: u32,
+    /// Normalised averaging weight (sums to 1 per event).
+    weight: f32,
+}
+
+/// A trained CBPF model.
+#[derive(Debug, Clone)]
+pub struct Cbpf {
+    dim: usize,
+    users: Vec<f32>,
+    /// regions / time slots / words.
+    aux: [Vec<f32>; 3],
+    /// Event → auxiliary composition.
+    components: Vec<Vec<AuxRef>>,
+    /// Cached event vectors (recomputed after training).
+    events: Vec<f32>,
+}
+
+impl Cbpf {
+    /// Train on the relation graphs (uses user–event for responses and the
+    /// three event–context graphs for the averaging composition).
+    pub fn train(graphs: &TrainingGraphs, config: &CbpfConfig) -> Self {
+        assert!(config.dim > 0);
+        let dim = config.dim;
+        let num_users = graphs.user_event.left_count();
+        let num_events = graphs.user_event.right_count();
+        let counts = [
+            graphs.event_region.right_count(),
+            graphs.event_time.right_count(),
+            graphs.event_word.right_count(),
+        ];
+
+        // Event composition: region edges (weight 1), time edges (weight 1),
+        // word edges (TF-IDF); normalised to sum 1 per event.
+        let mut components: Vec<Vec<AuxRef>> = vec![Vec::new(); num_events];
+        for (table, graph) in [
+            (0u8, &graphs.event_region),
+            (1u8, &graphs.event_time),
+            (2u8, &graphs.event_word),
+        ] {
+            for e in graph.edges() {
+                components[e.left as usize].push(AuxRef {
+                    table,
+                    idx: e.right,
+                    weight: e.weight as f32,
+                });
+            }
+        }
+        for comps in &mut components {
+            let total: f32 = comps.iter().map(|c| c.weight).sum();
+            if total > 0.0 {
+                for c in comps.iter_mut() {
+                    c.weight /= total;
+                }
+            }
+        }
+
+        // Non-negative init (Poisson factors must be ≥ 0).
+        let mut rng = rng_from_seed(config.seed);
+        let mut gauss = GaussianSampler::new(0.1, 0.03);
+        let mut init = |n: usize| -> Vec<f32> {
+            (0..n * dim).map(|_| gauss.sample(&mut rng).abs() as f32).collect()
+        };
+        let mut users = init(num_users);
+        let mut aux = [init(counts[0]), init(counts[1]), init(counts[2])];
+
+        let ux = &graphs.user_event;
+        if ux.num_edges() > 0 {
+            let lr = config.learning_rate;
+            let mut xbar = vec![0.0f32; dim];
+            for _ in 0..config.steps {
+                let edge = ux.edges()[rng.random_range(0..ux.num_edges())];
+                let u = edge.left as usize;
+
+                // One positive + sampled zeros against the same user.
+                for neg in 0..=config.zeros_per_positive {
+                    let (x, y) = if neg == 0 {
+                        (edge.right as usize, 1.0f32)
+                    } else {
+                        (rng.random_range(0..num_events), 0.0f32)
+                    };
+                    // x̄ = Σ w_a · v_a.
+                    xbar.iter_mut().for_each(|v| *v = 0.0);
+                    for c in &components[x] {
+                        let m = &aux[c.table as usize];
+                        let base = c.idx as usize * dim;
+                        for d in 0..dim {
+                            xbar[d] += c.weight * m[base + d];
+                        }
+                    }
+                    let lambda = dot(&users[u * dim..(u + 1) * dim], &xbar).max(1e-6);
+                    // d/dθ [y·ln λ − λ] = (y/λ − 1) · dλ/dθ.
+                    let coef = (y / lambda - 1.0).clamp(-5.0, 5.0);
+                    // User update (projected to ≥ 0).
+                    for d in 0..dim {
+                        let slot = &mut users[u * dim + d];
+                        *slot = (*slot + lr * coef * xbar[d]).max(0.0);
+                    }
+                    // Auxiliary updates through the averaging weights.
+                    let uvec = &users[u * dim..(u + 1) * dim].to_vec();
+                    for c in &components[x] {
+                        let m = &mut aux[c.table as usize];
+                        let base = c.idx as usize * dim;
+                        for d in 0..dim {
+                            m[base + d] = (m[base + d] + lr * coef * c.weight * uvec[d]).max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cache final event vectors.
+        let mut events = vec![0.0f32; num_events * dim];
+        for (x, comps) in components.iter().enumerate() {
+            for c in comps {
+                let m = &aux[c.table as usize];
+                let base = c.idx as usize * dim;
+                for d in 0..dim {
+                    events[x * dim + d] += c.weight * m[base + d];
+                }
+            }
+        }
+
+        Self { dim, users, aux, components, events }
+    }
+
+    /// Latent dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The averaged event vector.
+    pub fn event_vec(&self, x: EventId) -> &[f32] {
+        &self.events[x.index() * self.dim..(x.index() + 1) * self.dim]
+    }
+
+    /// A user vector.
+    pub fn user_vec(&self, u: UserId) -> &[f32] {
+        &self.users[u.index() * self.dim..(u.index() + 1) * self.dim]
+    }
+
+    /// Recompose an event vector from its auxiliary components (what
+    /// `event_vec` caches). Exposed so freshly published events can be
+    /// scored without retraining.
+    pub fn recompose_event(&self, x: EventId) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for c in &self.components[x.index()] {
+            let m = &self.aux[c.table as usize];
+            let base = c.idx as usize * self.dim;
+            for d in 0..self.dim {
+                out[d] += c.weight * m[base + d];
+            }
+        }
+        out
+    }
+}
+
+impl EventScorer for Cbpf {
+    fn score_event(&self, u: UserId, x: EventId) -> f64 {
+        dot(self.user_vec(u), self.event_vec(x)) as f64
+    }
+
+    fn score_pair(&self, u: UserId, v: UserId) -> f64 {
+        dot(self.user_vec(u), self.user_vec(v)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig};
+
+    fn graphs() -> TrainingGraphs {
+        let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(55));
+        let split = ChronoSplit::new(&dataset, SplitRatios::default());
+        TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[])
+    }
+
+    #[test]
+    fn factors_are_nonnegative_and_finite() {
+        let g = graphs();
+        let m = Cbpf::train(&g, &CbpfConfig { dim: 8, steps: 20_000, ..Default::default() });
+        for v in m.users.iter().chain(m.aux.iter().flatten()).chain(&m.events) {
+            assert!(*v >= 0.0 && v.is_finite(), "bad factor {v}");
+        }
+    }
+
+    #[test]
+    fn event_vector_is_convex_combination_of_aux() {
+        let g = graphs();
+        let m = Cbpf::train(&g, &CbpfConfig { dim: 4, steps: 1_000, ..Default::default() });
+        // Recompute one event vector by hand and compare.
+        let x = 0usize;
+        let mut expected = vec![0.0f32; 4];
+        let mut wsum = 0.0f32;
+        for c in &m.components[x] {
+            wsum += c.weight;
+            let base = c.idx as usize * 4;
+            for d in 0..4 {
+                expected[d] += c.weight * m.aux[c.table as usize][base + d];
+            }
+        }
+        assert!((wsum - 1.0).abs() < 1e-4, "weights sum to {wsum}");
+        for d in 0..4 {
+            assert!((expected[d] - m.event_vec(EventId(0))[d]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cold_events_get_nonzero_vectors() {
+        // Every event, even one with no attendance, must have a usable
+        // vector through its auxiliary composition.
+        let g = graphs();
+        let m = Cbpf::train(&g, &CbpfConfig { dim: 8, steps: 30_000, ..Default::default() });
+        let n = m.events.len() / m.dim;
+        let zero_events = (0..n)
+            .filter(|&x| m.event_vec(EventId(x as u32)).iter().all(|&v| v == 0.0))
+            .count();
+        assert_eq!(zero_events, 0, "{zero_events}/{n} events have all-zero vectors");
+    }
+
+    #[test]
+    fn learns_positive_preference_signal() {
+        let g = graphs();
+        let m = Cbpf::train(&g, &CbpfConfig { dim: 16, steps: 120_000, ..Default::default() });
+        let ux = &g.user_event;
+        let mut rng = rng_from_seed(3);
+        let trials = 300.min(ux.num_edges());
+        let mut wins = 0;
+        for e in ux.edges().iter().take(trials) {
+            let pos = m.score_event(UserId(e.left), EventId(e.right));
+            let neg = m.score_event(
+                UserId(e.left),
+                EventId(rng.random_range(0..ux.right_count()) as u32),
+            );
+            if pos > neg {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins as f64 > trials as f64 * 0.6,
+            "only {wins}/{trials} positives outrank random"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let g = graphs();
+        let cfg = CbpfConfig { dim: 4, steps: 2_000, ..Default::default() };
+        let a = Cbpf::train(&g, &cfg);
+        let b = Cbpf::train(&g, &cfg);
+        assert_eq!(a.users, b.users);
+        assert_eq!(a.events, b.events);
+    }
+}

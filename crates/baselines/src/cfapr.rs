@@ -1,0 +1,176 @@
+//! CFAPR-E: collaborative-filtering activity-partner recommendation,
+//! extended to joint event-partner recommendation.
+//!
+//! CFAPR (Tu et al.) recommends partners for a *given* (user, event) from
+//! the user's **historical co-attendance**: good partner candidates are the
+//! people you attended events with before. Following the paper's extension
+//! (§V-C), CFAPR-E:
+//!
+//! * takes event preference `p(x|u)` from a trained GEM model (the paper
+//!   does exactly this: "CFAPR-E adopts the vectors of users and events
+//!   learned from GEM-A"),
+//! * scores partners by co-attendance frequency over *training* events —
+//!   and therefore structurally cannot recommend a partner the user never
+//!   attended anything with, which is the weakness the paper highlights.
+
+use gem_core::{EventScorer, GemModel};
+use gem_ebsn::{ChronoSplit, EbsnDataset, EventId, UserId};
+use std::collections::HashMap;
+
+/// CFAPR-E: GEM event preference + co-attendance partner CF.
+#[derive(Debug)]
+pub struct CfaprE {
+    gem: GemModel,
+    /// Co-attendance counts over training events, keyed (min, max).
+    co_attendance: HashMap<(u32, u32), u32>,
+    /// Each user's maximum co-attendance count (for normalisation).
+    max_count: Vec<u32>,
+}
+
+impl CfaprE {
+    /// Build from a trained GEM model and the training partition's
+    /// co-attendance.
+    pub fn build(gem: GemModel, dataset: &EbsnDataset, split: &ChronoSplit) -> Self {
+        let index = dataset.index();
+        let mut co_attendance: HashMap<(u32, u32), u32> = HashMap::new();
+        for &x in &split.train_events {
+            let att = &index.users_of_event[x.index()];
+            for (i, &u) in att.iter().enumerate() {
+                for &v in &att[i + 1..] {
+                    *co_attendance.entry((u.0.min(v.0), u.0.max(v.0))).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut max_count = vec![0u32; dataset.num_users];
+        for (&(u, v), &c) in &co_attendance {
+            max_count[u as usize] = max_count[u as usize].max(c);
+            max_count[v as usize] = max_count[v as usize].max(c);
+        }
+        Self { gem, co_attendance, max_count }
+    }
+
+    /// Number of users with at least one historical partner.
+    pub fn users_with_history(&self) -> usize {
+        self.max_count.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Raw co-attendance count of a pair.
+    pub fn co_attended(&self, u: UserId, v: UserId) -> u32 {
+        self.co_attendance
+            .get(&(u.0.min(v.0), u.0.max(v.0)))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl EventScorer for CfaprE {
+    fn score_event(&self, u: UserId, x: EventId) -> f64 {
+        self.gem.score_event(u, x)
+    }
+
+    fn score_pair(&self, u: UserId, v: UserId) -> f64 {
+        // Partners are *limited* to historical co-attendees: pairs with no
+        // common history get no social affinity at all.
+        let c = self.co_attended(u, v);
+        if c == 0 {
+            return 0.0;
+        }
+        let norm = self.max_count[u.index()].max(1) as f64;
+        // Scale to the magnitude of GEM pair scores so the Eq. 8 sum is not
+        // dominated by one term.
+        let gem_pair = self.gem.score_pair(u, v);
+        gem_pair.max(0.0) * (c as f64 / norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::{GemTrainer, TrainConfig};
+    use gem_ebsn::{GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+
+    fn build() -> (EbsnDataset, ChronoSplit, CfaprE) {
+        let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(88));
+        let split = ChronoSplit::new(&dataset, SplitRatios::default());
+        let graphs = TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[]);
+        let trainer = GemTrainer::new(&graphs, TrainConfig::gem_p(8)).unwrap();
+        trainer.run(30_000, 1);
+        let model = trainer.model();
+        let cfapr = CfaprE::build(model, &dataset, &split);
+        (dataset, split, cfapr)
+    }
+
+    #[test]
+    fn co_attendance_counts_training_events_only() {
+        let (dataset, split, cfapr) = build();
+        let index = dataset.index();
+        // Pick a pair that co-attended a *test* event but shares no training
+        // events: their count must be 0.
+        let mut found = false;
+        'outer: for &x in &split.test_events {
+            let att = &index.users_of_event[x.index()];
+            for (i, &u) in att.iter().enumerate() {
+                for &v in &att[i + 1..] {
+                    let train_common = index.events_of_user[u.index()]
+                        .iter()
+                        .filter(|&&e| split.is_train(e))
+                        .any(|&e| index.users_of_event[e.index()].binary_search(&v).is_ok());
+                    if !train_common {
+                        assert_eq!(cfapr.co_attended(u, v), 0);
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // The synthetic data is dense enough that such a pair usually
+        // exists; if not, the invariant holds trivially.
+        let _ = found;
+    }
+
+    #[test]
+    fn pair_score_zero_without_history() {
+        let (dataset, _, cfapr) = build();
+        // Find a pair with no co-attendance.
+        let n = dataset.num_users as u32;
+        let mut checked = false;
+        'outer: for u in 0..n.min(40) {
+            for v in (u + 1)..n.min(40) {
+                if cfapr.co_attended(UserId(u), UserId(v)) == 0 {
+                    assert_eq!(cfapr.score_pair(UserId(u), UserId(v)), 0.0);
+                    checked = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(checked, "no history-free pair found in the sample");
+    }
+
+    #[test]
+    fn pair_score_positive_with_history() {
+        let (_, _, cfapr) = build();
+        let (&(u, v), _) = cfapr
+            .co_attendance
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .expect("some pairs co-attended");
+        let s = cfapr.score_pair(UserId(u), UserId(v));
+        assert!(s >= 0.0);
+        assert_eq!(s, cfapr.score_pair(UserId(v), UserId(u)));
+    }
+
+    #[test]
+    fn event_scores_come_from_gem() {
+        let (_, _, cfapr) = build();
+        // Event scoring must be identical to the wrapped GEM model.
+        let s1 = cfapr.score_event(UserId(0), EventId(0));
+        let s2 = cfapr.gem.score_event(UserId(0), EventId(0));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn some_users_have_history() {
+        let (_, _, cfapr) = build();
+        assert!(cfapr.users_with_history() > 0);
+    }
+}

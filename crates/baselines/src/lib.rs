@@ -1,0 +1,31 @@
+//! Baseline recommenders the paper compares GEM against (§V-C).
+//!
+//! All baselines implement [`gem_core::EventScorer`], so the evaluation
+//! harness and the §IV event-partner extension treat them exactly like GEM:
+//!
+//! * [`pcmf`] — **PCMF** (Qiao et al., AAAI'14): BPR-style collective matrix
+//!   factorization over binary relations with *uniform* negative sampling.
+//! * [`cbpf`] — **CBPF** (Zhang & Wang, KDD'15): collective Poisson
+//!   factorization where an event's vector is the *average* of its content /
+//!   location / time auxiliary vectors.
+//! * [`per`] — **PER** (Yu et al., WSDM'14): meta-path latent features over
+//!   the heterogeneous network (U–X–C–X, U–X–L–X, U–X–T–X, U–U–X,
+//!   popularity) combined with BPR-learned weights.
+//! * [`cfapr`] — **CFAPR-E** (Tu et al., PAKDD'15, extended): collaborative
+//!   partner scores from historical co-attendance; partners are limited to
+//!   past co-attendees, event preference comes from a supplied GEM model.
+//!
+//! The fifth comparison model, **PTE**, is a configuration preset of the
+//! GEM trainer itself ([`gem_core::TrainConfig::pte`]).
+
+#![warn(missing_docs)]
+
+pub mod cbpf;
+pub mod cfapr;
+pub mod pcmf;
+pub mod per;
+
+pub use cbpf::{Cbpf, CbpfConfig};
+pub use cfapr::CfaprE;
+pub use pcmf::{Pcmf, PcmfConfig};
+pub use per::{PerConfig, PerModel};

@@ -1,0 +1,86 @@
+//! Online-recommendation micro-benchmarks: space transformation, TA index
+//! build, and TA vs brute-force query latency (the micro version of
+//! Table VI).
+//!
+//! Run with: `cargo bench -p gem-bench --bench queries`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_core::GemModel;
+use gem_ebsn::{EventId, UserId};
+use gem_query::{top_k_events_per_partner, BruteForce, Method, RecommendationEngine, TaIndex, TransformedSpace};
+use gem_sampling::rng_from_seed;
+use rand::RngExt;
+use std::hint::black_box;
+
+const DIM: usize = 60;
+const USERS: usize = 2_000;
+const EVENTS: usize = 100;
+
+fn random_model(seed: u64) -> GemModel {
+    let mut rng = rng_from_seed(seed);
+    let users: Vec<f32> = (0..USERS * DIM).map(|_| rng.random::<f32>() - 0.2).collect();
+    let events: Vec<f32> = (0..EVENTS * DIM).map(|_| rng.random::<f32>() - 0.2).collect();
+    GemModel::from_raw(DIM, users, events, vec![], vec![], vec![])
+}
+
+fn candidates() -> Vec<(UserId, EventId)> {
+    (0..USERS as u32)
+        .flat_map(|p| (0..EVENTS as u32).map(move |x| (UserId(p), EventId(x))))
+        .collect()
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let model = random_model(11);
+    let cands = candidates();
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("space_transform_200k_pairs", |b| {
+        b.iter(|| TransformedSpace::build(black_box(&model), black_box(&cands)))
+    });
+    let space = TransformedSpace::build(&model, &cands);
+    group.bench_function("ta_index_build_200k_pairs", |b| {
+        b.iter(|| TaIndex::build(black_box(&space)))
+    });
+    let partners: Vec<UserId> = (0..USERS as u32).map(UserId).collect();
+    let events: Vec<EventId> = (0..EVENTS as u32).map(EventId).collect();
+    group.bench_function("prune_top16_events", |b| {
+        b.iter(|| top_k_events_per_partner(black_box(&model), &partners, &events, 16))
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let model = random_model(13);
+    let space = TransformedSpace::build(&model, &candidates());
+    let index = TaIndex::build(&space);
+    let brute = BruteForce::new(&space);
+    let mut group = c.benchmark_group("top10_query_200k_pairs");
+    for &u in &[0u32, 500, 1500] {
+        let q = TransformedSpace::query_vector(&model, UserId(u));
+        group.bench_function(BenchmarkId::new("ta", u), |b| {
+            b.iter(|| index.top_n(&space, black_box(&q), 10, |p, _| p != UserId(u)))
+        });
+        group.bench_function(BenchmarkId::new("brute_force", u), |b| {
+            b.iter(|| brute.top_n(black_box(&q), 10, |p, _| p != UserId(u)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    let model = random_model(17);
+    let partners: Vec<UserId> = (0..USERS as u32).map(UserId).collect();
+    let events: Vec<EventId> = (0..EVENTS as u32).map(EventId).collect();
+    let engine = RecommendationEngine::build(model, &partners, &events, 16);
+    let mut group = c.benchmark_group("engine_pruned_32k_pairs");
+    group.bench_function("recommend_ta", |b| {
+        b.iter(|| engine.recommend(black_box(UserId(42)), 10, Method::Ta))
+    });
+    group.bench_function("recommend_bf", |b| {
+        b.iter(|| engine.recommend(black_box(UserId(42)), 10, Method::BruteForce))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline, bench_queries, bench_engine_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the sampling primitives on the training hot path.
+//!
+//! Run with: `cargo bench -p gem-bench --bench samplers`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_core::adaptive::AdaptiveState;
+use gem_core::AtomicMatrix;
+use gem_sampling::{rng_from_seed, AliasTable, DegreeNoise, TruncatedGeometric};
+use rand::RngExt;
+use std::hint::black_box;
+
+fn bench_alias_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias_table");
+    let mut rng = rng_from_seed(1);
+    for &n in &[1_000usize, 100_000] {
+        let weights: Vec<f64> = (0..n).map(|_| rng.random::<f64>() + 0.01).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &weights, |b, w| {
+            b.iter(|| AliasTable::new(black_box(w)).unwrap())
+        });
+        let table = AliasTable::new(&weights).unwrap();
+        group.bench_with_input(BenchmarkId::new("sample", n), &table, |b, t| {
+            let mut rng = rng_from_seed(2);
+            b.iter(|| black_box(t.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_degree_noise(c: &mut Criterion) {
+    let mut rng = rng_from_seed(3);
+    let degrees: Vec<f64> = (0..100_000).map(|_| (rng.random::<f64>() * 50.0).floor()).collect();
+    let noise = DegreeNoise::from_degrees(&degrees).unwrap();
+    c.bench_function("degree_noise/sample_100k_nodes", |b| {
+        let mut rng = rng_from_seed(4);
+        b.iter(|| black_box(noise.sample(&mut rng)))
+    });
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let dist = TruncatedGeometric::new(64_113, 200.0);
+    c.bench_function("geometric/sample_rank", |b| {
+        let mut rng = rng_from_seed(5);
+        b.iter(|| black_box(dist.sample(&mut rng)))
+    });
+}
+
+fn bench_adaptive_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_sampler");
+    let mut rng = rng_from_seed(6);
+    for &(n, dim) in &[(3_000usize, 60usize), (30_000, 60)] {
+        let matrix = AtomicMatrix::zeros(n, dim);
+        for i in 0..n {
+            for d in 0..dim {
+                matrix.set(i, d, rng.random::<f32>());
+            }
+        }
+        let state = AdaptiveState::new(&matrix, 200.0);
+        let context: Vec<f32> = (0..dim).map(|_| rng.random::<f32>()).collect();
+        group.bench_function(BenchmarkId::new("draw", n), |b| {
+            let mut rng = rng_from_seed(7);
+            b.iter(|| black_box(state.sample(&context, &mut rng)))
+        });
+        group.bench_function(BenchmarkId::new("rank_refresh", n), |b| {
+            b.iter(|| state.refresh_now(black_box(&matrix)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alias_table,
+    bench_degree_noise,
+    bench_geometric,
+    bench_adaptive_sampler
+);
+criterion_main!(benches);

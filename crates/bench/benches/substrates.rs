@@ -1,0 +1,102 @@
+//! Substrate micro-benchmarks: DBSCAN region clustering, TF-IDF vocabulary
+//! construction, time-slot discretisation, dataset synthesis and the
+//! chronological split.
+//!
+//! Run with: `cargo bench -p gem-bench --bench substrates`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+use gem_sampling::rng_from_seed;
+use gem_spatial::{Dbscan, DbscanParams, GeoPoint};
+use gem_textproc::{tokenize, TfIdf, VocabularyBuilder};
+use gem_timegrid::TimeSlotSet;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    group.sample_size(20);
+    let mut rng = rng_from_seed(21);
+    for &n in &[1_000usize, 10_000] {
+        // Venues scattered over a ~30 km city with hot districts.
+        let points: Vec<GeoPoint> = (0..n)
+            .map(|i| {
+                let district = (i % 8) as f64;
+                GeoPoint::new(
+                    39.8 + district * 0.02 + rng.random::<f64>() * 0.01,
+                    116.3 + district * 0.025 + rng.random::<f64>() * 0.012,
+                )
+                .unwrap()
+            })
+            .collect();
+        let dbscan = Dbscan::new(DbscanParams { eps_km: 1.0, min_pts: 4 });
+        group.bench_with_input(BenchmarkId::new("assign_regions", n), &points, |b, pts| {
+            b.iter(|| dbscan.assign_regions(black_box(pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(33));
+    let docs: Vec<Vec<String>> =
+        dataset.events.iter().map(|e| tokenize(&e.description)).collect();
+    c.bench_function("tfidf/vocab_and_weights_120_docs", |b| {
+        b.iter(|| {
+            let mut vb = VocabularyBuilder::new();
+            for d in &docs {
+                vb.add_document(d.iter().map(|s| s.as_str()));
+            }
+            let vocab = vb.build(1, 0.9);
+            let tfidf = TfIdf::new(&vocab);
+            let mut total = 0usize;
+            for d in &docs {
+                total += tfidf.weigh(d.iter().map(|s| s.as_str())).len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_time_slots(c: &mut Criterion) {
+    c.bench_function("timegrid/discretise_timestamp", |b| {
+        let mut ts = 1_300_000_000i64;
+        b.iter(|| {
+            ts += 3_605;
+            black_box(TimeSlotSet::from_unix(black_box(ts)))
+        })
+    });
+}
+
+fn bench_synthesis_and_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("synthesize_tiny_city", |b| {
+        b.iter(|| gem_ebsn::synth::generate(black_box(&SynthConfig::tiny(55))))
+    });
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(55));
+    group.bench_function("chronological_split", |b| {
+        b.iter(|| ChronoSplit::new(black_box(&dataset), SplitRatios::default()))
+    });
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    group.bench_function("build_five_graphs", |b| {
+        b.iter(|| {
+            TrainingGraphs::build(
+                black_box(&dataset),
+                &split,
+                &GraphBuildConfig::default(),
+                &[],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dbscan,
+    bench_tfidf,
+    bench_time_slots,
+    bench_synthesis_and_graphs
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Training-throughput micro-benchmarks: gradient steps per second for the
+//! three model variants (the per-step cost behind the paper's O(K·N)
+//! complexity claim and the Fig. 6 scalability numbers).
+//!
+//! Run with: `cargo bench -p gem-bench --bench training`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gem_bench::Variant;
+use gem_core::{GemTrainer, RectifyMode};
+use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+use std::hint::black_box;
+
+fn fixture() -> TrainingGraphs {
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(42));
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[])
+}
+
+fn bench_gradient_steps(c: &mut Criterion) {
+    let graphs = fixture();
+    let mut group = c.benchmark_group("gradient_steps");
+    const CHUNK: u64 = 5_000;
+    group.throughput(Throughput::Elements(CHUNK));
+    for variant in [Variant::GemA, Variant::GemP, Variant::Pte] {
+        group.bench_function(BenchmarkId::new("run", variant.name()), |b| {
+            // One trainer reused across iterations: measures steady-state
+            // step cost (including amortised adaptive refreshes for GEM-A).
+            let trainer = GemTrainer::new(&graphs, variant.config(1)).unwrap();
+            b.iter(|| trainer.run(black_box(CHUNK), 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rectifier_ablation(c: &mut Criterion) {
+    let graphs = fixture();
+    let mut group = c.benchmark_group("rectifier_ablation");
+    const CHUNK: u64 = 5_000;
+    group.throughput(Throughput::Elements(CHUNK));
+    for (name, mode) in [
+        ("off", RectifyMode::Off),
+        ("positives_only", RectifyMode::PositivesOnly),
+        ("full", RectifyMode::Full),
+    ] {
+        let mut cfg = Variant::GemP.config(1);
+        cfg.rectify = mode;
+        group.bench_function(BenchmarkId::new("mode", name), |b| {
+            let trainer = GemTrainer::new(&graphs, cfg.clone()).unwrap();
+            b.iter(|| trainer.run(black_box(CHUNK), 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimension_scaling(c: &mut Criterion) {
+    let graphs = fixture();
+    let mut group = c.benchmark_group("dimension_scaling");
+    const CHUNK: u64 = 5_000;
+    group.throughput(Throughput::Elements(CHUNK));
+    for &dim in &[20usize, 60, 100] {
+        let mut cfg = Variant::GemP.config(1);
+        cfg.dim = dim;
+        group.bench_function(BenchmarkId::new("k", dim), |b| {
+            let trainer = GemTrainer::new(&graphs, cfg.clone()).unwrap();
+            b.iter(|| trainer.run(black_box(CHUNK), 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gradient_steps,
+    bench_rectifier_ablation,
+    bench_dimension_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Diagnostic probe: isolates which trainer knob drives cold-start accuracy.
+//! Not part of the paper reproduction; kept for ablation curiosity.
+
+use gem_bench::{Args, City, ExperimentEnv};
+use gem_core::{GemTrainer, GraphChoice, NoiseKind, SamplingDirection, TrainConfig};
+use gem_eval::{eval_event_rec, EvalConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get("scale", 40usize);
+    let steps = args.get("steps", 300_000u64);
+    let env = ExperimentEnv::build(City::Beijing, scale, 7);
+    let [ux, xt, xc, xl, uu] = env.graphs.all();
+    println!(
+        "edges: UX={} XT={} XC={} XL={} UU={}",
+        ux.num_edges(),
+        xt.num_edges(),
+        xc.num_edges(),
+        xl.num_edges(),
+        uu.num_edges()
+    );
+
+    let eval_cfg = EvalConfig { max_cases: 800, ..Default::default() };
+    let combos: Vec<(&str, NoiseKind, SamplingDirection, GraphChoice)> = vec![
+        ("degree|bi|prop (GEM-P)", NoiseKind::Degree, SamplingDirection::Bidirectional, GraphChoice::EdgeCountProportional),
+        ("degree|bi|unif", NoiseKind::Degree, SamplingDirection::Bidirectional, GraphChoice::Uniform),
+        ("degree|uni|prop", NoiseKind::Degree, SamplingDirection::Unidirectional, GraphChoice::EdgeCountProportional),
+        ("degree|uni|unif (PTE)", NoiseKind::Degree, SamplingDirection::Unidirectional, GraphChoice::Uniform),
+        ("adaptive|bi|prop (GEM-A)", NoiseKind::Adaptive, SamplingDirection::Bidirectional, GraphChoice::EdgeCountProportional),
+        ("adaptive|bi|unif", NoiseKind::Adaptive, SamplingDirection::Bidirectional, GraphChoice::Uniform),
+    ];
+    let no_relu = args.flag("no-relu");
+    let decay = args.get("decay", 20_000u64);
+    for (name, noise, dir, gc) in combos {
+        let mut cfg = TrainConfig::gem_a(7);
+        cfg.noise = noise;
+        cfg.direction = dir;
+        cfg.graph_choice = gc;
+        cfg.rectify = if no_relu {
+            gem_core::RectifyMode::Off
+        } else if args.flag("full-relu") {
+            gem_core::RectifyMode::Full
+        } else {
+            gem_core::RectifyMode::PositivesOnly
+        };
+        cfg.lr_decay_t0 = decay;
+        let t = GemTrainer::new(&env.graphs, cfg).unwrap();
+        for chunk in [steps / 4, steps / 4, steps / 2] {
+            t.run(chunk, 1);
+        }
+        let m = t.model();
+        let r = eval_event_rec(&m, &env.dataset, &env.split, &env.gt, &eval_cfg);
+        // Norm diagnostics.
+        let unorm: f32 = m.users.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let xnorm: f32 = m.events.iter().map(|v| v * v).sum::<f32>().sqrt();
+        println!(
+            "{name:28} Acc@10={:.3} Acc@5={:.3} mean_rank={:.1} |U|={unorm:.1} |X|={xnorm:.1}",
+            r.accuracy(10).unwrap(),
+            r.accuracy(5).unwrap(),
+            r.mean_rank
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Convergence-speed probe: accuracy vs steps for the three variants.
+
+use gem_bench::{Args, City, ExperimentEnv, Variant};
+use gem_core::GemTrainer;
+use gem_eval::{eval_event_rec, EvalConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get("scale", 40usize);
+    let lambda = args.get("lambda", 200.0f64);
+    let env = ExperimentEnv::build(City::Beijing, scale, 7);
+    let eval_cfg = EvalConfig { max_cases: 800, ..Default::default() };
+    let checkpoints = [50_000u64, 50_000, 100_000, 200_000, 400_000]; // cum: 50k,100k,200k,400k,800k
+    for v in [Variant::GemA, Variant::GemP, Variant::Pte] {
+        let mut cfg = v.config(7);
+        cfg.lambda = lambda;
+        let t = GemTrainer::new(&env.graphs, cfg).unwrap();
+        print!("{:6}", v.name());
+        let mut cum = 0;
+        for c in checkpoints {
+            t.run(c, 1);
+            cum += c;
+            let m = t.model();
+            let r = eval_event_rec(&m, &env.dataset, &env.split, &env.gt, &eval_cfg);
+            print!("  {}k:{:.3}", cum / 1000, r.accuracy(10).unwrap());
+        }
+        println!();
+    }
+}

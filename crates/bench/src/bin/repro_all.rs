@@ -1,0 +1,43 @@
+//! Run every table/figure driver in sequence with shared parameters.
+//!
+//! Usage: `cargo run --release -p gem-bench --bin repro_all [--quick --threads 4]`
+//!
+//! Each experiment is an independent binary; this driver shells out to the
+//! already-built siblings so output is identical to running them one by
+//! one. Use `--quick` for a fast smoke pass.
+
+use gem_bench::Args;
+use std::process::Command;
+
+fn main() {
+    let args = Args::from_env();
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let _ = args;
+
+    let bins = [
+        "table1_stats",
+        "fig3_cold_start",
+        "fig4_partner_friends",
+        "fig5_partner_potential",
+        "table23_convergence",
+        "table4_dimension",
+        "table5_lambda",
+        "fig6_scalability",
+        "table6_efficiency",
+        "fig7_pruning",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe has a parent dir");
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

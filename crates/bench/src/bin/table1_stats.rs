@@ -1,0 +1,78 @@
+//! Table I — basic statistics of the (simulated) Douban Event datasets.
+//!
+//! Usage: `cargo run --release -p gem-bench --bin table1_stats [--scale 40 --seed 7]`
+//!
+//! Prints the paper's Table I alongside the Douban-Sim datasets generated at
+//! `1/scale` of the crawl's size, so the per-entity densities can be
+//! compared directly.
+
+use gem_bench::{Args, City, ExperimentEnv};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get("scale", 40usize);
+    let seed = args.get("seed", 7u64);
+
+    println!("Table I: basic statistics (paper crawl vs Douban-Sim at 1/{scale} scale)\n");
+    let widths = [28usize, 12, 12, 14, 14];
+    gem_bench::table::header(
+        &["", "Beijing(paper)", "Beijing(sim)", "Shanghai(paper)", "Shanghai(sim)"],
+        &widths,
+    );
+
+    let bj = ExperimentEnv::build(City::Beijing, scale, seed);
+    let sh = ExperimentEnv::build(City::Shanghai, scale, seed + 1);
+    let (b, s) = (bj.dataset.stats(), sh.dataset.stats());
+
+    let rows: [(&str, u64, u64, u64, u64); 5] = [
+        ("# of users", 64_113, b.num_users as u64, 36_440, s.num_users as u64),
+        ("# of events", 12_955, b.num_events as u64, 6_753, s.num_events as u64),
+        ("# of venues", 3_212, b.num_venues as u64, 1_990, s.num_venues as u64),
+        (
+            "# of historical attendances",
+            1_114_097,
+            b.num_attendances as u64,
+            482_138,
+            s.num_attendances as u64,
+        ),
+        (
+            "# of friendship links",
+            865_298,
+            b.num_friendships as u64,
+            298_105,
+            s.num_friendships as u64,
+        ),
+    ];
+    for (label, bp, bs, sp, ss) in rows {
+        gem_bench::table::row(
+            &[label.to_string(), bp.to_string(), bs.to_string(), sp.to_string(), ss.to_string()],
+            &widths,
+        );
+    }
+
+    println!("\nDensities (should match the paper's up to sampling noise):");
+    println!(
+        "  Beijing(sim):  {:.1} attendances/user, {:.1} attendees/event, avg friend degree {:.1}",
+        b.num_attendances as f64 / b.num_users as f64,
+        b.num_attendances as f64 / b.num_events as f64,
+        2.0 * b.num_friendships as f64 / b.num_users as f64,
+    );
+    println!(
+        "  Beijing(paper): {:.1} attendances/user, {:.1} attendees/event, avg friend degree {:.1}",
+        1_114_097.0 / 64_113.0,
+        1_114_097.0 / 12_955.0,
+        2.0 * 865_298.0 / 64_113.0,
+    );
+    println!(
+        "  Shanghai(sim): {:.1} attendances/user, {:.1} attendees/event, avg friend degree {:.1}",
+        s.num_attendances as f64 / s.num_users as f64,
+        s.num_attendances as f64 / s.num_events as f64,
+        2.0 * s.num_friendships as f64 / s.num_users as f64,
+    );
+    println!(
+        "  Shanghai(paper): {:.1} attendances/user, {:.1} attendees/event, avg friend degree {:.1}",
+        482_138.0 / 36_440.0,
+        482_138.0 / 6_753.0,
+        2.0 * 298_105.0 / 36_440.0,
+    );
+}

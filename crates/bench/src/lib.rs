@@ -1,0 +1,345 @@
+//! Shared experiment harness for the table/figure reproduction binaries.
+//!
+//! Every `--bin` experiment driver builds on the same pieces:
+//!
+//! * [`ExperimentEnv`] — a synthetic city (Beijing- or Shanghai-shaped),
+//!   chronologically split, with ground truth for both tasks and graphs
+//!   built for both partner scenarios;
+//! * [`train_variant`] — trains GEM-A / GEM-P / PTE on an environment;
+//! * [`Args`] — a tiny `--key value` CLI parser (no external crates);
+//! * [`table`] — fixed-width table printing matching the paper's layout.
+//!
+//! Scale note: the paper's crawl is proprietary, so experiments run on
+//! Douban-Sim (see DESIGN.md §1) at `1/scale` of Table I's size
+//! (default 40). Convergence step counts scale accordingly: the paper's
+//! 2M samples on the full crawl correspond to roughly `2M / (scale/ 2)`
+//! samples here because the number of edges shrinks by `scale`.
+
+#![warn(missing_docs)]
+
+use gem_core::{GemModel, GemTrainer, TrainConfig};
+use gem_ebsn::{
+    ChronoSplit, EbsnDataset, GraphBuildConfig, GroundTruth, PartnerScenario, SplitRatios,
+    SynthConfig, SynthesisReport, TrainingGraphs,
+};
+
+/// The two simulated cities of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum City {
+    /// Beijing-shaped dataset.
+    Beijing,
+    /// Shanghai-shaped dataset.
+    Shanghai,
+}
+
+impl City {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            City::Beijing => "Beijing",
+            City::Shanghai => "Shanghai",
+        }
+    }
+}
+
+/// The three embedding-model variants compared throughout §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// GEM with the adaptive adversarial sampler.
+    GemA,
+    /// GEM with the degree-based sampler.
+    GemP,
+    /// The PTE baseline.
+    Pte,
+}
+
+impl Variant {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::GemA => "GEM-A",
+            Variant::GemP => "GEM-P",
+            Variant::Pte => "PTE",
+        }
+    }
+
+    /// The trainer preset for this variant.
+    pub fn config(self, seed: u64) -> TrainConfig {
+        match self {
+            Variant::GemA => TrainConfig::gem_a(seed),
+            Variant::GemP => TrainConfig::gem_p(seed),
+            Variant::Pte => TrainConfig::pte(seed),
+        }
+    }
+}
+
+/// A fully prepared experiment environment.
+pub struct ExperimentEnv {
+    /// The synthetic dataset.
+    pub dataset: EbsnDataset,
+    /// Generator report (Table I numbers).
+    pub report: SynthesisReport,
+    /// Chronological split.
+    pub split: ChronoSplit,
+    /// Ground truth for both tasks.
+    pub gt: GroundTruth,
+    /// Graphs for scenario 1 (friend links intact).
+    pub graphs: TrainingGraphs,
+    /// Graphs for scenario 2 (ground-truth partner links removed).
+    pub graphs_potential: TrainingGraphs,
+}
+
+impl ExperimentEnv {
+    /// Build a city environment at `1/scale` of Table I's size.
+    pub fn build(city: City, scale: usize, seed: u64) -> Self {
+        let cfg = match city {
+            City::Beijing => SynthConfig::beijing_like(seed, scale),
+            City::Shanghai => SynthConfig::shanghai_like(seed, scale),
+        };
+        Self::from_synth(&cfg)
+    }
+
+    /// Build from an explicit generator config.
+    pub fn from_synth(cfg: &SynthConfig) -> Self {
+        let (dataset, report) = gem_ebsn::synth::generate(cfg);
+        let split = ChronoSplit::new(&dataset, SplitRatios::default());
+        let gt = GroundTruth::extract(&dataset, &split);
+        let build_cfg = GraphBuildConfig::default();
+        let graphs = TrainingGraphs::build(&dataset, &split, &build_cfg, &[]);
+        let graphs_potential = TrainingGraphs::build(
+            &dataset,
+            &split,
+            &build_cfg,
+            gt.removed_friendships(PartnerScenario::PotentialFriends),
+        );
+        ExperimentEnv { dataset, report, split, gt, graphs, graphs_potential }
+    }
+
+    /// The graphs for a partner scenario.
+    pub fn graphs_for(&self, scenario: PartnerScenario) -> &TrainingGraphs {
+        match scenario {
+            PartnerScenario::Friends => &self.graphs,
+            PartnerScenario::PotentialFriends => &self.graphs_potential,
+        }
+    }
+}
+
+/// Train a variant for `steps` gradient steps on `threads` workers.
+pub fn train_variant(
+    graphs: &TrainingGraphs,
+    variant: Variant,
+    steps: u64,
+    threads: usize,
+    seed: u64,
+) -> GemModel {
+    let trainer = GemTrainer::new(graphs, variant.config(seed)).expect("valid trainer config");
+    trainer.run(steps, threads);
+    trainer.model()
+}
+
+/// Train every §V-C comparison model on one set of graphs.
+///
+/// Convergence budgets: the GEM variants get 2× `steps` and PTE 5× (the
+/// paper's Table II ratio), so every model is evaluated at its own
+/// convergence; PCMF/CBPF also get 2× (they optimise a cheaper per-step
+/// objective), PER learns only a 5-weight combiner.
+/// `with_cfapr` additionally builds CFAPR-E on top of the GEM-A model
+/// (exactly how the paper constructs it).
+pub fn train_competitors(
+    env: &ExperimentEnv,
+    graphs: &TrainingGraphs,
+    params: &StdParams,
+    with_cfapr: bool,
+) -> Vec<(String, Box<dyn gem_core::EventScorer>)> {
+    use gem_baselines::{Cbpf, CbpfConfig, CfaprE, Pcmf, PcmfConfig, PerConfig, PerModel};
+
+    let mut out: Vec<(String, Box<dyn gem_core::EventScorer>)> = Vec::new();
+
+    let gem_a =
+        train_variant(graphs, Variant::GemA, params.steps * 2, params.threads, params.seed);
+    if with_cfapr {
+        let cfapr = CfaprE::build(gem_a.clone(), &env.dataset, &env.split);
+        out.push(("CFAPR-E".to_string(), Box::new(cfapr)));
+    }
+    out.push(("GEM-A".to_string(), Box::new(gem_a)));
+
+    let gem_p =
+        train_variant(graphs, Variant::GemP, params.steps * 2, params.threads, params.seed);
+    out.push(("GEM-P".to_string(), Box::new(gem_p)));
+
+    let pte = train_variant(graphs, Variant::Pte, params.steps * 5, params.threads, params.seed);
+    out.push(("PTE".to_string(), Box::new(pte)));
+
+    let cbpf = Cbpf::train(
+        graphs,
+        &CbpfConfig { steps: params.steps * 2, seed: params.seed, ..Default::default() },
+    );
+    out.push(("CBPF".to_string(), Box::new(cbpf)));
+
+    let per = PerModel::train(graphs, &PerConfig { seed: params.seed, ..Default::default() });
+    out.push(("PER".to_string(), Box::new(per)));
+
+    let pcmf = Pcmf::train(
+        graphs,
+        &PcmfConfig { steps: params.steps * 2, seed: params.seed, ..Default::default() },
+    );
+    out.push(("PCMF".to_string(), Box::new(pcmf)));
+
+    out
+}
+
+/// Minimal `--key value` / `--flag` argument parser for the experiment
+/// binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Self {
+        let mut args = Args::default();
+        let mut iter = items.into_iter().peekable();
+        while let Some(item) = iter.next() {
+            if let Some(key) = item.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        args.pairs.push((key.to_string(), iter.next().expect("peeked")));
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            }
+        }
+        args
+    }
+
+    /// A `--key value` as a parsed type, or the default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// True if `--flag` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Fixed-width table printing helpers.
+pub mod table {
+    /// Print a header row followed by a separator.
+    pub fn header(cols: &[&str], widths: &[usize]) {
+        row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("{}", "-".repeat(total));
+    }
+
+    /// Print one row with the given column widths.
+    pub fn row(cols: &[String], widths: &[usize]) {
+        let mut line = String::new();
+        for (c, w) in cols.iter().zip(widths) {
+            line.push_str(&format!("{c:>w$}  ", w = *w));
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Format an accuracy as the paper prints it (3 decimals).
+    pub fn acc(a: f64) -> String {
+        format!("{a:.3}")
+    }
+}
+
+/// Standard experiment parameters derived from the CLI.
+#[derive(Debug, Clone)]
+pub struct StdParams {
+    /// Dataset scale divisor (Table I size / scale).
+    pub scale: usize,
+    /// Training steps for "converged" models.
+    pub steps: u64,
+    /// Hogwild worker threads.
+    pub threads: usize,
+    /// Max evaluation cases (0 = all).
+    pub max_cases: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl StdParams {
+    /// Read the conventional flags: `--scale`, `--steps`, `--threads`,
+    /// `--max-cases`, `--seed`, `--quick`.
+    pub fn from_args(args: &Args) -> Self {
+        let quick = args.flag("quick");
+        StdParams {
+            scale: args.get("scale", if quick { 80 } else { 40 }),
+            steps: args.get("steps", if quick { 150_000 } else { 600_000 }),
+            threads: args.get("threads", 1),
+            max_cases: args.get("max-cases", if quick { 400 } else { 2000 }),
+            seed: args.get("seed", 7),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let a = Args::parse(
+            ["--scale", "20", "--quick", "--steps", "1000"].map(String::from),
+        );
+        assert_eq!(a.get("scale", 0usize), 20);
+        assert_eq!(a.get("steps", 0u64), 1000);
+        assert_eq!(a.get("missing", 5i32), 5);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let a = Args::parse(["--x", "1", "--x", "2"].map(String::from));
+        assert_eq!(a.get("x", 0i32), 2);
+    }
+
+    #[test]
+    fn env_builds_consistently() {
+        let cfg = SynthConfig::tiny(5);
+        let env = ExperimentEnv::from_synth(&cfg);
+        assert_eq!(env.dataset.validate(), Ok(()));
+        assert!(!env.gt.event_cases.is_empty());
+        // Scenario-2 graphs have strictly fewer social edges when partner
+        // links exist.
+        if !env.gt.partner_links.is_empty() {
+            assert!(
+                env.graphs_potential.user_user.num_edges() < env.graphs.user_user.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn variants_produce_distinct_configs() {
+        assert_ne!(Variant::GemA.config(1).noise, Variant::GemP.config(1).noise);
+        assert_ne!(
+            Variant::GemP.config(1).direction,
+            Variant::Pte.config(1).direction
+        );
+    }
+
+    #[test]
+    fn std_params_quick_mode() {
+        let a = Args::parse(["--quick"].map(String::from));
+        let p = StdParams::from_args(&a);
+        assert_eq!(p.scale, 80);
+        assert!(p.steps < 600_000);
+    }
+}

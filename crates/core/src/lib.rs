@@ -1,0 +1,43 @@
+//! **GEM** — the graph-based embedding model of *"Joint Event-Partner
+//! Recommendation in Event-based Social Networks"* (ICDE 2018).
+//!
+//! GEM collectively embeds the five EBSN relation graphs (user–event,
+//! user–user, event–location, event–time, event–word) into one shared
+//! `K`-dimensional non-negative space, so that
+//!
+//! * a cold-start event's vector is learned purely from its content and
+//!   context edges, and
+//! * Eq. 8's triple score `u·x + u'·x + u·u'` ranks (event, partner) pairs.
+//!
+//! Module map (paper section → module):
+//!
+//! | paper | module |
+//! |---|---|
+//! | Eq. 1 sigmoid edge probability, Eq. 5 SGD update | [`math`], [`trainer`] |
+//! | bidirectional negative sampling (Eq. 4) | [`trainer`] |
+//! | degree-based noise sampler (GEM-P / PTE) | [`trainer`] |
+//! | adaptive adversarial sampler, Algorithm 1 (GEM-A) | [`adaptive`] |
+//! | joint multi-graph training, Algorithm 2 | [`trainer`] |
+//! | asynchronous (Hogwild) SGD, §III-A | [`trainer`], [`matrix`] |
+//! | Eq. 8 scoring | [`model`] |
+//!
+//! The baseline variants are configuration presets of the same trainer:
+//! [`TrainConfig::gem_a`], [`TrainConfig::gem_p`] and [`TrainConfig::pte`]
+//! (PTE = unidirectional noise + uniform graph choice + degree sampler).
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod config;
+pub mod math;
+pub mod matrix;
+pub mod model;
+pub mod persist;
+pub mod trainer;
+
+pub use config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
+pub use adaptive::{AdaptiveState, ExactAdaptiveSampler};
+pub use matrix::AtomicMatrix;
+pub use model::{EventScorer, GemModel};
+pub use persist::{load_model, save_model, PersistError};
+pub use trainer::{GemTrainer, TrainProgress};

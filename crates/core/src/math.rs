@@ -1,0 +1,125 @@
+//! Small numeric kernels used by the trainer and the scorers.
+
+/// Numerically safe logistic function `1 / (1 + e^{-x})`.
+///
+/// The input is clamped to ±30 — beyond that the output is 0/1 to within
+/// f32 precision anyway, and clamping avoids `exp` overflow on extreme
+/// dot products early in training.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    let x = x.clamp(-30.0, 30.0);
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Dense dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `out += scale * v` (axpy).
+#[inline]
+pub fn axpy(out: &mut [f32], v: &[f32], scale: f32) {
+    debug_assert_eq!(out.len(), v.len());
+    for (o, x) in out.iter_mut().zip(v) {
+        *o += scale * x;
+    }
+}
+
+/// Population variance of a slice.
+pub fn variance(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basic_values() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!((sigmoid(2.0) - 0.880_797).abs() < 1e-5);
+        assert!((sigmoid(-2.0) - 0.119_202).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_is_symmetric() {
+        for &x in &[0.1f32, 1.0, 5.0, 20.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_saturates_without_nan() {
+        assert!(sigmoid(1e30) <= 1.0);
+        assert!(sigmoid(-1e30) >= 0.0);
+        assert!(sigmoid(f32::MAX).is_finite());
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut out = [0.0f32; 3];
+        axpy(&mut out, &a, 2.0);
+        assert_eq!(out, [2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        // Var([1,2,3,4]) = 1.25 (population).
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-6);
+    }
+
+    /// The SGD step in Eq. 5 is the gradient of the per-edge loss
+    /// `-log σ(vi·vj) - Σ_k log(1 - σ(vi·vk))`. Verify the analytic
+    /// gradient against finite differences on a tiny instance.
+    #[test]
+    fn eq5_gradient_matches_finite_differences() {
+        let vi = [0.3f32, 0.7];
+        let vj = [0.5f32, 0.2];
+        let vk = [0.9f32, 0.1];
+
+        let loss = |vi: &[f32; 2]| -> f64 {
+            let pos = sigmoid(dot(vi, &vj)) as f64;
+            let neg = sigmoid(dot(vi, &vk)) as f64;
+            -(pos.ln()) - (1.0 - neg).ln()
+        };
+
+        // Analytic gradient wrt vi: -(1-σ(vi·vj))·vj + σ(vi·vk)·vk.
+        let g_pos = 1.0 - sigmoid(dot(&vi, &vj));
+        let g_neg = sigmoid(dot(&vi, &vk));
+        let analytic = [
+            (-g_pos * vj[0] + g_neg * vk[0]) as f64,
+            (-g_pos * vj[1] + g_neg * vk[1]) as f64,
+        ];
+
+        let h = 1e-3f32;
+        for d in 0..2 {
+            let mut plus = vi;
+            plus[d] += h;
+            let mut minus = vi;
+            minus[d] -= h;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h as f64);
+            assert!(
+                (numeric - analytic[d]).abs() < 1e-3,
+                "dim {d}: numeric {numeric} vs analytic {}",
+                analytic[d]
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Lock-free shared embedding matrix for Hogwild SGD.
+//!
+//! The paper trains with asynchronous stochastic gradient descent
+//! ([Recht et al., "Hogwild!"]): worker threads update shared parameters
+//! without locks, relying on the sparsity of conflicts. A literal
+//! translation (`&mut` aliasing through `UnsafeCell<f32>`) would be UB in
+//! Rust, so rows are stored as `AtomicU32` bit-patterns accessed with
+//! `Relaxed` ordering — on x86-64 a relaxed load/store compiles to a plain
+//! `mov`, so this is Hogwild at Hogwild's cost, without the UB.
+//!
+//! Lost updates between racing workers are *expected and benign* (that is
+//! the Hogwild contract, measured in the Fig. 6 reproduction). With one
+//! thread the matrix behaves exactly like a `Vec<f32>`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A `rows × dim` matrix of `f32` shareable across Hogwild workers.
+pub struct AtomicMatrix {
+    rows: usize,
+    dim: usize,
+    data: Vec<AtomicU32>,
+}
+
+impl AtomicMatrix {
+    /// Allocate a zeroed matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let mut data = Vec::with_capacity(rows * dim);
+        data.resize_with(rows * dim, || AtomicU32::new(0f32.to_bits()));
+        Self { rows, dim, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, row: usize, k: usize) -> f32 {
+        f32::from_bits(self.data[row * self.dim + k].load(Ordering::Relaxed))
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&self, row: usize, k: usize, v: f32) {
+        self.data[row * self.dim + k].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copy a row into `buf`.
+    #[inline]
+    pub fn read_row(&self, row: usize, buf: &mut [f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        let base = row * self.dim;
+        for (k, slot) in buf.iter_mut().enumerate() {
+            *slot = f32::from_bits(self.data[base + k].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrite a row from `buf`.
+    #[inline]
+    pub fn write_row(&self, row: usize, buf: &[f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        let base = row * self.dim;
+        for (k, &v) in buf.iter().enumerate() {
+            self.data[base + k].store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `row += scale · delta`, then rectify (clamp at 0) — the fused update
+    /// + ReLU projection of Eq. 5. Racy read-modify-write by design.
+    #[inline]
+    pub fn add_scaled_relu(&self, row: usize, delta: &[f32], scale: f32) {
+        debug_assert_eq!(delta.len(), self.dim);
+        let base = row * self.dim;
+        for (k, &d) in delta.iter().enumerate() {
+            let slot = &self.data[base + k];
+            let old = f32::from_bits(slot.load(Ordering::Relaxed));
+            let new = (old + scale * d).max(0.0);
+            slot.store(new.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `row += scale · delta` without the rectifier (ablation path).
+    #[inline]
+    pub fn add_scaled(&self, row: usize, delta: &[f32], scale: f32) {
+        debug_assert_eq!(delta.len(), self.dim);
+        let base = row * self.dim;
+        for (k, &d) in delta.iter().enumerate() {
+            let slot = &self.data[base + k];
+            let old = f32::from_bits(slot.load(Ordering::Relaxed));
+            slot.store((old + scale * d).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the whole matrix into a plain `Vec<f32>` (row-major).
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.data
+            .iter()
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for AtomicMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicMatrix({}x{})", self.rows, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_then_set_get() {
+        let m = AtomicMatrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.get(2, 3), 0.0);
+        m.set(1, 2, 3.25);
+        assert_eq!(m.get(1, 2), 3.25);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let m = AtomicMatrix::zeros(2, 3);
+        m.write_row(1, &[1.0, -2.0, 3.0]);
+        let mut buf = [0.0f32; 3];
+        m.read_row(1, &mut buf);
+        assert_eq!(buf, [1.0, -2.0, 3.0]);
+        m.read_row(0, &mut buf);
+        assert_eq!(buf, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_scaled_relu_rectifies() {
+        let m = AtomicMatrix::zeros(1, 3);
+        m.write_row(0, &[1.0, 0.5, 0.1]);
+        // 1.0 + 2*(-0.2)=0.6; 0.5 + 2*(-0.5)=-0.5→0; 0.1 + 2*1 = 2.1
+        m.add_scaled_relu(0, &[-0.2, -0.5, 1.0], 2.0);
+        let mut buf = [0.0f32; 3];
+        m.read_row(0, &mut buf);
+        assert!((buf[0] - 0.6).abs() < 1e-6);
+        assert_eq!(buf[1], 0.0);
+        assert!((buf[2] - 2.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_is_row_major() {
+        let m = AtomicMatrix::zeros(2, 2);
+        m.write_row(0, &[1.0, 2.0]);
+        m.write_row(1, &[3.0, 4.0]);
+        assert_eq!(m.snapshot(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concurrent_updates_preserve_sanity() {
+        // Hogwild contract: racy updates may lose increments but must never
+        // corrupt values (every stored value is some valid intermediate).
+        let m = std::sync::Arc::new(AtomicMatrix::zeros(1, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    let delta = [1.0f32; 8];
+                    for _ in 0..10_000 {
+                        m.add_scaled_relu(0, &delta, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut buf = [0.0f32; 8];
+        m.read_row(0, &mut buf);
+        for &v in &buf {
+            // At least one thread's updates land; no more than all of them.
+            assert!(v >= 10_000.0, "lost more than whole threads: {v}");
+            assert!(v <= 40_000.0, "value exceeds total increments: {v}");
+            assert_eq!(v.fract(), 0.0, "value must be a whole number of increments");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn zero_dim_panics() {
+        AtomicMatrix::zeros(1, 0);
+    }
+}

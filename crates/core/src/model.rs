@@ -1,0 +1,199 @@
+//! The trained model: an immutable snapshot of the embeddings plus the
+//! paper's scoring functions.
+//!
+//! Eq. 8 scores a recommendation of pair `(partner u', event x)` to user `u`
+//! as `σ(u·x + u'·x + u·u' + β)`; since only the ranking matters, scorers
+//! return the raw `u·x + u'·x + u·u'`.
+
+use crate::trainer::EmbeddingSet;
+use gem_ebsn::{EventId, NodeKind, RegionId, UserId};
+
+/// Uniform scoring interface shared by GEM and all baselines, so the
+/// evaluation harness treats every model identically.
+pub trait EventScorer: Sync {
+    /// Preference of user `u` for event `x` (higher = better).
+    fn score_event(&self, u: UserId, x: EventId) -> f64;
+
+    /// Social affinity between two users.
+    fn score_pair(&self, u: UserId, v: UserId) -> f64;
+
+    /// Joint score of recommending `(partner, event)` to `user` (Eq. 8).
+    /// The default composition `u·x + u'·x + u·u'` is what the paper uses
+    /// to extend every baseline to event-partner recommendation.
+    fn score_triple(&self, user: UserId, partner: UserId, event: EventId) -> f64 {
+        self.score_event(user, event)
+            + self.score_event(partner, event)
+            + self.score_pair(user, partner)
+    }
+}
+
+/// An immutable snapshot of trained GEM embeddings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemModel {
+    /// Embedding dimension `K`.
+    pub dim: usize,
+    /// User matrix, row-major `num_users × dim`.
+    pub users: Vec<f32>,
+    /// Event matrix.
+    pub events: Vec<f32>,
+    /// Region matrix.
+    pub regions: Vec<f32>,
+    /// Time-slot matrix (33 rows).
+    pub time_slots: Vec<f32>,
+    /// Word matrix.
+    pub words: Vec<f32>,
+}
+
+impl GemModel {
+    /// Snapshot from live training matrices.
+    pub(crate) fn from_embeddings(dim: usize, set: &EmbeddingSet, _rows: [usize; 5]) -> Self {
+        GemModel {
+            dim,
+            users: set.of(NodeKind::User).snapshot(),
+            events: set.of(NodeKind::Event).snapshot(),
+            regions: set.of(NodeKind::Region).snapshot(),
+            time_slots: set.of(NodeKind::TimeSlot).snapshot(),
+            words: set.of(NodeKind::Word).snapshot(),
+        }
+    }
+
+    /// Construct directly from raw matrices (used by tests and by loaders).
+    ///
+    /// # Panics
+    /// Panics if any matrix length is not a multiple of `dim`.
+    pub fn from_raw(
+        dim: usize,
+        users: Vec<f32>,
+        events: Vec<f32>,
+        regions: Vec<f32>,
+        time_slots: Vec<f32>,
+        words: Vec<f32>,
+    ) -> Self {
+        assert!(dim > 0);
+        for (name, m) in [
+            ("users", &users),
+            ("events", &events),
+            ("regions", &regions),
+            ("time_slots", &time_slots),
+            ("words", &words),
+        ] {
+            assert!(m.len() % dim == 0, "{name} matrix length {} not a multiple of dim {dim}", m.len());
+        }
+        GemModel { dim, users, events, regions, time_slots, words }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users.len() / self.dim
+    }
+
+    /// Number of events.
+    pub fn num_events(&self) -> usize {
+        self.events.len() / self.dim
+    }
+
+    /// A user's embedding row.
+    #[inline]
+    pub fn user_vec(&self, u: UserId) -> &[f32] {
+        &self.users[u.index() * self.dim..(u.index() + 1) * self.dim]
+    }
+
+    /// An event's embedding row.
+    #[inline]
+    pub fn event_vec(&self, x: EventId) -> &[f32] {
+        &self.events[x.index() * self.dim..(x.index() + 1) * self.dim]
+    }
+
+    /// A region's embedding row.
+    #[inline]
+    pub fn region_vec(&self, r: RegionId) -> &[f32] {
+        &self.regions[r.index() * self.dim..(r.index() + 1) * self.dim]
+    }
+
+    /// A time slot's embedding row.
+    #[inline]
+    pub fn time_slot_vec(&self, slot: usize) -> &[f32] {
+        &self.time_slots[slot * self.dim..(slot + 1) * self.dim]
+    }
+
+    /// A word's embedding row.
+    #[inline]
+    pub fn word_vec(&self, w: usize) -> &[f32] {
+        &self.words[w * self.dim..(w + 1) * self.dim]
+    }
+
+    /// Raw-index event score (hot path for tests/benches).
+    #[inline]
+    pub fn score_event_raw(&self, u: usize, x: usize) -> f32 {
+        crate::math::dot(
+            &self.users[u * self.dim..(u + 1) * self.dim],
+            &self.events[x * self.dim..(x + 1) * self.dim],
+        )
+    }
+}
+
+impl EventScorer for GemModel {
+    fn score_event(&self, u: UserId, x: EventId) -> f64 {
+        crate::math::dot(self.user_vec(u), self.event_vec(x)) as f64
+    }
+
+    fn score_pair(&self, u: UserId, v: UserId) -> f64 {
+        crate::math::dot(self.user_vec(u), self.user_vec(v)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> GemModel {
+        // dim 2; 2 users, 2 events.
+        GemModel::from_raw(
+            2,
+            vec![1.0, 0.0, /* u1 */ 0.0, 1.0],
+            vec![2.0, 1.0, /* x1 */ 0.5, 3.0],
+            vec![],
+            vec![],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn accessors_slice_rows() {
+        let m = toy_model();
+        assert_eq!(m.num_users(), 2);
+        assert_eq!(m.num_events(), 2);
+        assert_eq!(m.user_vec(UserId(1)), &[0.0, 1.0]);
+        assert_eq!(m.event_vec(EventId(0)), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn event_score_is_dot_product() {
+        let m = toy_model();
+        assert_eq!(m.score_event(UserId(0), EventId(0)), 2.0);
+        assert_eq!(m.score_event(UserId(1), EventId(1)), 3.0);
+        assert_eq!(m.score_event_raw(0, 1), 0.5);
+    }
+
+    #[test]
+    fn triple_score_is_eq8_decomposition() {
+        let m = toy_model();
+        let (u, p, x) = (UserId(0), UserId(1), EventId(1));
+        let expected = m.score_event(u, x) + m.score_event(p, x) + m.score_pair(u, p);
+        assert_eq!(m.score_triple(u, p, x), expected);
+        // Hand-check: u·x = 0.5, p·x = 3.0, u·p = 0.0.
+        assert_eq!(m.score_triple(u, p, x), 3.5);
+    }
+
+    #[test]
+    fn pair_score_is_symmetric() {
+        let m = toy_model();
+        assert_eq!(m.score_pair(UserId(0), UserId(1)), m.score_pair(UserId(1), UserId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_matrix_panics() {
+        GemModel::from_raw(2, vec![1.0, 2.0, 3.0], vec![], vec![], vec![], vec![]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Model persistence: save/load a trained [`GemModel`] snapshot.
+//!
+//! Training to convergence takes minutes; serving restarts shouldn't. The
+//! format is a small self-describing binary file:
+//!
+//! ```text
+//! magic "GEMM" | version u32 | dim u32 | 5 × (rows u32) | 5 × (rows·dim f32 LE)
+//! ```
+//!
+//! All integers and floats are little-endian. The loader validates the
+//! magic, version and length before touching the payload.
+
+use crate::model::GemModel;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GEMM";
+const VERSION: u32 = 1;
+
+/// Errors from loading a model file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Not a GEM model file.
+    BadMagic,
+    /// Written by an incompatible version.
+    BadVersion(
+        /// version found in the file
+        u32,
+    ),
+    /// Structurally invalid (truncated, or sizes inconsistent).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not a GEM model file"),
+            PersistError::BadVersion(v) => write!(f, "unsupported model version {v}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Save a model to a file (atomic-ish: written to a temp sibling and
+/// renamed).
+pub fn save_model(model: &GemModel, path: &Path) -> Result<(), PersistError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(model.dim as u32).to_le_bytes())?;
+        let matrices =
+            [&model.users, &model.events, &model.regions, &model.time_slots, &model.words];
+        for m in matrices {
+            let rows = (m.len() / model.dim) as u32;
+            w.write_all(&rows.to_le_bytes())?;
+        }
+        for m in matrices {
+            for &v in m.iter() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a model from a file.
+pub fn load_model(path: &Path) -> Result<GemModel, PersistError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let dim = read_u32(&mut r)? as usize;
+    if dim == 0 || dim > 65_536 {
+        return Err(PersistError::Corrupt("implausible dimension"));
+    }
+    let mut rows = [0usize; 5];
+    for slot in &mut rows {
+        *slot = read_u32(&mut r)? as usize;
+    }
+    let mut matrices: Vec<Vec<f32>> = Vec::with_capacity(5);
+    for &n in &rows {
+        let mut m = vec![0f32; n * dim];
+        let mut buf = [0u8; 4];
+        for v in &mut m {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+            if !v.is_finite() {
+                return Err(PersistError::Corrupt("non-finite embedding value"));
+            }
+        }
+        matrices.push(m);
+    }
+    // Anything left over means the header lied.
+    let mut extra = [0u8; 1];
+    match r.read(&mut extra)? {
+        0 => {}
+        _ => return Err(PersistError::Corrupt("trailing bytes")),
+    }
+    let mut it = matrices.into_iter();
+    Ok(GemModel::from_raw(
+        dim,
+        it.next().expect("5 matrices"),
+        it.next().expect("5 matrices"),
+        it.next().expect("5 matrices"),
+        it.next().expect("5 matrices"),
+        it.next().expect("5 matrices"),
+    ))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> GemModel {
+        GemModel::from_raw(
+            3,
+            vec![1.0, -2.0, 3.5, 0.0, 0.25, 9.0],
+            vec![0.5, 0.5, 0.5],
+            vec![],
+            vec![1.0, 2.0, 3.0],
+            vec![],
+        )
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gem-persist-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let model = toy();
+        let path = tmp("roundtrip");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, model);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPExxxxxxxxxxxxxxxx").unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let model = toy();
+        let path = tmp("trunc");
+        save_model(&model, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let model = toy();
+        let path = tmp("trailing");
+        save_model(&model, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let model = toy();
+        let path = tmp("version");
+        save_model(&model, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let model = toy();
+        let path = tmp("nan");
+        save_model(&model, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let payload_start = 4 + 4 + 4 + 20;
+        bytes[payload_start..payload_start + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+    }
+}

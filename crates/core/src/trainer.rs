@@ -1,0 +1,545 @@
+//! The joint multi-graph trainer (Algorithms 1 & 2, Eq. 4–5).
+//!
+//! Each step:
+//!
+//! 1. draw a bipartite graph (edge-count-proportional for GEM, uniform for
+//!    PTE) — Algorithm 2 line 3,
+//! 2. draw a positive edge from it ∝ weight (edge sampling, so weights never
+//!    scale gradients and one learning rate fits all graphs),
+//! 3. draw `M` noise nodes on the right side (and, bidirectionally, `M`
+//!    more on the left side) using the configured sampler,
+//! 4. apply the SGD update of Eq. 5 with the rectifier projection.
+//!
+//! With `threads > 1` the same step loop runs Hogwild-style on a shared
+//! [`AtomicMatrix`] set; each worker owns an independent RNG stream derived
+//! from the master seed.
+
+use crate::adaptive::AdaptiveState;
+use crate::config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
+use crate::math::{axpy, dot, sigmoid};
+use crate::matrix::AtomicMatrix;
+use crate::model::GemModel;
+use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
+use gem_sampling::{rng_from_seed, split_seed, AliasTable, DegreeNoise, GaussianSampler, SeededRng};
+use rand::RngExt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Index of a node kind into the per-kind arrays.
+fn kind_idx(kind: NodeKind) -> usize {
+    match kind {
+        NodeKind::User => 0,
+        NodeKind::Event => 1,
+        NodeKind::Region => 2,
+        NodeKind::TimeSlot => 3,
+        NodeKind::Word => 4,
+    }
+}
+
+/// The five embedding matrices, indexed by node kind.
+pub struct EmbeddingSet {
+    matrices: [AtomicMatrix; 5],
+}
+
+impl EmbeddingSet {
+    fn new(counts: [usize; 5], dim: usize, init_std: f64, seed: u64) -> Self {
+        let mut rng = rng_from_seed(seed);
+        let mut gauss = GaussianSampler::new(0.0, init_std);
+        let matrices = counts.map(|n| {
+            let m = AtomicMatrix::zeros(n.max(1), dim);
+            for row in 0..n {
+                for k in 0..dim {
+                    // |N(0, σ²)|: Gaussian magnitude, rectified from the
+                    // start so the non-negativity invariant holds always.
+                    m.set(row, k, gauss.sample(&mut rng).abs() as f32);
+                }
+            }
+            m
+        });
+        Self { matrices }
+    }
+
+    /// Matrix of a node kind.
+    #[inline]
+    pub fn of(&self, kind: NodeKind) -> &AtomicMatrix {
+        &self.matrices[kind_idx(kind)]
+    }
+}
+
+/// Which side of an edge a noise node replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Progress counters exposed while/after training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainProgress {
+    /// Total gradient steps performed so far.
+    pub steps: u64,
+}
+
+/// The GEM trainer. Create once per (graphs, config), then call
+/// [`GemTrainer::run`] one or more times (convergence sweeps call it in
+/// chunks and snapshot the model between chunks).
+pub struct GemTrainer<'g> {
+    config: TrainConfig,
+    graphs: [&'g BipartiteGraph; 5],
+    embeddings: EmbeddingSet,
+    graph_table: AliasTable,
+    edge_tables: [Option<AliasTable>; 5],
+    noise_tables: [[Option<DegreeNoise>; 2]; 5],
+    /// Adaptive sampler state per (graph, side) over that side's
+    /// non-zero-degree nodes.
+    adaptive: [[Option<AdaptiveState>; 2]; 5],
+    steps_done: AtomicU64,
+}
+
+/// Reusable per-worker scratch space (avoids per-step allocation).
+struct StepBuffers {
+    vi: Vec<f32>,
+    vj: Vec<f32>,
+    vk: Vec<f32>,
+    grad_i: Vec<f32>,
+    grad_j: Vec<f32>,
+}
+
+impl StepBuffers {
+    fn new(dim: usize) -> Self {
+        Self {
+            vi: vec![0.0; dim],
+            vj: vec![0.0; dim],
+            vk: vec![0.0; dim],
+            grad_i: vec![0.0; dim],
+            grad_j: vec![0.0; dim],
+        }
+    }
+}
+
+impl<'g> GemTrainer<'g> {
+    /// Set up a trainer over the five relation graphs.
+    ///
+    /// # Errors
+    /// Returns an error if the config is invalid or every graph is empty.
+    pub fn new(graphs: &'g TrainingGraphs, config: TrainConfig) -> Result<Self, String> {
+        config.validate()?;
+        let graphs = graphs.all();
+
+        let counts = {
+            let mut c = [0usize; 5];
+            for g in &graphs {
+                c[kind_idx(g.left_kind())] = c[kind_idx(g.left_kind())].max(g.left_count());
+                c[kind_idx(g.right_kind())] = c[kind_idx(g.right_kind())].max(g.right_count());
+            }
+            c
+        };
+        let embeddings =
+            EmbeddingSet::new(counts, config.dim, config.init_std, split_seed(config.seed, 0));
+
+        let graph_weights: Vec<f64> = graphs.iter().map(|g| g.num_edges() as f64).collect();
+        if graph_weights.iter().sum::<f64>() == 0.0 {
+            return Err("all five graphs are empty".into());
+        }
+        let graph_table = AliasTable::new(&graph_weights).map_err(|e| e.to_string())?;
+
+        let mut edge_tables: [Option<AliasTable>; 5] = Default::default();
+        let mut noise_tables: [[Option<DegreeNoise>; 2]; 5] = Default::default();
+        for (i, g) in graphs.iter().enumerate() {
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+            edge_tables[i] = Some(AliasTable::new(&weights).map_err(|e| e.to_string())?);
+            noise_tables[i][0] = DegreeNoise::from_degrees(g.left_degrees()).ok();
+            noise_tables[i][1] = DegreeNoise::from_degrees(g.right_degrees()).ok();
+        }
+
+        let adaptive: [[Option<AdaptiveState>; 2]; 5] = if config.noise == NoiseKind::Adaptive {
+            std::array::from_fn(|gi| {
+                let g = graphs[gi];
+                std::array::from_fn(|side| {
+                    let (kind, degrees) = if side == 0 {
+                        (g.left_kind(), g.left_degrees())
+                    } else {
+                        (g.right_kind(), g.right_degrees())
+                    };
+                    let candidates: Vec<u32> = degrees
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &d)| d > 0.0)
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    if candidates.is_empty() {
+                        None
+                    } else {
+                        Some(AdaptiveState::over_candidates(
+                            embeddings.of(kind),
+                            candidates,
+                            config.lambda,
+                        ))
+                    }
+                })
+            })
+        } else {
+            Default::default()
+        };
+
+        Ok(Self {
+            config,
+            graphs,
+            embeddings,
+            graph_table,
+            edge_tables,
+            noise_tables,
+            adaptive,
+            steps_done: AtomicU64::new(0),
+        })
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Progress so far.
+    pub fn progress(&self) -> TrainProgress {
+        TrainProgress { steps: self.steps_done.load(Ordering::Relaxed) }
+    }
+
+    /// The live (shared) embedding matrices.
+    pub fn embeddings(&self) -> &EmbeddingSet {
+        &self.embeddings
+    }
+
+    /// Run `steps` gradient steps on `threads` Hogwild workers.
+    ///
+    /// With `threads == 1` training is fully deterministic given the seed
+    /// (each call continues the stream from a per-chunk derived seed).
+    pub fn run(&self, steps: u64, threads: usize) {
+        let threads = threads.max(1);
+        // Per-chunk base seed: chunks continue deterministically.
+        let chunk = self.steps_done.load(Ordering::Relaxed);
+        let base = split_seed(self.config.seed, 0x5EED ^ chunk);
+        if threads == 1 {
+            let mut rng = rng_from_seed(base);
+            let mut bufs = StepBuffers::new(self.config.dim);
+            for i in 0..steps {
+                self.step(&mut rng, &mut bufs, chunk + i);
+            }
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for t in 0..threads {
+                    let quota = steps / threads as u64
+                        + if (t as u64) < steps % threads as u64 { 1 } else { 0 };
+                    let seed = split_seed(base, t as u64 + 1);
+                    scope.spawn(move |_| {
+                        let mut rng = rng_from_seed(seed);
+                        let mut bufs = StepBuffers::new(self.config.dim);
+                        for i in 0..quota {
+                            // Workers share the global decay clock
+                            // approximately: each sees its own progress
+                            // scaled by the worker count.
+                            self.step(&mut rng, &mut bufs, chunk + i * threads as u64);
+                        }
+                    });
+                }
+            })
+            .expect("hogwild worker panicked");
+        }
+        self.steps_done.fetch_add(steps, Ordering::Relaxed);
+    }
+
+    /// One SGD step (Algorithm 2 lines 3–6). `t` is the global step index
+    /// used by the learning-rate schedule.
+    fn step(&self, rng: &mut SeededRng, bufs: &mut StepBuffers, t: u64) {
+        // Line 3: pick a graph. Uniform choice may land on an empty graph;
+        // skip it (proportional choice cannot, by construction).
+        let gi = match self.config.graph_choice {
+            GraphChoice::EdgeCountProportional => self.graph_table.sample(rng),
+            GraphChoice::Uniform => {
+                let mut gi = rng.random_range(0..5);
+                let mut guard = 0;
+                while self.graphs[gi].num_edges() == 0 && guard < 16 {
+                    gi = rng.random_range(0..5);
+                    guard += 1;
+                }
+                if self.graphs[gi].num_edges() == 0 {
+                    return;
+                }
+                gi
+            }
+        };
+        let graph = self.graphs[gi];
+        let edge_table = self.edge_tables[gi].as_ref().expect("non-empty graph has a table");
+
+        // Line 4: positive edge ∝ weight.
+        let edge = graph.edges()[edge_table.sample(rng)];
+        let (lkind, rkind) = (graph.left_kind(), graph.right_kind());
+        let (lmat, rmat) = (self.embeddings.of(lkind), self.embeddings.of(rkind));
+
+        lmat.read_row(edge.left as usize, &mut bufs.vi);
+        rmat.read_row(edge.right as usize, &mut bufs.vj);
+
+        // Positive-edge gradient coefficient: 1 - σ(vi·vj).
+        let g = 1.0 - sigmoid(dot(&bufs.vi, &bufs.vj));
+        bufs.grad_i.iter_mut().zip(&bufs.vj).for_each(|(o, &v)| *o = g * v);
+        bufs.grad_j.iter_mut().zip(&bufs.vi).for_each(|(o, &v)| *o = g * v);
+
+        let alpha = if self.config.lr_decay_t0 > 0 {
+            self.config.learning_rate
+                / (1.0 + t as f32 / self.config.lr_decay_t0 as f32).sqrt()
+        } else {
+            self.config.learning_rate
+        };
+        let m = self.config.negatives;
+
+        // Right-side negatives (always, Eq. 3 and Eq. 4 share this term).
+        for _ in 0..m {
+            let k = self.draw_noise(gi, Side::Right, &bufs.vi, (edge.left, edge.right), rng);
+            let Some(k) = k else { continue };
+            rmat.read_row(k as usize, &mut bufs.vk);
+            let s = sigmoid(dot(&bufs.vi, &bufs.vk));
+            axpy(&mut bufs.grad_i, &bufs.vk, -s);
+            // vk update: vk -= α σ(vi·vk) vi.
+            self.apply(rmat, k as usize, &bufs.vi, -alpha * s, false);
+        }
+
+        // Left-side negatives (bidirectional only, the second sum of Eq. 4).
+        if self.config.direction == SamplingDirection::Bidirectional {
+            for _ in 0..m {
+                let k = self.draw_noise(gi, Side::Left, &bufs.vj, (edge.left, edge.right), rng);
+                let Some(k) = k else { continue };
+                lmat.read_row(k as usize, &mut bufs.vk);
+                let s = sigmoid(dot(&bufs.vk, &bufs.vj));
+                axpy(&mut bufs.grad_j, &bufs.vk, -s);
+                self.apply(lmat, k as usize, &bufs.vj, -alpha * s, false);
+            }
+        }
+
+        // Apply Eq. 5 to the positive pair with the rectifier projection.
+        self.apply(lmat, edge.left as usize, &bufs.grad_i, alpha, true);
+        self.apply(rmat, edge.right as usize, &bufs.grad_j, alpha, true);
+
+        // The reject test in draw_noise uses (edge.left, edge.right); the
+        // rows just written are not re-read this step, matching Eq. 5's
+        // simultaneous update semantics.
+        let _ = edge;
+    }
+
+    /// Apply one row update, rectifying per the configured policy.
+    #[inline]
+    fn apply(&self, m: &AtomicMatrix, row: usize, delta: &[f32], scale: f32, positive: bool) {
+        let project = match self.config.rectify {
+            RectifyMode::Full => true,
+            RectifyMode::PositivesOnly => positive,
+            RectifyMode::Off => false,
+        };
+        if project {
+            m.add_scaled_relu(row, delta, scale);
+        } else {
+            m.add_scaled(row, delta, scale);
+        }
+    }
+
+    /// Draw a noise node on `side` of graph `gi`, rejecting the positive
+    /// partner and observed neighbours of the context node (a few retries;
+    /// on repeated failure the last draw is used — the bias is negligible
+    /// and this keeps the step O(K)).
+    fn draw_noise(
+        &self,
+        gi: usize,
+        side: Side,
+        context: &[f32],
+        edge: (u32, u32),
+        rng: &mut SeededRng,
+    ) -> Option<u32> {
+        let graph = self.graphs[gi];
+        let (count, kind) = match side {
+            Side::Left => (graph.left_count(), graph.left_kind()),
+            Side::Right => (graph.right_count(), graph.right_kind()),
+        };
+        if count <= 1 {
+            return None;
+        }
+        let mut last = None;
+        for attempt in 0..4 {
+            let k = match self.config.noise {
+                NoiseKind::Uniform => rng.random_range(0..count) as u32,
+                NoiseKind::Degree => {
+                    let table = self.noise_tables[gi][side as usize].as_ref()?;
+                    table.sample(rng) as u32
+                }
+                NoiseKind::Adaptive => {
+                    let state = self.adaptive[gi][side as usize].as_ref()?;
+                    state.maybe_refresh(self.embeddings.of(kind));
+                    state.sample(context, rng)
+                }
+            };
+            if (k as usize) >= count {
+                // Adaptive states cover the whole node-kind matrix, which
+                // can be larger than this graph's side; out-of-range draws
+                // are re-drawn.
+                continue;
+            }
+            last = Some(k);
+            // Reject the positive partner and observed neighbours of the
+            // context node ("nodes without any link to v_i", §III-A).
+            let is_positive = match side {
+                Side::Right => k == edge.1 || graph.has_edge(edge.0, k),
+                Side::Left => k == edge.0 || graph.has_edge(k, edge.1),
+            };
+            if !is_positive {
+                return Some(k);
+            }
+            let _ = attempt;
+        }
+        // All retries hit positives (dense context node): use the last draw
+        // rather than spin — the occasional positive-as-negative is noise
+        // the objective tolerates.
+        last
+    }
+
+    /// Snapshot the current embeddings into an immutable scoring model.
+    pub fn model(&self) -> GemModel {
+        GemModel::from_embeddings(
+            self.config.dim,
+            &self.embeddings,
+            [
+                self.embeddings.matrices[0].rows(),
+                self.embeddings.matrices[1].rows(),
+                self.embeddings.matrices[2].rows(),
+                self.embeddings.matrices[3].rows(),
+                self.embeddings.matrices[4].rows(),
+            ],
+        )
+    }
+}
+
+impl std::fmt::Debug for GemTrainer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GemTrainer(dim={}, noise={:?}, dir={:?}, steps={})",
+            self.config.dim,
+            self.config.noise,
+            self.config.direction,
+            self.steps_done.load(Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig};
+
+    fn small_graphs() -> (gem_ebsn::EbsnDataset, ChronoSplit, TrainingGraphs) {
+        let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(99));
+        let split = ChronoSplit::new(&dataset, SplitRatios::default());
+        let graphs = TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[]);
+        (dataset, split, graphs)
+    }
+
+    #[test]
+    fn training_is_deterministic_single_thread() {
+        let (_, _, graphs) = small_graphs();
+        let t1 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        t1.run(5_000, 1);
+        let t2 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        t2.run(5_000, 1);
+        assert_eq!(t1.model().users, t2.model().users);
+        assert_eq!(t1.model().events, t2.model().events);
+    }
+
+    #[test]
+    fn embeddings_stay_finite_under_all_variants() {
+        let (_, _, graphs) = small_graphs();
+        for cfg in [TrainConfig::gem_a(3), TrainConfig::gem_p(3), TrainConfig::pte(3)] {
+            let t = GemTrainer::new(&graphs, cfg).unwrap();
+            t.run(10_000, 1);
+            let m = t.model();
+            for &v in m.users.iter().chain(&m.events).chain(&m.words) {
+                assert!(v.is_finite(), "bad embedding value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_rectifier_keeps_embeddings_nonnegative() {
+        let (_, _, graphs) = small_graphs();
+        let mut cfg = TrainConfig::gem_p(3);
+        cfg.rectify = crate::RectifyMode::Full;
+        let t = GemTrainer::new(&graphs, cfg).unwrap();
+        t.run(10_000, 1);
+        let m = t.model();
+        for &v in m.users.iter().chain(&m.events).chain(&m.words) {
+            assert!(v >= 0.0 && v.is_finite(), "bad embedding value {v}");
+        }
+    }
+
+    #[test]
+    fn training_separates_positive_from_negative_edges() {
+        // After training, observed user-event pairs should score higher on
+        // average than random pairs.
+        let (_, _, graphs) = small_graphs();
+        let t = GemTrainer::new(&graphs, TrainConfig::gem_p(11)).unwrap();
+        t.run(120_000, 1);
+        let m = t.model();
+        let ux = &graphs.user_event;
+        let mut rng = rng_from_seed(1);
+        let mut pos = 0.0f64;
+        let mut neg = 0.0f64;
+        let n = 400.min(ux.num_edges());
+        for e in ux.edges().iter().take(n) {
+            pos += m.score_event_raw(e.left as usize, e.right as usize) as f64;
+            let rx = rng.random_range(0..ux.right_count());
+            neg += m.score_event_raw(e.left as usize, rx) as f64;
+        }
+        assert!(
+            pos > neg * 1.15,
+            "positive mean {} not above negative mean {}",
+            pos / n as f64,
+            neg / n as f64
+        );
+    }
+
+    #[test]
+    fn hogwild_runs_and_stays_sane() {
+        let (_, _, graphs) = small_graphs();
+        let t = GemTrainer::new(&graphs, TrainConfig::gem_p(5)).unwrap();
+        t.run(40_000, 4);
+        assert_eq!(t.progress().steps, 40_000);
+        let m = t.model();
+        assert!(m.users.iter().all(|v| v.is_finite()));
+        // The model must have learned *something*: vectors are not all zero.
+        assert!(m.users.iter().any(|v| v.abs() > 1e-3));
+    }
+
+    #[test]
+    fn adaptive_trainer_runs() {
+        let (_, _, graphs) = small_graphs();
+        let t = GemTrainer::new(&graphs, TrainConfig::gem_a(13)).unwrap();
+        t.run(20_000, 1);
+        let m = t.model();
+        assert!(m.events.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn chunked_runs_accumulate_steps() {
+        let (_, _, graphs) = small_graphs();
+        let t = GemTrainer::new(&graphs, TrainConfig::gem_p(17)).unwrap();
+        t.run(1_000, 1);
+        t.run(2_000, 1);
+        assert_eq!(t.progress().steps, 3_000);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (_, _, graphs) = small_graphs();
+        let mut cfg = TrainConfig::gem_a(1);
+        cfg.dim = 0;
+        assert!(GemTrainer::new(&graphs, cfg).is_err());
+    }
+
+    use gem_sampling::rng_from_seed;
+}

@@ -1,0 +1,347 @@
+//! Construction of the paper's five relation graphs (Definitions 2–6).
+//!
+//! The key cold-start detail: the **user–event** graph only contains
+//! attendance of *training* events, while the **event–location**,
+//! **event–time** and **event–word** graphs cover *all* events — a future
+//! event's where/when/what is known at publication time even though nobody
+//! has attended it yet. This is exactly what lets GEM learn embeddings for
+//! cold-start events.
+//!
+//! * user–event: weight 1 per training attendance (no ratings in EBSNs),
+//! * user–user: weight `1 + |X_u ∩ X_u'|` over *training* co-attendance,
+//! * event–location: events clustered into regions with DBSCAN, weight 1,
+//! * event–time: 3 edges per event (hour / day / weekday-weekend), weight 1,
+//! * event–word: TF-IDF weights over the tokenized description.
+
+use crate::graph::{BipartiteGraph, Edge, NodeKind};
+use crate::ids::{EventId, RegionId, UserId};
+use crate::model::EbsnDataset;
+use crate::split::ChronoSplit;
+use gem_spatial::{Dbscan, DbscanParams, GeoPoint};
+use gem_textproc::{StopWords, TfIdf, Vocabulary, VocabularyBuilder};
+use gem_timegrid::TimeSlotSet;
+use std::collections::HashSet;
+
+/// Options for graph construction.
+#[derive(Debug, Clone)]
+pub struct GraphBuildConfig {
+    /// DBSCAN parameters for venue → region clustering.
+    pub dbscan: DbscanParams,
+    /// Minimum document frequency for vocabulary words.
+    pub min_df: u32,
+    /// Maximum document frequency as a fraction of the corpus.
+    pub max_df_fraction: f64,
+    /// Filter English stop words before building the vocabulary.
+    pub filter_stopwords: bool,
+}
+
+impl Default for GraphBuildConfig {
+    fn default() -> Self {
+        Self {
+            dbscan: DbscanParams { eps_km: 1.0, min_pts: 3 },
+            min_df: 2,
+            max_df_fraction: 0.5,
+            filter_stopwords: true,
+        }
+    }
+}
+
+/// The five graphs plus the discretisation artefacts needed to interpret
+/// them (region map, vocabulary).
+#[derive(Debug, Clone)]
+pub struct TrainingGraphs {
+    /// User–event attendance graph (training events only).
+    pub user_event: BipartiteGraph,
+    /// User–user social graph (both directions of each friendship).
+    pub user_user: BipartiteGraph,
+    /// Event–region graph over all events.
+    pub event_region: BipartiteGraph,
+    /// Event–time-slot graph over all events (3 edges each).
+    pub event_time: BipartiteGraph,
+    /// Event–word TF-IDF graph over all events.
+    pub event_word: BipartiteGraph,
+    /// Region of each event (indexed by event id).
+    pub region_of_event: Vec<RegionId>,
+    /// Number of regions.
+    pub num_regions: usize,
+    /// The frozen vocabulary.
+    pub vocabulary: Vocabulary,
+}
+
+impl TrainingGraphs {
+    /// Build all five graphs for a dataset under a chronological split.
+    ///
+    /// `removed_friendships` supports the paper's "potential friends"
+    /// scenario 2: ground-truth partner links are removed from the social
+    /// graph before training. Pairs are matched regardless of order.
+    pub fn build(
+        dataset: &EbsnDataset,
+        split: &ChronoSplit,
+        config: &GraphBuildConfig,
+        removed_friendships: &[(UserId, UserId)],
+    ) -> Self {
+        let num_users = dataset.num_users;
+        let num_events = dataset.events.len();
+
+        // --- user–event (training attendance only, weight 1) -------------
+        let ux_edges: Vec<Edge> = split
+            .train_attendance(dataset)
+            .into_iter()
+            .map(|(u, x)| Edge { left: u.0, right: x.0, weight: 1.0 })
+            .collect();
+        let user_event =
+            BipartiteGraph::new(NodeKind::User, NodeKind::Event, num_users, num_events, ux_edges);
+
+        // --- user–user (1 + common training events) ----------------------
+        let removed: HashSet<(u32, u32)> = removed_friendships
+            .iter()
+            .flat_map(|&(a, b)| [(a.0, b.0), (b.0, a.0)])
+            .collect();
+        // Count common training events via the training user–event adjacency.
+        let mut uu_edges = Vec::with_capacity(dataset.friendships.len() * 2);
+        for &(u, v) in &dataset.friendships {
+            if removed.contains(&(u.0, v.0)) {
+                continue;
+            }
+            let common = sorted_intersection_len(
+                user_event.neighbors_of_left(u.0),
+                user_event.neighbors_of_left(v.0),
+            );
+            let w = 1.0 + common as f64;
+            uu_edges.push(Edge { left: u.0, right: v.0, weight: w });
+            uu_edges.push(Edge { left: v.0, right: u.0, weight: w });
+        }
+        let user_user =
+            BipartiteGraph::new(NodeKind::User, NodeKind::User, num_users, num_users, uu_edges);
+
+        // --- event–region (DBSCAN over event coordinates, all events) ----
+        let event_points: Vec<GeoPoint> = dataset
+            .events
+            .iter()
+            .map(|e| dataset.venues[e.venue.index()])
+            .collect();
+        let regions = Dbscan::new(config.dbscan).assign_regions(&event_points);
+        let region_of_event: Vec<RegionId> =
+            regions.region_of.iter().map(|&r| RegionId(r)).collect();
+        let xl_edges: Vec<Edge> = region_of_event
+            .iter()
+            .enumerate()
+            .map(|(x, r)| Edge { left: x as u32, right: r.0, weight: 1.0 })
+            .collect();
+        let event_region = BipartiteGraph::new(
+            NodeKind::Event,
+            NodeKind::Region,
+            num_events,
+            regions.num_regions,
+            xl_edges,
+        );
+
+        // --- event–time (3 slots per event, all events) -------------------
+        let mut xt_edges = Vec::with_capacity(num_events * 3);
+        for (x, e) in dataset.events.iter().enumerate() {
+            for id in TimeSlotSet::from_unix(e.start_time).ids() {
+                xt_edges.push(Edge { left: x as u32, right: id as u32, weight: 1.0 });
+            }
+        }
+        let event_time = BipartiteGraph::new(
+            NodeKind::Event,
+            NodeKind::TimeSlot,
+            num_events,
+            gem_timegrid::NUM_TIME_SLOTS,
+            xt_edges,
+        );
+
+        // --- event–word (TF-IDF, all events) ------------------------------
+        let stop = if config.filter_stopwords {
+            StopWords::english()
+        } else {
+            StopWords::none()
+        };
+        let tokenized: Vec<Vec<String>> = dataset
+            .events
+            .iter()
+            .map(|e| {
+                gem_textproc::tokenize(&e.description)
+                    .into_iter()
+                    .filter(|t| !stop.contains(t))
+                    .collect()
+            })
+            .collect();
+        let mut vb = VocabularyBuilder::new();
+        for doc in &tokenized {
+            vb.add_document(doc.iter().map(|s| s.as_str()));
+        }
+        let vocabulary = vb.build(config.min_df, config.max_df_fraction);
+        let tfidf = TfIdf::new(&vocabulary);
+        let mut xc_edges = Vec::new();
+        for (x, doc) in tokenized.iter().enumerate() {
+            for term in tfidf.weigh(doc.iter().map(|s| s.as_str())) {
+                xc_edges.push(Edge {
+                    left: x as u32,
+                    right: term.word.0,
+                    weight: term.weight,
+                });
+            }
+        }
+        let event_word = BipartiteGraph::new(
+            NodeKind::Event,
+            NodeKind::Word,
+            num_events,
+            vocabulary.len(),
+            xc_edges,
+        );
+
+        TrainingGraphs {
+            user_event,
+            user_user,
+            event_region,
+            event_time,
+            event_word,
+            region_of_event,
+            num_regions: regions.num_regions,
+            vocabulary,
+        }
+    }
+
+    /// The five graphs in the paper's order (UX, XT, XC, XL, UU), for the
+    /// joint trainer.
+    pub fn all(&self) -> [&BipartiteGraph; 5] {
+        [
+            &self.user_event,
+            &self.event_time,
+            &self.event_word,
+            &self.event_region,
+            &self.user_user,
+        ]
+    }
+
+    /// Region of a given event.
+    pub fn region_of(&self, x: EventId) -> RegionId {
+        self.region_of_event[x.index()]
+    }
+}
+
+/// Length of the intersection of two sorted slices.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tiny_dataset;
+    use crate::split::SplitRatios;
+
+    fn graphs_for_tiny(removed: &[(UserId, UserId)]) -> (EbsnDataset, ChronoSplit, TrainingGraphs) {
+        let d = tiny_dataset();
+        // e0, e1 train; e2 test.
+        let s = ChronoSplit::new(&d, SplitRatios { train: 0.67, validation_of_heldout: 0.0 });
+        let cfg = GraphBuildConfig {
+            dbscan: DbscanParams { eps_km: 1.0, min_pts: 1 },
+            min_df: 1,
+            max_df_fraction: 1.0,
+            filter_stopwords: true,
+        };
+        let g = TrainingGraphs::build(&d, &s, &cfg, removed);
+        (d, s, g)
+    }
+
+    #[test]
+    fn user_event_contains_only_training_attendance() {
+        let (_, _, g) = graphs_for_tiny(&[]);
+        // Train attendance: (u0,e0), (u0,e1), (u1,e0) — (u1,e2), (u2,e2) removed.
+        assert_eq!(g.user_event.num_edges(), 3);
+        assert!(g.user_event.has_edge(0, 0));
+        assert!(g.user_event.has_edge(0, 1));
+        assert!(g.user_event.has_edge(1, 0));
+        assert!(!g.user_event.has_edge(1, 2));
+    }
+
+    #[test]
+    fn user_user_weight_counts_common_training_events() {
+        let (_, _, g) = graphs_for_tiny(&[]);
+        // (u0,u1) share train event e0 → weight 2. (u1,u2) share only test
+        // event e2 → weight 1.
+        let e01 = g
+            .user_user
+            .edges()
+            .iter()
+            .find(|e| e.left == 0 && e.right == 1)
+            .unwrap();
+        assert_eq!(e01.weight, 2.0);
+        let e12 = g
+            .user_user
+            .edges()
+            .iter()
+            .find(|e| e.left == 1 && e.right == 2)
+            .unwrap();
+        assert_eq!(e12.weight, 1.0);
+        // Both directions present.
+        assert!(g.user_user.has_edge(1, 0));
+        assert!(g.user_user.has_edge(2, 1));
+        assert_eq!(g.user_user.num_edges(), 4);
+    }
+
+    #[test]
+    fn removed_friendships_are_absent() {
+        let (_, _, g) = graphs_for_tiny(&[(UserId(1), UserId(0))]); // order-insensitive
+        assert!(!g.user_user.has_edge(0, 1));
+        assert!(!g.user_user.has_edge(1, 0));
+        assert!(g.user_user.has_edge(1, 2));
+        assert_eq!(g.user_user.num_edges(), 2);
+    }
+
+    #[test]
+    fn context_graphs_cover_all_events_including_test() {
+        let (d, s, g) = graphs_for_tiny(&[]);
+        assert_eq!(s.test_events, vec![EventId(2)]);
+        // Event 2 (test) must appear in location, time and word graphs.
+        assert_eq!(g.event_region.neighbors_of_left(2).len(), 1);
+        assert_eq!(g.event_time.neighbors_of_left(2).len(), 3);
+        assert!(!g.event_word.neighbors_of_left(2).is_empty());
+        assert_eq!(g.event_time.num_edges(), d.events.len() * 3);
+    }
+
+    #[test]
+    fn region_map_is_total_and_consistent() {
+        let (d, _, g) = graphs_for_tiny(&[]);
+        assert_eq!(g.region_of_event.len(), d.events.len());
+        for x in 0..d.events.len() {
+            let r = g.region_of(EventId::from_index(x));
+            assert!(r.index() < g.num_regions);
+            assert!(g.event_region.has_edge(x as u32, r.0));
+        }
+    }
+
+    #[test]
+    fn vocabulary_covers_descriptions() {
+        let (_, _, g) = graphs_for_tiny(&[]);
+        // Words: jazz night tech talk movie marathon (no stopwords among them).
+        assert_eq!(g.vocabulary.len(), 6);
+        assert!(g.vocabulary.id("jazz").is_some());
+        assert!(g.vocabulary.id("marathon").is_some());
+    }
+
+    #[test]
+    fn all_returns_paper_order() {
+        let (_, _, g) = graphs_for_tiny(&[]);
+        let [ux, xt, xc, xl, uu] = g.all();
+        assert_eq!(ux.right_kind(), NodeKind::Event);
+        assert_eq!(xt.right_kind(), NodeKind::TimeSlot);
+        assert_eq!(xc.right_kind(), NodeKind::Word);
+        assert_eq!(xl.right_kind(), NodeKind::Region);
+        assert_eq!(uu.right_kind(), NodeKind::User);
+    }
+}

@@ -1,0 +1,265 @@
+//! CSV import/export of datasets.
+//!
+//! A dataset is stored as a directory of four flat files:
+//!
+//! * `venues.csv` — `venue_id,lat,lon`
+//! * `events.csv` — `event_id,venue_id,start_time,description`
+//! * `attendance.csv` — `user_id,event_id`
+//! * `friendships.csv` — `user_id,user_id`
+//!
+//! Descriptions are quoted with doubled-quote escaping (RFC 4180 subset);
+//! everything else is plain integers/floats. The format is deliberately
+//! trivial so real crawls can be converted with a few lines of scripting.
+
+use crate::ids::{EventId, UserId, VenueId};
+use crate::model::{EbsnDataset, Event};
+use gem_spatial::GeoPoint;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from loading or saving datasets.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Fs(std::io::Error),
+    /// A malformed line, with file name and 1-based line number.
+    Parse {
+        /// Which file.
+        file: String,
+        /// Which line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "io error: {e}"),
+            IoError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+/// Save a dataset into `dir` (created if missing).
+pub fn save_dataset(dataset: &EbsnDataset, dir: &Path) -> Result<(), IoError> {
+    std::fs::create_dir_all(dir)?;
+
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("venues.csv"))?);
+    writeln!(w, "venue_id,lat,lon")?;
+    for (i, v) in dataset.venues.iter().enumerate() {
+        writeln!(w, "{i},{},{}", v.lat(), v.lon())?;
+    }
+    w.flush()?;
+
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("events.csv"))?);
+    writeln!(w, "event_id,venue_id,start_time,description")?;
+    for (i, e) in dataset.events.iter().enumerate() {
+        writeln!(
+            w,
+            "{i},{},{},\"{}\"",
+            e.venue.0,
+            e.start_time,
+            e.description.replace('"', "\"\"")
+        )?;
+    }
+    w.flush()?;
+
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("attendance.csv"))?);
+    writeln!(w, "user_id,event_id")?;
+    for &(u, x) in &dataset.attendance {
+        writeln!(w, "{},{}", u.0, x.0)?;
+    }
+    w.flush()?;
+
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("friendships.csv"))?);
+    writeln!(w, "user_id,user_id")?;
+    for &(u, v) in &dataset.friendships {
+        writeln!(w, "{},{}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a dataset from `dir`. The user count is inferred as
+/// `1 + max(user id)` over attendance and friendships.
+pub fn load_dataset(name: &str, dir: &Path) -> Result<EbsnDataset, IoError> {
+    let venues = read_lines(dir, "venues.csv", |fields, _| {
+        if fields.len() != 3 {
+            return Err("expected 3 fields".into());
+        }
+        let lat: f64 = fields[1].parse().map_err(|e| format!("bad lat: {e}"))?;
+        let lon: f64 = fields[2].parse().map_err(|e| format!("bad lon: {e}"))?;
+        GeoPoint::new(lat, lon).map_err(|e| e.to_string())
+    })?;
+
+    let events = read_lines(dir, "events.csv", |fields, raw| {
+        if fields.len() < 4 {
+            return Err("expected 4 fields".into());
+        }
+        let venue: u32 = fields[1].parse().map_err(|e| format!("bad venue: {e}"))?;
+        let start_time: i64 = fields[2].parse().map_err(|e| format!("bad time: {e}"))?;
+        // Description: everything after the third comma, unquoted.
+        let desc_raw = raw.splitn(4, ',').nth(3).unwrap_or("");
+        let description = unquote(desc_raw);
+        Ok(Event { venue: VenueId(venue), start_time, description })
+    })?;
+
+    let attendance = read_lines(dir, "attendance.csv", |fields, _| {
+        if fields.len() != 2 {
+            return Err("expected 2 fields".into());
+        }
+        let u: u32 = fields[0].parse().map_err(|e| format!("bad user: {e}"))?;
+        let x: u32 = fields[1].parse().map_err(|e| format!("bad event: {e}"))?;
+        Ok((UserId(u), EventId(x)))
+    })?;
+
+    let friendships = read_lines(dir, "friendships.csv", |fields, _| {
+        if fields.len() != 2 {
+            return Err("expected 2 fields".into());
+        }
+        let u: u32 = fields[0].parse().map_err(|e| format!("bad user: {e}"))?;
+        let v: u32 = fields[1].parse().map_err(|e| format!("bad user: {e}"))?;
+        Ok((UserId(u), UserId(v)))
+    })?;
+
+    let max_user = attendance
+        .iter()
+        .map(|&(u, _)| u.0)
+        .chain(friendships.iter().flat_map(|&(u, v)| [u.0, v.0]))
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
+
+    Ok(EbsnDataset {
+        name: name.to_string(),
+        num_users: max_user,
+        events,
+        venues,
+        attendance,
+        friendships,
+    })
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].replace("\"\"", "\"")
+    } else {
+        s.to_string()
+    }
+}
+
+fn read_lines<T>(
+    dir: &Path,
+    file: &str,
+    mut parse: impl FnMut(&[&str], &str) -> Result<T, String>,
+) -> Result<Vec<T>, IoError> {
+    let f = std::fs::File::open(dir.join(file))?;
+    let reader = std::io::BufReader::new(f);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        match parse(&fields, &line) {
+            Ok(v) => out.push(v),
+            Err(message) => {
+                return Err(IoError::Parse { file: file.to_string(), line: lineno + 1, message })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn round_trip_preserves_dataset() {
+        let (d, _) = generate(&SynthConfig::tiny(5));
+        let dir = std::env::temp_dir().join(format!("ebsn-io-test-{}", std::process::id()));
+        save_dataset(&d, &dir).unwrap();
+        let loaded = load_dataset(&d.name, &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(loaded.num_users, d.num_users);
+        assert_eq!(loaded.attendance, d.attendance);
+        assert_eq!(loaded.friendships, d.friendships);
+        assert_eq!(loaded.events.len(), d.events.len());
+        for (a, b) in loaded.events.iter().zip(&d.events) {
+            assert_eq!(a.venue, b.venue);
+            assert_eq!(a.start_time, b.start_time);
+            assert_eq!(a.description, b.description);
+        }
+        for (a, b) in loaded.venues.iter().zip(&d.venues) {
+            assert!((a.lat() - b.lat()).abs() < 1e-12);
+            assert!((a.lon() - b.lon()).abs() < 1e-12);
+        }
+        assert_eq!(loaded.validate(), Ok(()));
+    }
+
+    #[test]
+    fn descriptions_with_quotes_and_commas_round_trip() {
+        let mut d = crate::model::EbsnDataset {
+            name: "q".into(),
+            num_users: 1,
+            events: vec![Event {
+                venue: VenueId(0),
+                start_time: 123,
+                description: "a \"quoted\" description".into(),
+            }],
+            venues: vec![GeoPoint::new(1.0, 2.0).unwrap()],
+            attendance: vec![(UserId(0), EventId(0))],
+            friendships: vec![],
+        };
+        // NOTE: commas inside descriptions are not supported by the simple
+        // format; the synthesizer never produces them. Quotes are.
+        let dir = std::env::temp_dir().join(format!("ebsn-io-test-q-{}", std::process::id()));
+        save_dataset(&d, &dir).unwrap();
+        let loaded = load_dataset("q", &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded.events[0].description, d.events[0].description);
+        d.events.clear(); // silence unused-mut lint paths
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let dir = std::env::temp_dir().join(format!("ebsn-io-test-e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("venues.csv"), "venue_id,lat,lon\n0,not_a_number,2\n").unwrap();
+        std::fs::write(dir.join("events.csv"), "h\n").unwrap();
+        std::fs::write(dir.join("attendance.csv"), "h\n").unwrap();
+        std::fs::write(dir.join("friendships.csv"), "h\n").unwrap();
+        let err = load_dataset("e", &dir).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        match err {
+            IoError::Parse { file, line, .. } => {
+                assert_eq!(file, "venues.csv");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_files_are_fs_errors() {
+        let dir = std::env::temp_dir().join("ebsn-io-test-missing-nonexistent");
+        assert!(matches!(load_dataset("m", &dir), Err(IoError::Fs(_))));
+    }
+}

@@ -1,0 +1,39 @@
+//! EBSN (event-based social network) data layer for the GEM recommender.
+//!
+//! This crate owns everything between raw data and the embedding trainer:
+//!
+//! * [`ids`] — typed dense identifiers for users, events, venues, regions,
+//!   time slots and words.
+//! * [`model`] — the [`EbsnDataset`] in-memory dataset (events, attendance,
+//!   friendships) with derived per-user / per-event indexes.
+//! * [`graph`] — a generic weighted [`BipartiteGraph`] with CSR adjacency,
+//!   the shared representation for all five relation graphs.
+//! * [`build`] — construction of the paper's five graphs (Definitions 2–6):
+//!   user–event, user–user, event–location (via DBSCAN), event–time (33
+//!   multi-scale slots), event–word (TF-IDF).
+//! * [`split`] — the chronological 7:3 train/test event split with the 1:2
+//!   validation/test sub-split (§V-A).
+//! * [`groundtruth`] — test cases for cold-start event recommendation and
+//!   both event-partner scenarios (friends / potential friends).
+//! * [`synth`] — **Douban-Sim**, the synthetic EBSN generator substituting
+//!   for the proprietary Douban Event crawl (see DESIGN.md §1).
+//! * [`io`] — CSV import/export of datasets.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod graph;
+pub mod groundtruth;
+pub mod ids;
+pub mod io;
+pub mod model;
+pub mod split;
+pub mod synth;
+
+pub use build::{GraphBuildConfig, TrainingGraphs};
+pub use graph::{BipartiteGraph, Edge, NodeKind};
+pub use groundtruth::{EventRecCase, GroundTruth, PartnerScenario, PartnerTriple};
+pub use ids::{EventId, RegionId, UserId, VenueId};
+pub use model::{EbsnDataset, Event};
+pub use split::{ChronoSplit, SplitRatios};
+pub use synth::{SynthConfig, SynthesisReport};

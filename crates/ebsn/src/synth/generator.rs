@@ -1,0 +1,567 @@
+//! The Douban-Sim generation pipeline.
+//!
+//! Stages (all deterministic from the master seed):
+//! topics → districts/venues → users → friendships → events → attendance
+//! (interest × distance × time match, plus social contagion) → activity
+//! filter.
+
+use super::{SynthConfig, SynthesisReport};
+use crate::ids::{EventId, UserId, VenueId};
+use crate::model::{EbsnDataset, Event};
+use gem_sampling::{rng_from_seed, AliasTable, GaussianSampler, SeededRng};
+use gem_spatial::{haversine_km, GeoPoint};
+use gem_timegrid::CivilDateTime;
+use rand::RngExt;
+use std::collections::HashSet;
+
+/// Number of sub-topics per topic. Sub-topics give events *within* a topic
+/// individually learnable identities (their own vocabulary slice), which is
+/// what makes "hard" (same-topic) negatives informative rather than
+/// indistinguishable from positives.
+const SUBTOPICS: usize = 5;
+
+/// Latent topic: vocabulary slice, home district, temporal profile.
+struct Topic {
+    /// Indices into the global word list (whole topic).
+    words: Vec<usize>,
+    /// Disjoint sub-topic partitions of `words`.
+    sub_words: Vec<Vec<usize>>,
+    district: GeoPoint,
+    preferred_hour: f64,
+    weekend_prob: f64,
+}
+
+struct UserProfile {
+    primary: usize,
+    /// Preferred sub-topic within the primary topic.
+    primary_sub: usize,
+    secondary: usize,
+    home: GeoPoint,
+    activity: f64,
+}
+
+/// Generate a dataset and its report.
+///
+/// # Panics
+/// Panics on degenerate configs (zero users/events/topics, inverted time
+/// range).
+pub fn generate(config: &SynthConfig) -> (EbsnDataset, SynthesisReport) {
+    assert!(config.num_users > 0 && config.num_events > 0 && config.num_topics > 0);
+    assert!(config.num_venues > 0 && config.words_per_topic > 0);
+    assert!(config.time_range.0 < config.time_range.1, "inverted time range");
+
+    let mut rng = rng_from_seed(config.seed);
+
+    // ---- topics --------------------------------------------------------
+    let words: Vec<String> = (0..config.num_topics)
+        .flat_map(|t| (0..config.words_per_topic).map(move |i| format!("topic{t}word{i}")))
+        .chain((0..config.shared_words).map(|i| format!("common{i}")))
+        .collect();
+    let mut gauss = GaussianSampler::new(0.0, 1.0);
+    let topics: Vec<Topic> = (0..config.num_topics)
+        .map(|t| {
+            // Districts on a jittered ring around the city centre.
+            let angle = t as f64 / config.num_topics as f64 * std::f64::consts::TAU;
+            let radius = config.district_radius_km * (0.35 + 0.65 * rng.random::<f64>());
+            let district = offset_km(
+                config.city_center,
+                radius * angle.cos(),
+                radius * angle.sin(),
+            );
+            let words: Vec<usize> =
+                (t * config.words_per_topic..(t + 1) * config.words_per_topic).collect();
+            let chunk = (words.len() / SUBTOPICS).max(1);
+            let sub_words: Vec<Vec<usize>> =
+                words.chunks(chunk).take(SUBTOPICS).map(|c| c.to_vec()).collect();
+            Topic {
+                words,
+                sub_words,
+                district,
+                preferred_hour: 9.0 + rng.random::<f64>() * 12.0, // 9:00–21:00
+                weekend_prob: if rng.random::<f64>() < 0.5 { 0.75 } else { 0.2 },
+            }
+        })
+        .collect();
+    // Zipf-ish topic popularity.
+    let topic_pop: Vec<f64> = (0..config.num_topics)
+        .map(|t| 1.0 / (t as f64 + 1.0).powf(0.8))
+        .collect();
+    let topic_table = AliasTable::new(&topic_pop).expect("topic popularity weights");
+
+    // ---- venues ---------------------------------------------------------
+    let mut venue_district = Vec::with_capacity(config.num_venues);
+    let venues: Vec<GeoPoint> = (0..config.num_venues)
+        .map(|_| {
+            let t = topic_table.sample(&mut rng);
+            venue_district.push(t);
+            let dx = gauss.sample(&mut rng) * config.venue_jitter_km;
+            let dy = gauss.sample(&mut rng) * config.venue_jitter_km;
+            offset_km((topics[t].district.lat(), topics[t].district.lon()), dx, dy)
+        })
+        .collect();
+    // Venues of each district for event placement.
+    let mut venues_of_topic: Vec<Vec<usize>> = vec![Vec::new(); config.num_topics];
+    for (v, &t) in venue_district.iter().enumerate() {
+        venues_of_topic[t].push(v);
+    }
+
+    // ---- users ----------------------------------------------------------
+    let users: Vec<UserProfile> = (0..config.num_users)
+        .map(|_| {
+            let primary = topic_table.sample(&mut rng);
+            let primary_sub = rng.random_range(0..SUBTOPICS.min(topics[primary].sub_words.len()));
+            let mut secondary = topic_table.sample(&mut rng);
+            if secondary == primary {
+                secondary = (primary + 1) % config.num_topics;
+            }
+            let home_topic = if rng.random::<f64>() < 0.7 {
+                primary
+            } else {
+                rng.random_range(0..config.num_topics)
+            };
+            let dx = gauss.sample(&mut rng) * 2.0;
+            let dy = gauss.sample(&mut rng) * 2.0;
+            let home = offset_km(
+                (topics[home_topic].district.lat(), topics[home_topic].district.lon()),
+                dx,
+                dy,
+            );
+            // Heavy-tailed activity: Pareto-like with bounded tail.
+            let activity = (1.0 - rng.random::<f64>() * 0.999).powf(-0.5);
+            UserProfile { primary, primary_sub, secondary, home, activity }
+        })
+        .collect();
+    let activity_table =
+        AliasTable::new(&users.iter().map(|u| u.activity).collect::<Vec<_>>())
+            .expect("activity weights");
+
+    // ---- friendships (homophilous configuration model) -------------------
+    let mut users_of_topic: Vec<Vec<u32>> = vec![Vec::new(); config.num_topics];
+    for (i, u) in users.iter().enumerate() {
+        users_of_topic[u.primary].push(i as u32);
+    }
+    let per_topic_tables: Vec<Option<AliasTable>> = users_of_topic
+        .iter()
+        .map(|members| {
+            if members.is_empty() {
+                None
+            } else {
+                let w: Vec<f64> = members.iter().map(|&m| users[m as usize].activity).collect();
+                Some(AliasTable::new(&w).expect("topic member weights"))
+            }
+        })
+        .collect();
+    let target_edges = (config.num_users as f64 * config.target_friend_degree / 2.0) as usize;
+    let mut friend_set: HashSet<(u32, u32)> = HashSet::with_capacity(target_edges);
+    let mut attempts = 0usize;
+    let max_attempts = target_edges * 20 + 1000;
+    while friend_set.len() < target_edges && attempts < max_attempts {
+        attempts += 1;
+        let a = activity_table.sample(&mut rng) as u32;
+        let b = if rng.random::<f64>() < 0.8 {
+            // Homophily: friend from the same primary-topic community.
+            let t = users[a as usize].primary;
+            match &per_topic_tables[t] {
+                Some(table) => users_of_topic[t][table.sample(&mut rng)],
+                None => activity_table.sample(&mut rng) as u32,
+            }
+        } else {
+            activity_table.sample(&mut rng) as u32
+        };
+        if a == b {
+            continue;
+        }
+        friend_set.insert((a.min(b), a.max(b)));
+    }
+
+    // ---- events ----------------------------------------------------------
+    let day_span = (config.time_range.1 - config.time_range.0) / 86_400;
+    let events: Vec<(Event, usize, usize)> = (0..config.num_events)
+        .map(|_| {
+            let t = topic_table.sample(&mut rng);
+            let sub = rng.random_range(0..topics[t].sub_words.len());
+            let venue = if !venues_of_topic[t].is_empty() && rng.random::<f64>() < 0.85 {
+                venues_of_topic[t][rng.random_range(0..venues_of_topic[t].len())]
+            } else {
+                rng.random_range(0..config.num_venues)
+            };
+            let start_time = sample_event_time(&mut rng, &mut gauss, config, &topics[t], day_span);
+            let description = sample_description(&mut rng, config, &topics[t], sub, &words);
+            (Event { venue: VenueId(venue as u32), start_time, description }, t, sub)
+        })
+        .collect();
+
+    // Freeze the friendship set into a sorted list so every later stage
+    // iterates in a deterministic order (HashSet order is instance-random).
+    let mut friend_edges: Vec<(u32, u32)> = friend_set.into_iter().collect();
+    friend_edges.sort_unstable();
+
+    // ---- attendance -------------------------------------------------------
+    // Process events chronologically so contagion uses already-formed ties.
+    let mut event_order: Vec<usize> = (0..events.len()).collect();
+    event_order.sort_by_key(|&i| (events[i].0.start_time, i));
+
+    let mut friends_of: Vec<Vec<u32>> = vec![Vec::new(); config.num_users];
+    for &(a, b) in &friend_edges {
+        friends_of[a as usize].push(b);
+        friends_of[b as usize].push(a);
+    }
+
+    let mut attendance: Vec<(u32, u32)> = Vec::new();
+    let mut audience: HashSet<u32> = HashSet::new();
+    for &ei in &event_order {
+        let (event, topic, sub) = (&events[ei].0, events[ei].1, events[ei].2);
+        let venue_pt = venues[event.venue.index()];
+        // Log-normal audience size (divided by the distribution's mean so
+        // the configured value is the actual expected audience, and split
+        // between interest-driven seeds and social contagion).
+        let lognormal_mean = (0.7f64 * 0.7 / 2.0).exp();
+        let size = (config.mean_attendees_per_event / lognormal_mean
+            * (gauss.sample(&mut rng) * 0.7).exp())
+        .round()
+        .clamp(2.0, config.mean_attendees_per_event * 6.0) as usize;
+        // ~60% of the audience joins on interest; friends fill the rest.
+        let seed_size = ((size as f64) * 0.6).ceil() as usize;
+
+        // Candidate pool: the topic's community, the secondary-interest
+        // users, and a random slice of everyone else.
+        let mut pool: Vec<u32> = users_of_topic[topic].clone();
+        let extras = (size * 3).min(config.num_users);
+        for _ in 0..extras {
+            pool.push(rng.random_range(0..config.num_users) as u32);
+        }
+        pool.sort_unstable();
+        pool.dedup();
+
+        // Weighted sampling without replacement (Efraimidis–Spirakis keys).
+        // 15% of candidates are treated as interest-agnostic walk-ins
+        // (friends of friends dragged along, curiosity, etc.), which keeps
+        // attendance from being perfectly predictable from profile signals.
+        let mut keyed: Vec<(f64, u32)> = pool
+            .iter()
+            .map(|&u| {
+                let score = if rng.random::<f64>() < 0.15 {
+                    0.5 * users[u as usize].activity
+                } else {
+                    attendance_score(&users[u as usize], topic, sub, &venue_pt, event, config)
+                };
+                let key = rng.random::<f64>().ln() / score; // max of ln(U)/w
+                (key, u)
+            })
+            .collect();
+        let take = seed_size.min(keyed.len());
+        keyed.select_nth_unstable_by(take.saturating_sub(1), |a, b| {
+            b.0.partial_cmp(&a.0).expect("scores are finite")
+        });
+        audience.clear();
+        audience.extend(keyed[..take].iter().map(|&(_, u)| u));
+
+        // Social contagion: friends of attendees join with probability
+        // proportional to their own interest.
+        let mut seeds: Vec<u32> = audience.iter().copied().collect();
+        seeds.sort_unstable();
+        for u in seeds {
+            for &f in &friends_of[u as usize] {
+                if audience.len() >= size {
+                    break;
+                }
+                if audience.contains(&f) {
+                    continue;
+                }
+                let interest = topic_interest(&users[f as usize], topic, sub);
+                if rng.random::<f64>() < config.co_attend_prob * (0.25 + interest) {
+                    audience.insert(f);
+                }
+            }
+        }
+
+        let mut final_audience: Vec<u32> = audience.iter().copied().collect();
+        final_audience.sort_unstable();
+        for u in final_audience {
+            attendance.push((u, ei as u32));
+        }
+    }
+
+    // ---- activity filter & re-indexing ------------------------------------
+    let mut events_per_user = vec![0usize; config.num_users];
+    for &(u, _) in &attendance {
+        events_per_user[u as usize] += 1;
+    }
+    let mut new_id = vec![u32::MAX; config.num_users];
+    let mut kept = 0u32;
+    for u in 0..config.num_users {
+        if events_per_user[u] >= config.min_events_per_user {
+            new_id[u] = kept;
+            kept += 1;
+        }
+    }
+    let users_filtered = config.num_users - kept as usize;
+
+    let mut final_attendance: Vec<(UserId, EventId)> = attendance
+        .iter()
+        .filter(|&&(u, _)| new_id[u as usize] != u32::MAX)
+        .map(|&(u, x)| (UserId(new_id[u as usize]), EventId(x)))
+        .collect();
+    final_attendance.sort_unstable();
+    final_attendance.dedup();
+
+    let mut final_friendships: Vec<(UserId, UserId)> = friend_edges
+        .iter()
+        .filter(|&&(a, b)| new_id[a as usize] != u32::MAX && new_id[b as usize] != u32::MAX)
+        .map(|&(a, b)| {
+            let (x, y) = (new_id[a as usize], new_id[b as usize]);
+            (UserId(x.min(y)), UserId(x.max(y)))
+        })
+        .collect();
+    final_friendships.sort_unstable();
+    final_friendships.dedup();
+
+    let dataset = EbsnDataset {
+        name: config.name.clone(),
+        num_users: kept as usize,
+        events: events.into_iter().map(|(e, _, _)| e).collect(),
+        venues,
+        attendance: final_attendance,
+        friendships: final_friendships,
+    };
+
+    let report = SynthesisReport {
+        num_users: dataset.num_users,
+        num_events: dataset.events.len(),
+        num_attendances: dataset.attendance.len(),
+        num_friendships: dataset.friendships.len(),
+        users_filtered,
+        avg_events_per_user: dataset.attendance.len() as f64 / dataset.num_users.max(1) as f64,
+        avg_attendees_per_event: dataset.attendance.len() as f64
+            / dataset.events.len().max(1) as f64,
+    };
+    (dataset, report)
+}
+
+/// A user's interest in a (topic, sub-topic): 1.0 for the preferred
+/// sub-topic of the primary topic, 0.35 for the primary topic's other
+/// sub-topics, 0.3 for the secondary topic, 0.03 otherwise.
+fn topic_interest(user: &UserProfile, topic: usize, sub: usize) -> f64 {
+    if user.primary == topic {
+        if user.primary_sub == sub {
+            1.0
+        } else {
+            0.35
+        }
+    } else if user.secondary == topic {
+        0.3
+    } else {
+        0.03
+    }
+}
+
+/// Unnormalised probability weight that `user` attends `event`.
+fn attendance_score(
+    user: &UserProfile,
+    topic: usize,
+    sub: usize,
+    venue: &GeoPoint,
+    event: &Event,
+    config: &SynthConfig,
+) -> f64 {
+    let interest = topic_interest(user, topic, sub);
+    // Distance decay with a 6 km half-interest scale.
+    let dist = haversine_km(&user.home, venue);
+    let spatial = (-dist / 6.0).exp();
+    // Activity-weighted; epsilon keeps weights strictly positive.
+    let _ = (event, config);
+    (interest * (0.2 + 0.8 * spatial) * user.activity).max(1e-9)
+}
+
+/// Sample a start time matching the topic's temporal profile.
+fn sample_event_time(
+    rng: &mut SeededRng,
+    gauss: &mut GaussianSampler,
+    config: &SynthConfig,
+    topic: &Topic,
+    day_span: i64,
+) -> i64 {
+    // Uniform calendar day in the window, then adjust weekday/weekend and
+    // hour to the topic profile.
+    let day = rng.random_range(0..day_span.max(1));
+    let base = config.time_range.0 + day * 86_400;
+    let want_weekend = rng.random::<f64>() < topic.weekend_prob;
+    let civil = CivilDateTime::from_unix(base);
+    let wd = civil.weekday.index_from_monday() as i64; // Mon=0..Sun=6
+    let shift_days = if want_weekend {
+        // Move to Saturday (5) or Sunday (6).
+        let target = 5 + (rng.random::<f64>() < 0.5) as i64;
+        target - wd
+    } else {
+        // Move to Monday–Friday.
+        if wd >= 5 {
+            let target = rng.random_range(0..5);
+            target - wd
+        } else {
+            0
+        }
+    };
+    let hour = (topic.preferred_hour + gauss.sample(rng) * 2.0).clamp(0.0, 23.0) as i64;
+    let minute = rng.random_range(0..60i64);
+    base + shift_days * 86_400 - (civil.hour as i64) * 3600 + hour * 3600 + minute * 60
+}
+
+/// Sample an event description: 55% sub-topic words, 25% topic-wide words
+/// (Zipf), 20% shared words.
+fn sample_description(
+    rng: &mut SeededRng,
+    config: &SynthConfig,
+    topic: &Topic,
+    sub: usize,
+    words: &[String],
+) -> String {
+    let shared_base = config.num_topics * config.words_per_topic;
+    let sub_words = &topic.sub_words[sub];
+    let mut out = String::new();
+    for i in 0..config.words_per_event {
+        if i > 0 {
+            out.push(' ');
+        }
+        let roll = rng.random::<f64>();
+        let idx = if roll < 0.55 {
+            // Zipf rank within the sub-topic's vocabulary.
+            let r = rng.random::<f64>();
+            let rank = ((sub_words.len() as f64).powf(r) - 1.0) as usize;
+            sub_words[rank.min(sub_words.len() - 1)]
+        } else if roll < 0.8 || config.shared_words == 0 {
+            let r = rng.random::<f64>();
+            let rank = ((topic.words.len() as f64).powf(r) - 1.0) as usize;
+            topic.words[rank.min(topic.words.len() - 1)]
+        } else {
+            shared_base + rng.random_range(0..config.shared_words)
+        };
+        out.push_str(&words[idx]);
+    }
+    out
+}
+
+/// Offset a (lat, lon) centre by (east_km, north_km).
+fn offset_km(center: (f64, f64), east_km: f64, north_km: f64) -> GeoPoint {
+    let dlat = north_km / 111.32;
+    let dlon = east_km / (111.32 * center.0.to_radians().cos().max(0.01));
+    GeoPoint::new(
+        (center.0 + dlat).clamp(-89.9, 89.9),
+        (center.1 + dlon).clamp(-179.9, 179.9),
+    )
+    .expect("offset stays in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_is_valid_and_deterministic() {
+        let cfg = SynthConfig::tiny(42);
+        let (d1, r1) = generate(&cfg);
+        let (d2, _) = generate(&cfg);
+        assert_eq!(d1.validate(), Ok(()));
+        assert_eq!(d1.num_users, d2.num_users);
+        assert_eq!(d1.attendance, d2.attendance);
+        assert_eq!(d1.friendships, d2.friendships);
+        assert!(r1.num_users > 50, "too few users survived: {}", r1.num_users);
+        assert!(r1.num_attendances > 500);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (d1, _) = generate(&SynthConfig::tiny(1));
+        let (d2, _) = generate(&SynthConfig::tiny(2));
+        assert_ne!(d1.attendance, d2.attendance);
+    }
+
+    #[test]
+    fn activity_filter_enforced() {
+        let cfg = SynthConfig::tiny(7);
+        let (d, _) = generate(&cfg);
+        let idx = d.index();
+        for u in 0..d.num_users {
+            assert!(
+                idx.events_of_user[u].len() >= cfg.min_events_per_user,
+                "user {u} has only {} events",
+                idx.events_of_user[u].len()
+            );
+        }
+    }
+
+    #[test]
+    fn friends_co_attend_more_than_strangers() {
+        // The social-contagion mechanism must produce measurable partner
+        // signal: average common events of friend pairs exceeds that of
+        // random pairs.
+        let (d, _) = generate(&SynthConfig::tiny(11));
+        let idx = d.index();
+        let friend_avg: f64 = d
+            .friendships
+            .iter()
+            .map(|&(u, v)| idx.common_events(u, v) as f64)
+            .sum::<f64>()
+            / d.friendships.len() as f64;
+        let mut rng = rng_from_seed(5);
+        let rand_avg: f64 = (0..d.friendships.len())
+            .map(|_| {
+                let u = UserId(rng.random_range(0..d.num_users) as u32);
+                let v = UserId(rng.random_range(0..d.num_users) as u32);
+                idx.common_events(u, v) as f64
+            })
+            .sum::<f64>()
+            / d.friendships.len() as f64;
+        assert!(
+            friend_avg > rand_avg * 1.5,
+            "friend co-attendance {friend_avg} vs random {rand_avg}"
+        );
+    }
+
+    #[test]
+    fn event_times_lie_in_window() {
+        let cfg = SynthConfig::tiny(13);
+        let (d, _) = generate(&cfg);
+        for e in &d.events {
+            // The weekday adjustment can shift up to ±6 days past the window.
+            assert!(e.start_time >= cfg.time_range.0 - 7 * 86_400);
+            assert!(e.start_time <= cfg.time_range.1 + 7 * 86_400);
+        }
+    }
+
+    #[test]
+    fn descriptions_are_topical() {
+        let cfg = SynthConfig::tiny(17);
+        let (d, _) = generate(&cfg);
+        // Every description is non-empty and made of generator vocabulary.
+        for e in &d.events {
+            assert!(!e.description.is_empty());
+            for tok in e.description.split(' ') {
+                assert!(
+                    tok.starts_with("topic") || tok.starts_with("common"),
+                    "unexpected token {tok}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beijing_like_preset_has_expected_shape() {
+        let cfg = SynthConfig::beijing_like(3, 200); // very small scale for test speed
+        let (d, r) = generate(&cfg);
+        assert_eq!(d.validate(), Ok(()));
+        // Densities should be in the right ballpark (loose bounds).
+        assert!(r.avg_attendees_per_event > 20.0, "{}", r.avg_attendees_per_event);
+        assert!(r.num_friendships > 0);
+    }
+
+    #[test]
+    fn audience_sizes_are_heavy_tailed() {
+        let (d, _) = generate(&SynthConfig::tiny(23));
+        let idx = d.index();
+        let mut sizes: Vec<usize> = idx.users_of_event.iter().map(|v| v.len()).collect();
+        sizes.sort_unstable();
+        let max = *sizes.last().unwrap();
+        let median = sizes[sizes.len() / 2];
+        assert!(max >= median * 2, "max {max} median {median}");
+    }
+}

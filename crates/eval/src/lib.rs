@@ -1,0 +1,28 @@
+//! Evaluation harness reproducing the paper's §V-B methodology.
+//!
+//! * [`metrics`] — Accuracy@n from ranked positives (Eq. 9/10), with
+//!   tie-aware expected ranks.
+//! * [`protocol`] — the two sampled-negatives protocols:
+//!   cold-start event recommendation (1 positive vs 1000 negative test
+//!   events) and joint event-partner recommendation (1 positive triple vs
+//!   500 corrupted-event + 500 corrupted-partner triples).
+//! * [`timing`] — wall-clock measurement of online recommendation (Table
+//!   VI / Fig. 7) and of training throughput/speedup (Fig. 6).
+//! * [`stats`] — paired sign test for the "statistically significant
+//!   (p < 0.01)" claims.
+//! * [`tuning`] — grid search over hyper-parameters scored on the
+//!   *validation* partition (§V-A's protocol, no test leakage).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod stats;
+pub mod timing;
+pub mod tuning;
+
+pub use metrics::{accuracy_at, AccuracyAtN, EvalResult};
+pub use protocol::{eval_event_rec, eval_event_rec_on, eval_partner_rec, EvalConfig, EvalSplit};
+pub use stats::sign_test;
+pub use timing::{time_queries, QueryTiming};
+pub use tuning::{grid_search, tune_gem, GridPoint, GridSearchResult};

@@ -1,0 +1,133 @@
+//! Accuracy@n and rank bookkeeping.
+//!
+//! Each test case contributes the *expected rank* of the positive among the
+//! scored candidates: `1 + #{better} + #{ties}/2`. The tie term matters for
+//! degenerate scorers (e.g. a meta-path model whose features are all zero
+//! on cold events) — counting ties optimistically would report Accuracy@n
+//! ≈ 1.0 for a constant scorer, which is obviously wrong; the expected rank
+//! is the unbiased choice.
+
+/// Accuracy at one cut-off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyAtN {
+    /// The cut-off `n`.
+    pub n: usize,
+    /// Test cases whose positive ranked within the top `n`.
+    pub hits: usize,
+    /// Total test cases.
+    pub cases: usize,
+    /// `hits / cases` (0 when there are no cases).
+    pub accuracy: f64,
+}
+
+/// The outcome of one evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Expected rank of the positive in each test case (1-based).
+    pub ranks: Vec<f64>,
+    /// Accuracy at each requested cut-off.
+    pub per_n: Vec<AccuracyAtN>,
+    /// Mean expected rank (NaN when there are no cases).
+    pub mean_rank: f64,
+}
+
+impl EvalResult {
+    /// Assemble from per-case ranks and the requested cut-offs.
+    pub fn from_ranks(ranks: Vec<f64>, cutoffs: &[usize]) -> Self {
+        let per_n = cutoffs.iter().map(|&n| accuracy_at(&ranks, n)).collect();
+        let mean_rank = if ranks.is_empty() {
+            f64::NAN
+        } else {
+            ranks.iter().sum::<f64>() / ranks.len() as f64
+        };
+        EvalResult { ranks, per_n, mean_rank }
+    }
+
+    /// Accuracy at a cut-off that was requested at construction.
+    pub fn accuracy(&self, n: usize) -> Option<f64> {
+        self.per_n.iter().find(|a| a.n == n).map(|a| a.accuracy)
+    }
+
+    /// Per-case hit indicators at cut-off `n` (for significance testing).
+    pub fn hits_at(&self, n: usize) -> Vec<bool> {
+        self.ranks.iter().map(|&r| r <= n as f64).collect()
+    }
+}
+
+/// Compute Accuracy@n from expected ranks.
+pub fn accuracy_at(ranks: &[f64], n: usize) -> AccuracyAtN {
+    let hits = ranks.iter().filter(|&&r| r <= n as f64).count();
+    let cases = ranks.len();
+    AccuracyAtN {
+        n,
+        hits,
+        cases,
+        accuracy: if cases == 0 { 0.0 } else { hits as f64 / cases as f64 },
+    }
+}
+
+/// Expected (tie-aware) 1-based rank of a positive with score `pos` among
+/// `negatives`.
+pub fn expected_rank(pos: f64, negatives: &[f64]) -> f64 {
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    for &s in negatives {
+        if s > pos {
+            better += 1;
+        } else if s == pos {
+            ties += 1;
+        }
+    }
+    1.0 + better as f64 + ties as f64 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_better_negatives() {
+        assert_eq!(expected_rank(5.0, &[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(expected_rank(2.5, &[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(expected_rank(0.0, &[1.0, 2.0, 3.0]), 4.0);
+    }
+
+    #[test]
+    fn ties_contribute_half() {
+        assert_eq!(expected_rank(2.0, &[2.0, 2.0]), 2.0); // 1 + 0 + 1
+        // Constant scorer over 1000 negatives: expected rank ≈ 501.
+        let negs = vec![0.0; 1000];
+        assert_eq!(expected_rank(0.0, &negs), 501.0);
+    }
+
+    #[test]
+    fn accuracy_at_cutoffs() {
+        let ranks = vec![1.0, 3.0, 7.0, 20.0];
+        assert_eq!(accuracy_at(&ranks, 1).accuracy, 0.25);
+        assert_eq!(accuracy_at(&ranks, 5).accuracy, 0.5);
+        assert_eq!(accuracy_at(&ranks, 20).accuracy, 1.0);
+        assert_eq!(accuracy_at(&[], 5).accuracy, 0.0);
+    }
+
+    #[test]
+    fn eval_result_is_consistent() {
+        let r = EvalResult::from_ranks(vec![1.0, 10.0, 2.0], &[1, 5, 10]);
+        assert_eq!(r.accuracy(1), Some(1.0 / 3.0));
+        assert_eq!(r.accuracy(5), Some(2.0 / 3.0));
+        assert_eq!(r.accuracy(10), Some(1.0));
+        assert_eq!(r.accuracy(7), None);
+        assert!((r.mean_rank - 13.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.hits_at(5), vec![true, false, true]);
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_n() {
+        let ranks = vec![2.0, 4.0, 9.0, 15.0, 100.0];
+        let mut prev = 0.0;
+        for n in [1, 2, 5, 10, 20, 50, 200] {
+            let a = accuracy_at(&ranks, n).accuracy;
+            assert!(a >= prev);
+            prev = a;
+        }
+    }
+}

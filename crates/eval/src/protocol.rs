@@ -1,0 +1,292 @@
+//! The paper's two sampled-negatives evaluation protocols (§V-B).
+
+use crate::metrics::{expected_rank, EvalResult};
+use gem_core::EventScorer;
+use gem_ebsn::{ChronoSplit, EbsnDataset, EventId, GroundTruth, UserId};
+use gem_sampling::rng_from_seed;
+
+/// Protocol parameters; defaults follow the paper exactly.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Negative events per event-recommendation case (paper: 1000).
+    pub event_negatives: usize,
+    /// Negative events AND negative partners per triple (paper: 500 each).
+    pub triple_negatives: usize,
+    /// Cap on evaluated cases, 0 = no cap (useful for quick sweeps; cases
+    /// are sub-sampled deterministically).
+    pub max_cases: usize,
+    /// Accuracy cut-offs to report (paper plots 1, 5, 10, 15, 20).
+    pub cutoffs: Vec<usize>,
+    /// RNG seed for negative sampling.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            event_negatives: 1000,
+            triple_negatives: 500,
+            max_cases: 0,
+            cutoffs: vec![1, 5, 10, 15, 20],
+            seed: 4242,
+        }
+    }
+}
+
+/// Which held-out partition an evaluation runs on. The paper tunes
+/// hyper-parameters on the validation partition and reports on the test
+/// partition; mixing the two leaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalSplit {
+    /// The validation partition (hyper-parameter tuning).
+    Validation,
+    /// The test partition (final metrics).
+    Test,
+}
+
+/// Cold-start event recommendation: for each test case `(u, x)`, rank `x`
+/// against `event_negatives` events sampled from `X_test − X_u`.
+pub fn eval_event_rec(
+    scorer: &dyn EventScorer,
+    dataset: &EbsnDataset,
+    split: &ChronoSplit,
+    gt: &GroundTruth,
+    config: &EvalConfig,
+) -> EvalResult {
+    eval_event_rec_on(scorer, dataset, split, gt, config, EvalSplit::Test)
+}
+
+/// [`eval_event_rec`] on a chosen held-out partition: positives and the
+/// negative pool both come from that partition, so validation tuning never
+/// touches the test events.
+pub fn eval_event_rec_on(
+    scorer: &dyn EventScorer,
+    dataset: &EbsnDataset,
+    split: &ChronoSplit,
+    gt: &GroundTruth,
+    config: &EvalConfig,
+    which: EvalSplit,
+) -> EvalResult {
+    let index = dataset.index();
+    let mut rng = rng_from_seed(config.seed);
+    let (cases, test_events) = match which {
+        EvalSplit::Test => (subsample(&gt.event_cases, config.max_cases), &split.test_events),
+        EvalSplit::Validation => (
+            subsample(&gt.event_cases_validation, config.max_cases),
+            &split.validation_events,
+        ),
+    };
+
+    let mut ranks = Vec::with_capacity(cases.len());
+    for case in cases {
+        // Eligible negatives: test-partition events the user did not attend.
+        // Sampled *without replacement*; when the eligible pool is smaller
+        // than the request (small-scale runs), every eligible event is used.
+        let eligible: Vec<EventId> = test_events
+            .iter()
+            .copied()
+            .filter(|&x| x != case.event && !index.attended(case.user, x))
+            .collect();
+        let negatives = sample_without_replacement(&eligible, config.event_negatives, &mut rng);
+        let pos = scorer.score_event(case.user, case.event);
+        let neg_scores: Vec<f64> = negatives
+            .iter()
+            .map(|&x| scorer.score_event(case.user, x))
+            .collect();
+        ranks.push(expected_rank(pos, &neg_scores));
+    }
+    EvalResult::from_ranks(ranks, &config.cutoffs)
+}
+
+/// Joint event-partner recommendation: for each positive triple
+/// `(u, u', x)`, rank it against `triple_negatives` event-corrupted and
+/// `triple_negatives` partner-corrupted triples (Eq. 8 scoring).
+pub fn eval_partner_rec(
+    scorer: &dyn EventScorer,
+    dataset: &EbsnDataset,
+    split: &ChronoSplit,
+    gt: &GroundTruth,
+    config: &EvalConfig,
+) -> EvalResult {
+    let index = dataset.index();
+    let mut rng = rng_from_seed(config.seed.wrapping_add(1));
+    let triples = subsample(&gt.partner_triples, config.max_cases);
+    let test_events = &split.test_events;
+    let num_users = dataset.num_users;
+
+    let all_users: Vec<UserId> = (0..num_users).map(|u| UserId(u as u32)).collect();
+    let mut ranks = Vec::with_capacity(triples.len());
+    let mut neg_scores = Vec::with_capacity(config.triple_negatives * 2);
+    for t in triples {
+        neg_scores.clear();
+
+        // Corrupt the event: x' ∈ X_test − (X_u ∩ X_u'), without
+        // replacement.
+        let eligible_events: Vec<EventId> = test_events
+            .iter()
+            .copied()
+            .filter(|&x| {
+                x != t.event && !(index.attended(t.user, x) && index.attended(t.partner, x))
+            })
+            .collect();
+        for x in sample_without_replacement(&eligible_events, config.triple_negatives, &mut rng) {
+            neg_scores.push(scorer.score_triple(t.user, t.partner, x));
+        }
+
+        // Corrupt the partner: u'' ∈ U − U_x, without replacement.
+        let eligible_users: Vec<UserId> = all_users
+            .iter()
+            .copied()
+            .filter(|&v| v != t.partner && v != t.user && !index.attended(v, t.event))
+            .collect();
+        for v in sample_without_replacement(&eligible_users, config.triple_negatives, &mut rng) {
+            neg_scores.push(scorer.score_triple(t.user, v, t.event));
+        }
+
+        let pos = scorer.score_triple(t.user, t.partner, t.event);
+        ranks.push(expected_rank(pos, &neg_scores));
+    }
+    EvalResult::from_ranks(ranks, &config.cutoffs)
+}
+
+/// Draw `k` items without replacement (partial Fisher–Yates); returns the
+/// whole pool when `k >= pool.len()`.
+fn sample_without_replacement<T: Copy>(
+    pool: &[T],
+    k: usize,
+    rng: &mut gem_sampling::SeededRng,
+) -> Vec<T> {
+    use rand::RngExt;
+    if pool.len() <= k {
+        return pool.to_vec();
+    }
+    let mut items = pool.to_vec();
+    for i in 0..k {
+        let j = rng.random_range(i..items.len());
+        items.swap(i, j);
+    }
+    items.truncate(k);
+    items
+}
+
+/// Deterministic even sub-sampling of test cases.
+fn subsample<T: Copy>(cases: &[T], max: usize) -> Vec<T> {
+    if max == 0 || cases.len() <= max {
+        return cases.to_vec();
+    }
+    let stride = cases.len() as f64 / max as f64;
+    (0..max)
+        .map(|i| cases[(i as f64 * stride) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::{GemTrainer, TrainConfig};
+    use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+
+    struct Oracle<'a> {
+        index: gem_ebsn::model::DatasetIndex,
+        _d: &'a EbsnDataset,
+    }
+
+    impl gem_core::EventScorer for Oracle<'_> {
+        fn score_event(&self, u: UserId, x: EventId) -> f64 {
+            // Perfect knowledge of attendance.
+            if self.index.attended(u, x) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn score_pair(&self, u: UserId, v: UserId) -> f64 {
+            self.index.are_friends(u, v) as u32 as f64
+        }
+    }
+
+    struct ConstantScorer;
+    impl gem_core::EventScorer for ConstantScorer {
+        fn score_event(&self, _: UserId, _: EventId) -> f64 {
+            0.0
+        }
+        fn score_pair(&self, _: UserId, _: UserId) -> f64 {
+            0.0
+        }
+    }
+
+    fn fixture() -> (EbsnDataset, ChronoSplit, GroundTruth) {
+        let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(44));
+        let split = ChronoSplit::new(&dataset, SplitRatios::default());
+        let gt = GroundTruth::extract(&dataset, &split);
+        (dataset, split, gt)
+    }
+
+    #[test]
+    fn oracle_scorer_achieves_perfect_accuracy() {
+        let (dataset, split, gt) = fixture();
+        let oracle = Oracle { index: dataset.index(), _d: &dataset };
+        let cfg = EvalConfig { event_negatives: 100, max_cases: 50, ..Default::default() };
+        let r = eval_event_rec(&oracle, &dataset, &split, &gt, &cfg);
+        assert!(r.accuracy(1).unwrap() > 0.99, "oracle accuracy {:?}", r.accuracy(1));
+    }
+
+    #[test]
+    fn constant_scorer_is_near_chance() {
+        let (dataset, split, gt) = fixture();
+        let cfg = EvalConfig { event_negatives: 100, max_cases: 50, ..Default::default() };
+        let r = eval_event_rec(&ConstantScorer, &dataset, &split, &gt, &cfg);
+        // All scores tie → expected rank ≈ (pool+2)/2. The tiny dataset has
+        // ~25 test events, so the mean rank sits near 13 and Accuracy@5 = 0.
+        assert_eq!(r.accuracy(5).unwrap(), 0.0);
+        assert!(r.mean_rank > 10.0, "mean rank {}", r.mean_rank);
+    }
+
+    #[test]
+    fn trained_gem_beats_chance_on_cold_start() {
+        let (dataset, split, gt) = fixture();
+        let graphs = TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[]);
+        let trainer = GemTrainer::new(&graphs, TrainConfig::gem_p(21)).unwrap();
+        trainer.run(150_000, 1);
+        let model = trainer.model();
+        let cfg = EvalConfig { event_negatives: 100, max_cases: 100, ..Default::default() };
+        let r = eval_event_rec(&model, &dataset, &split, &gt, &cfg);
+        // Chance Accuracy@10 over 101 candidates ≈ 0.099.
+        let acc = r.accuracy(10).unwrap();
+        assert!(acc > 0.25, "GEM cold-start Accuracy@10 only {acc}");
+    }
+
+    #[test]
+    fn partner_protocol_runs_and_oracle_wins() {
+        let (dataset, split, gt) = fixture();
+        assert!(!gt.partner_triples.is_empty(), "need partner ground truth");
+        let oracle = Oracle { index: dataset.index(), _d: &dataset };
+        let cfg = EvalConfig { triple_negatives: 50, max_cases: 30, ..Default::default() };
+        let r = eval_partner_rec(&oracle, &dataset, &split, &gt, &cfg);
+        // Oracle triple score = 3 (attend + attend + friend); corrupted
+        // triples score at most 2.
+        assert!(r.accuracy(1).unwrap() > 0.95, "{:?}", r.accuracy(1));
+    }
+
+    #[test]
+    fn negatives_exclude_attended_events() {
+        // Indirect check: the oracle never sees a negative scoring 1.0, or
+        // its accuracy would drop below perfect.
+        let (dataset, split, gt) = fixture();
+        let oracle = Oracle { index: dataset.index(), _d: &dataset };
+        let cfg = EvalConfig { event_negatives: 200, max_cases: 0, ..Default::default() };
+        let r = eval_event_rec(&oracle, &dataset, &split, &gt, &cfg);
+        assert_eq!(r.accuracy(1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn subsample_is_even_and_bounded() {
+        let cases: Vec<u32> = (0..100).collect();
+        let s = subsample(&cases, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(s[9] >= 90);
+        assert_eq!(subsample(&cases, 0).len(), 100);
+        assert_eq!(subsample(&cases, 1000).len(), 100);
+    }
+}

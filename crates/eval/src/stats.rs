@@ -1,0 +1,155 @@
+//! Paired sign test for significance claims.
+//!
+//! The paper reports "all differences between GEM and others are
+//! statistically significant (p < 0.01)". Per-test-case hit indicators of
+//! two systems are paired observations; the sign test counts the cases
+//! where exactly one system hits and asks whether the split deviates from
+//! 50/50 under the binomial null.
+
+/// Result of a two-sided paired sign test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignTest {
+    /// Cases where system A hit and B missed.
+    pub a_wins: usize,
+    /// Cases where system B hit and A missed.
+    pub b_wins: usize,
+    /// Ties (both hit or both missed) — discarded by the test.
+    pub ties: usize,
+    /// Two-sided p-value under the binomial(n, 0.5) null.
+    pub p_value: f64,
+}
+
+/// Two-sided paired sign test on per-case hit indicators.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sign_test(hits_a: &[bool], hits_b: &[bool]) -> SignTest {
+    assert_eq!(hits_a.len(), hits_b.len(), "paired observations required");
+    let mut a_wins = 0usize;
+    let mut b_wins = 0usize;
+    let mut ties = 0usize;
+    for (&a, &b) in hits_a.iter().zip(hits_b) {
+        match (a, b) {
+            (true, false) => a_wins += 1,
+            (false, true) => b_wins += 1,
+            _ => ties += 1,
+        }
+    }
+    let n = a_wins + b_wins;
+    let p_value = if n == 0 {
+        1.0
+    } else if n <= 64 {
+        exact_binomial_two_sided(a_wins.min(b_wins), n)
+    } else {
+        normal_approx_two_sided(a_wins.min(b_wins) as f64, n as f64)
+    };
+    SignTest { a_wins, b_wins, ties, p_value: p_value.min(1.0) }
+}
+
+/// Exact two-sided binomial tail: 2 · P(X ≤ k) for X ~ Bin(n, ½).
+fn exact_binomial_two_sided(k: usize, n: usize) -> f64 {
+    // Cumulative via log-space binomial coefficients for stability.
+    let mut tail = 0.0f64;
+    for i in 0..=k {
+        tail += (ln_choose(n, i) - n as f64 * std::f64::consts::LN_2).exp();
+    }
+    2.0 * tail
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Normal approximation with continuity correction.
+fn normal_approx_two_sided(k: f64, n: f64) -> f64 {
+    let mean = n / 2.0;
+    let sd = (n / 4.0).sqrt();
+    let z = ((k + 0.5 - mean) / sd).min(0.0);
+    2.0 * standard_normal_cdf(z)
+}
+
+/// Φ(z) via the Abramowitz–Stegun rational approximation (|ε| < 7.5e-8).
+fn standard_normal_cdf(z: f64) -> f64 {
+    if z < 0.0 {
+        return 1.0 - standard_normal_cdf(-z);
+    }
+    let t = 1.0 / (1.0 + 0.2316419 * z);
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    1.0 - pdf * poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ties_gives_p_one() {
+        let a = vec![true, true, false];
+        let r = sign_test(&a, &a);
+        assert_eq!(r.ties, 3);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn strong_one_sided_difference_is_significant() {
+        // A hits 40 cases B misses; B never wins.
+        let a = vec![true; 40];
+        let b = vec![false; 40];
+        let r = sign_test(&a, &b);
+        assert_eq!(r.a_wins, 40);
+        assert!(r.p_value < 1e-9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn balanced_wins_are_insignificant() {
+        let mut a = vec![true; 10];
+        a.extend(vec![false; 10]);
+        let mut b = vec![false; 10];
+        b.extend(vec![true; 10]);
+        let r = sign_test(&a, &b);
+        assert_eq!(r.a_wins, 10);
+        assert_eq!(r.b_wins, 10);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exact_matches_hand_computed_small_case() {
+        // 1 win vs 5: p = 2 · (C(6,0)+C(6,1)) / 2^6 = 2·7/64 = 0.21875.
+        let mut a = vec![true; 1];
+        a.extend(vec![false; 5]);
+        let mut b = vec![false; 1];
+        b.extend(vec![true; 5]);
+        let r = sign_test(&a, &b);
+        assert!((r.p_value - 0.21875).abs() < 1e-9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn normal_approximation_is_close_to_exact() {
+        // n = 64 uses exact; n = 65 uses the approximation. Compare the two
+        // at a shared configuration scaled up.
+        let k = 20;
+        let exact = exact_binomial_two_sided(k, 64);
+        let approx = normal_approx_two_sided(k as f64, 64.0);
+        assert!((exact - approx).abs() < 0.01, "exact {exact} vs approx {approx}");
+    }
+
+    #[test]
+    fn cdf_sanity() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn unpaired_input_panics() {
+        sign_test(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Wall-clock measurement of online recommendation (Table VI, Fig. 7).
+
+use gem_query::{Method, RecommendationEngine};
+use gem_ebsn::UserId;
+use std::time::{Duration, Instant};
+
+/// Aggregate timing of a batch of top-n queries.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryTiming {
+    /// Number of queries measured.
+    pub queries: usize,
+    /// Total wall-clock time.
+    pub total: Duration,
+    /// Mean time per query.
+    pub mean: Duration,
+    /// Mean fraction of candidate pairs whose full score was computed
+    /// (1.0 for brute force by definition).
+    pub accessed_fraction: f64,
+}
+
+/// Run `top-n` queries for each user and measure them.
+pub fn time_queries(
+    engine: &RecommendationEngine,
+    users: &[UserId],
+    n: usize,
+    method: Method,
+) -> QueryTiming {
+    let candidates = engine.num_candidates().max(1);
+    let start = Instant::now();
+    let mut accessed = 0usize;
+    for &u in users {
+        let (_, stats) = engine.recommend(u, n, method);
+        accessed += match method {
+            Method::Ta => stats.scored,
+            Method::BruteForce => candidates,
+        };
+    }
+    let total = start.elapsed();
+    let queries = users.len().max(1);
+    QueryTiming {
+        queries: users.len(),
+        total,
+        mean: total / queries as u32,
+        accessed_fraction: accessed as f64 / (candidates * queries) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::GemModel;
+    use gem_ebsn::EventId;
+    use rand::RngExt;
+
+    fn engine() -> RecommendationEngine {
+        let mut rng = gem_sampling::rng_from_seed(1);
+        let dim = 6;
+        let users: Vec<f32> = (0..50 * dim).map(|_| rng.random::<f32>()).collect();
+        let events: Vec<f32> = (0..30 * dim).map(|_| rng.random::<f32>()).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let partners: Vec<UserId> = (0..50).map(UserId).collect();
+        let event_ids: Vec<EventId> = (0..30).map(EventId).collect();
+        RecommendationEngine::build(model, &partners, &event_ids, 10)
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let e = engine();
+        let users: Vec<UserId> = (0..10).map(UserId).collect();
+        let t = time_queries(&e, &users, 5, Method::Ta);
+        assert_eq!(t.queries, 10);
+        assert!(t.total >= t.mean);
+        assert!(t.accessed_fraction > 0.0 && t.accessed_fraction <= 1.0);
+    }
+
+    #[test]
+    fn brute_force_accesses_everything() {
+        let e = engine();
+        let users: Vec<UserId> = (0..5).map(UserId).collect();
+        let t = time_queries(&e, &users, 5, Method::BruteForce);
+        assert_eq!(t.accessed_fraction, 1.0);
+    }
+
+    #[test]
+    fn ta_accesses_no_more_than_brute_force() {
+        let e = engine();
+        let users: Vec<UserId> = (0..20).map(UserId).collect();
+        let ta = time_queries(&e, &users, 3, Method::Ta);
+        assert!(ta.accessed_fraction <= 1.0);
+    }
+
+    #[test]
+    fn empty_user_list_is_safe() {
+        let e = engine();
+        let t = time_queries(&e, &[], 5, Method::Ta);
+        assert_eq!(t.queries, 0);
+        assert_eq!(t.accessed_fraction, 0.0);
+    }
+}

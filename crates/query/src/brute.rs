@@ -1,0 +1,115 @@
+//! Exhaustive top-n scoring (the paper's GEM-BF baseline).
+//!
+//! Scores every candidate point against the query and selects the best `n`.
+//! Used both as the efficiency baseline of Table VI and as the correctness
+//! oracle for the TA implementation.
+
+use crate::transform::TransformedSpace;
+use gem_core::math::dot;
+use gem_ebsn::{EventId, UserId};
+
+/// Brute-force scorer over a transformed space.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForce<'s> {
+    space: &'s TransformedSpace,
+}
+
+impl<'s> BruteForce<'s> {
+    /// Wrap a space (no preprocessing needed).
+    pub fn new(space: &'s TransformedSpace) -> Self {
+        Self { space }
+    }
+
+    /// Exact top-`n` by scanning all candidates. Candidates rejected by
+    /// `filter` are skipped. Results are sorted by descending score.
+    pub fn top_n(
+        &self,
+        q: &[f32],
+        n: usize,
+        mut filter: impl FnMut(UserId, EventId) -> bool,
+    ) -> Vec<(f32, UserId, EventId)> {
+        assert_eq!(q.len(), self.space.dim(), "query dimensionality mismatch");
+        let mut scored: Vec<(f32, UserId, EventId)> = Vec::with_capacity(self.space.len());
+        for i in 0..self.space.len() {
+            let (p, x) = self.space.pair(i);
+            if !filter(p, x) {
+                continue;
+            }
+            scored.push((dot(q, self.space.point(i)), p, x));
+        }
+        let take = n.min(scored.len());
+        if take == 0 {
+            return Vec::new();
+        }
+        if take < scored.len() {
+            scored.select_nth_unstable_by(take - 1, |a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("scores are finite")
+                    .then((a.1, a.2).cmp(&(b.1, b.2)))
+            });
+            scored.truncate(take);
+        }
+        scored.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("scores are finite").then((a.1, a.2).cmp(&(b.1, b.2)))
+        });
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::toy_model;
+
+    fn space() -> TransformedSpace {
+        let model = toy_model();
+        let candidates: Vec<(UserId, EventId)> = (0..3)
+            .flat_map(|p| (0..2).map(move |x| (UserId(p), EventId(x))))
+            .collect();
+        TransformedSpace::build(&model, &candidates)
+    }
+
+    #[test]
+    fn returns_all_when_n_exceeds_candidates() {
+        let s = space();
+        let model = toy_model();
+        let q = TransformedSpace::query_vector(&model, UserId(0));
+        let results = BruteForce::new(&s).top_n(&q, 100, |_, _| true);
+        assert_eq!(results.len(), 6);
+    }
+
+    #[test]
+    fn top_1_is_the_argmax() {
+        let s = space();
+        let model = toy_model();
+        let q = TransformedSpace::query_vector(&model, UserId(1));
+        let brute = BruteForce::new(&s);
+        let top1 = brute.top_n(&q, 1, |_, _| true);
+        let all = brute.top_n(&q, 6, |_, _| true);
+        assert_eq!(top1[0], all[0]);
+    }
+
+    #[test]
+    fn filter_is_respected() {
+        let s = space();
+        let model = toy_model();
+        let q = TransformedSpace::query_vector(&model, UserId(2));
+        let results = BruteForce::new(&s).top_n(&q, 10, |p, _| p != UserId(2));
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.1 != UserId(2)));
+    }
+
+    #[test]
+    fn sorted_descending_with_deterministic_ties() {
+        let s = space();
+        let model = toy_model();
+        let q = TransformedSpace::query_vector(&model, UserId(0));
+        let results = BruteForce::new(&s).top_n(&q, 6, |_, _| true);
+        for w in results.windows(2) {
+            assert!(
+                w[0].0 > w[1].0
+                    || (w[0].0 == w[1].0 && (w[0].1, w[0].2) < (w[1].1, w[1].2))
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end online recommendation facade.
+//!
+//! Wires the §IV pipeline together: prune candidates (top-k events per
+//! partner) → transform to the `2K+1` space → build the TA index → serve
+//! top-n `(partner, event)` recommendations per target user via either
+//! GEM-TA or GEM-BF.
+
+use crate::brute::BruteForce;
+use crate::prune::top_k_events_per_partner;
+use crate::ta::{TaIndex, TaStats};
+use crate::transform::TransformedSpace;
+use gem_core::GemModel;
+use gem_ebsn::{EventId, UserId};
+
+/// Retrieval method for [`RecommendationEngine::recommend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Threshold Algorithm (GEM-TA).
+    Ta,
+    /// Exhaustive scan (GEM-BF).
+    BruteForce,
+}
+
+/// One recommended event-partner pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The suggested partner.
+    pub partner: UserId,
+    /// The suggested event.
+    pub event: EventId,
+    /// Eq. 8 ranking score.
+    pub score: f32,
+}
+
+/// A ready-to-serve recommendation engine over a trained model.
+///
+/// The engine is built offline from a model snapshot, a partner pool, an
+/// event pool (typically the upcoming/cold-start events) and the pruning
+/// parameter `k`.
+pub struct RecommendationEngine {
+    model: GemModel,
+    space: TransformedSpace,
+    index: TaIndex,
+}
+
+impl RecommendationEngine {
+    /// Build the engine: prune, transform, index.
+    pub fn build(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k_events: usize,
+    ) -> Self {
+        let candidates = top_k_events_per_partner(&model, partners, events, top_k_events);
+        let space = TransformedSpace::build(&model, &candidates);
+        // Build the TA index eagerly: an engine exists to be queried.
+        let index = TaIndex::build(&space);
+        Self { model, space, index }
+    }
+
+    /// The number of candidate pairs after pruning.
+    pub fn num_candidates(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Approximate memory used by the transformed space, in bytes.
+    pub fn space_bytes(&self) -> usize {
+        self.space.bytes()
+    }
+
+    /// The model the engine serves.
+    pub fn model(&self) -> &GemModel {
+        &self.model
+    }
+
+    /// Top-`n` event-partner recommendations for `user`. The user is never
+    /// recommended as their own partner. Returns the recommendations and,
+    /// for TA, the work counters (zeroed for brute force).
+    pub fn recommend(
+        &self,
+        user: UserId,
+        n: usize,
+        method: Method,
+    ) -> (Vec<Recommendation>, TaStats) {
+        let q = TransformedSpace::query_vector(&self.model, user);
+        match method {
+            Method::Ta => {
+                let (results, stats) = self.index.top_n(&self.space, &q, n, |p, _| p != user);
+                (
+                    results
+                        .into_iter()
+                        .map(|(score, partner, event)| Recommendation { partner, event, score })
+                        .collect(),
+                    stats,
+                )
+            }
+            Method::BruteForce => {
+                let results = BruteForce::new(&self.space).top_n(&q, n, |p, _| p != user);
+                (
+                    results
+                        .into_iter()
+                        .map(|(score, partner, event)| Recommendation { partner, event, score })
+                        .collect(),
+                    TaStats::default(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::toy_model;
+
+    fn engine(k: usize) -> RecommendationEngine {
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        RecommendationEngine::build(model, &partners, &events, k)
+    }
+
+    #[test]
+    fn ta_and_brute_force_agree() {
+        let e = engine(2);
+        for u in 0..3u32 {
+            let (ta, _) = e.recommend(UserId(u), 3, Method::Ta);
+            let (bf, _) = e.recommend(UserId(u), 3, Method::BruteForce);
+            assert_eq!(ta.len(), bf.len());
+            for (a, b) in ta.iter().zip(&bf) {
+                assert!((a.score - b.score).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn target_user_is_never_their_own_partner() {
+        let e = engine(2);
+        for u in 0..3u32 {
+            let (recs, _) = e.recommend(UserId(u), 10, Method::Ta);
+            assert!(recs.iter().all(|r| r.partner != UserId(u)));
+        }
+    }
+
+    #[test]
+    fn pruning_shrinks_the_candidate_space() {
+        let full = engine(2); // 3 partners × 2 events = 6
+        let pruned = engine(1); // 3 partners × 1 event = 3
+        assert_eq!(full.num_candidates(), 6);
+        assert_eq!(pruned.num_candidates(), 3);
+        assert!(pruned.space_bytes() < full.space_bytes());
+    }
+
+    #[test]
+    fn recommendations_are_sorted() {
+        let e = engine(2);
+        let (recs, _) = e.recommend(UserId(0), 4, Method::BruteForce);
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn ta_reports_work_stats() {
+        let e = engine(2);
+        let (_, stats) = e.recommend(UserId(0), 2, Method::Ta);
+        assert!(stats.scored > 0);
+        assert!(stats.sorted_accesses > 0);
+        let (_, stats_bf) = e.recommend(UserId(0), 2, Method::BruteForce);
+        assert_eq!(stats_bf, TaStats::default());
+    }
+}

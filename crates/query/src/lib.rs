@@ -1,0 +1,34 @@
+//! Online event-partner recommendation (§IV of the paper).
+//!
+//! The triple score `f(u, u', x) ∝ u·x + u'·x + u·u'` is not a dot product
+//! between `u` and `(x, u')`, so off-the-shelf top-k inner-product machinery
+//! does not apply directly. The paper's fix, implemented here:
+//!
+//! 1. [`transform`] — map each candidate pair `(x, u')` to the point
+//!    `p = (x, u', u'ᵀx)` in a `2K+1`-dimensional space, and the target
+//!    user to the query `q = (u, u, 1)`; then `q·p` equals the triple score
+//!    exactly.
+//! 2. [`prune`] — keep only each partner's top-k events as candidate pairs
+//!    (a partner won't accept an invitation to an event they dislike),
+//!    shrinking the space from `|U|·|X|` to `|U|·k`.
+//! 3. [`ta`] — Fagin's Threshold Algorithm over per-dimension sorted lists:
+//!    returns the exact top-n while touching a small fraction of points
+//!    (the non-negativity of rectified embeddings makes `q·p` monotone per
+//!    dimension, which is TA's correctness requirement).
+//! 4. [`brute`] — the exhaustive scorer, used as the GEM-BF baseline and as
+//!    the correctness oracle for TA.
+//! 5. [`engine`] — the end-to-end [`RecommendationEngine`] facade.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod engine;
+pub mod prune;
+pub mod ta;
+pub mod transform;
+
+pub use brute::BruteForce;
+pub use engine::{Method, Recommendation, RecommendationEngine};
+pub use prune::top_k_events_per_partner;
+pub use ta::{TaIndex, TaStats};
+pub use transform::TransformedSpace;

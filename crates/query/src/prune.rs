@@ -1,0 +1,103 @@
+//! Candidate pruning: keep each partner's top-k events (§IV).
+//!
+//! A recommended partner is unlikely to accept an invitation to an event
+//! they have no interest in, so for each candidate partner `u'` only their
+//! `k` highest-scoring events (`u'·x`) are kept as candidate pairs. This
+//! shrinks the transformed space from `|U|·|X|` to `|U|·k` and is the knob
+//! behind Fig. 7 (approximation ratio vs. k).
+
+use gem_core::{EventScorer, GemModel};
+use gem_ebsn::{EventId, UserId};
+
+/// For each partner, the top-`k` events by `u'·x`. Output pairs are grouped
+/// by partner, each group sorted by descending event score.
+///
+/// `k == 0` returns an empty candidate set; `k >= events.len()` keeps all
+/// pairs.
+pub fn top_k_events_per_partner(
+    model: &GemModel,
+    partners: &[UserId],
+    events: &[EventId],
+    k: usize,
+) -> Vec<(UserId, EventId)> {
+    let mut out = Vec::with_capacity(partners.len() * k.min(events.len()));
+    let mut scored: Vec<(f32, EventId)> = Vec::with_capacity(events.len());
+    for &p in partners {
+        scored.clear();
+        scored.extend(
+            events
+                .iter()
+                .map(|&x| (model.score_event(p, x) as f32, x)),
+        );
+        let take = k.min(scored.len());
+        if take == 0 {
+            continue;
+        }
+        if take < scored.len() {
+            scored.select_nth_unstable_by(take - 1, |a, b| {
+                b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
+            });
+            scored.truncate(take);
+        }
+        scored.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
+        });
+        out.extend(scored.iter().map(|&(_, x)| (p, x)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::toy_model;
+
+    #[test]
+    fn keeps_exactly_k_best_events() {
+        let model = toy_model(); // 3 users, 2 events
+        let partners = [UserId(0), UserId(1)];
+        let events = [EventId(0), EventId(1)];
+        let pairs = top_k_events_per_partner(&model, &partners, &events, 1);
+        assert_eq!(pairs.len(), 2);
+        // u0 = (1.0, 0.5): x0 score 0.7, x1 score 1.05 → best is x1.
+        assert_eq!(pairs[0], (UserId(0), EventId(1)));
+        // u1 = (0.2, 0.9): x0 score 0.78, x1 score 0.29 → best is x0.
+        assert_eq!(pairs[1], (UserId(1), EventId(0)));
+    }
+
+    #[test]
+    fn k_larger_than_events_keeps_all() {
+        let model = toy_model();
+        let pairs =
+            top_k_events_per_partner(&model, &[UserId(2)], &[EventId(0), EventId(1)], 10);
+        assert_eq!(pairs.len(), 2);
+        // Group is sorted by descending score.
+        let s0 = model.score_event(pairs[0].0, pairs[0].1);
+        let s1 = model.score_event(pairs[1].0, pairs[1].1);
+        assert!(s0 >= s1);
+    }
+
+    #[test]
+    fn k_zero_gives_no_candidates() {
+        let model = toy_model();
+        assert!(top_k_events_per_partner(&model, &[UserId(0)], &[EventId(0)], 0).is_empty());
+    }
+
+    #[test]
+    fn empty_partner_or_event_lists() {
+        let model = toy_model();
+        assert!(top_k_events_per_partner(&model, &[], &[EventId(0)], 3).is_empty());
+        assert!(top_k_events_per_partner(&model, &[UserId(0)], &[], 3).is_empty());
+    }
+
+    #[test]
+    fn pruned_set_is_subset_of_full_cross_product() {
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let pairs = top_k_events_per_partner(&model, &partners, &events, 1);
+        for (p, x) in pairs {
+            assert!(partners.contains(&p) && events.contains(&x));
+        }
+    }
+}

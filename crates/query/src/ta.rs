@@ -1,0 +1,523 @@
+//! Threshold Algorithm (TA) retrieval over the transformed space.
+//!
+//! The Eq. 8 score of a candidate pair decomposes into three monotone
+//! components:
+//!
+//! ```text
+//! score(u; x, u') = q_u · p_{xu'} = [u·x]  +  [u·u']  +  [u'ᵀx]
+//!                                     A(x)     B(u')     C(x, u')
+//! ```
+//!
+//! `A` has one value per *event*, `B` one per *partner*, and `C` is a
+//! query-independent per-pair scalar, precomputed offline by the space
+//! transformation. TA therefore runs over **three composite sorted lists**
+//! (the same structure as the LCARS TA the paper adopts, its ref. \[32\]):
+//!
+//! * the A-list: candidate pairs grouped by event, groups in descending
+//!   `A(x)` (computed per query in `O(|X|·K)`),
+//! * the B-list: pairs grouped by partner, descending `B(u')`
+//!   (`O(|U|·K)` per query),
+//! * the C-list: pairs in descending interaction value (offline).
+//!
+//! Each round pops one pair from each list (sorted access), scores new
+//! pairs in `O(1)` via `A + B + C` table lookups (random access), and stops
+//! as soon as the running top-n's minimum reaches the threshold
+//! `A_cur + B_cur + C_cur` — an upper bound on every unseen pair, which is
+//! what guarantees the result is the *exact* top-n while examining only a
+//! fraction of the candidates (Table VI measures that fraction).
+//!
+//! Unlike a coordinate-wise TA over the raw `2K+1` dimensions — which
+//! stalls because thousands of pairs share each event's coordinates — the
+//! composite lists descend through *distinct* A/B values, so the threshold
+//! drops quickly regardless of embedding signs or density.
+
+use crate::transform::TransformedSpace;
+use gem_core::math::dot;
+use gem_ebsn::{EventId, UserId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Offline part of the TA engine: pair groups and the interaction list.
+#[derive(Debug, Clone)]
+pub struct TaIndex {
+    /// Distinct events, each with the candidate pair indices sharing it.
+    event_groups: Vec<(EventId, Vec<u32>)>,
+    /// Representative pair index per event group (for the event vector).
+    event_rep: Vec<u32>,
+    /// Distinct partners, each with their candidate pair indices.
+    partner_groups: Vec<(UserId, Vec<u32>)>,
+    /// Representative pair index per partner group.
+    partner_rep: Vec<u32>,
+    /// All pair indices sorted by descending interaction value `u'ᵀx`.
+    by_interaction: Vec<u32>,
+    /// Event group id of each pair (for O(1) random access).
+    event_gid: Vec<u32>,
+    /// Partner group id of each pair.
+    partner_gid: Vec<u32>,
+    /// Number of candidate pairs the index was built from.
+    pairs: usize,
+}
+
+/// Work counters from one TA query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaStats {
+    /// Candidates whose full score was computed (random accesses).
+    pub scored: usize,
+    /// Total sorted-access pops across the three lists.
+    pub sorted_accesses: usize,
+}
+
+/// Min-heap entry (inverted ordering on a max-heap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    score: f32,
+    idx: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are finite")
+            .then(other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Cursor over pairs grouped by a descending per-group key.
+struct GroupCursor<'a> {
+    /// (group order, per-group pair lists) — group order is a permutation of
+    /// group indices by descending key.
+    order: Vec<u32>,
+    keys: &'a [f32],
+    groups: &'a [Vec<u32>],
+    group_pos: usize,
+    within_pos: usize,
+}
+
+impl<'a> GroupCursor<'a> {
+    fn new(keys: &'a [f32], groups: &'a [Vec<u32>]) -> Self {
+        let mut order: Vec<u32> = (0..groups.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            keys[b as usize]
+                .partial_cmp(&keys[a as usize])
+                .expect("keys are finite")
+                .then(a.cmp(&b))
+        });
+        Self { order, keys, groups, group_pos: 0, within_pos: 0 }
+    }
+
+    /// Current upper bound: the key of the group being consumed.
+    fn bound(&self) -> f32 {
+        if self.group_pos < self.order.len() {
+            self.keys[self.order[self.group_pos] as usize]
+        } else {
+            f32::NEG_INFINITY
+        }
+    }
+
+    /// Pop the next pair index, descending through groups.
+    fn pop(&mut self) -> Option<u32> {
+        while self.group_pos < self.order.len() {
+            let g = &self.groups[self.order[self.group_pos] as usize];
+            if self.within_pos < g.len() {
+                let idx = g[self.within_pos];
+                self.within_pos += 1;
+                return Some(idx);
+            }
+            self.group_pos += 1;
+            self.within_pos = 0;
+        }
+        None
+    }
+}
+
+impl TaIndex {
+    /// Build the offline structures (`O(n log n)` in the number of pairs).
+    pub fn build(space: &TransformedSpace) -> Self {
+        let n = space.len();
+        let k = space.k();
+        let mut event_groups: Vec<(EventId, Vec<u32>)> = Vec::new();
+        let mut event_rep = Vec::new();
+        let mut partner_groups: Vec<(UserId, Vec<u32>)> = Vec::new();
+        let mut partner_rep = Vec::new();
+        let mut event_slot: std::collections::HashMap<EventId, usize> =
+            std::collections::HashMap::new();
+        let mut partner_slot: std::collections::HashMap<UserId, usize> =
+            std::collections::HashMap::new();
+
+        let mut event_gid = vec![0u32; n];
+        let mut partner_gid = vec![0u32; n];
+        for i in 0..n {
+            let (partner, event) = space.pair(i);
+            let es = *event_slot.entry(event).or_insert_with(|| {
+                event_groups.push((event, Vec::new()));
+                event_rep.push(i as u32);
+                event_groups.len() - 1
+            });
+            event_groups[es].1.push(i as u32);
+            event_gid[i] = es as u32;
+            let ps = *partner_slot.entry(partner).or_insert_with(|| {
+                partner_groups.push((partner, Vec::new()));
+                partner_rep.push(i as u32);
+                partner_groups.len() - 1
+            });
+            partner_groups[ps].1.push(i as u32);
+            partner_gid[i] = ps as u32;
+        }
+
+        let mut by_interaction: Vec<u32> = (0..n as u32).collect();
+        by_interaction.sort_unstable_by(|&a, &b| {
+            let va = space.point(a as usize)[2 * k];
+            let vb = space.point(b as usize)[2 * k];
+            vb.partial_cmp(&va).expect("finite interaction values").then(a.cmp(&b))
+        });
+
+        Self {
+            event_groups,
+            event_rep,
+            partner_groups,
+            partner_rep,
+            by_interaction,
+            event_gid,
+            partner_gid,
+            pairs: n,
+        }
+    }
+
+    /// Number of distinct candidate events.
+    pub fn num_events(&self) -> usize {
+        self.event_groups.len()
+    }
+
+    /// Number of distinct candidate partners.
+    pub fn num_partners(&self) -> usize {
+        self.partner_groups.len()
+    }
+
+    /// Exact top-`n` pairs for query `q = (u, u, 1)`, skipping pairs
+    /// rejected by `filter`. Returns `(results sorted by descending score,
+    /// work stats)`.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != space.dim()` or the index was built from a
+    /// space of a different size.
+    pub fn top_n(
+        &self,
+        space: &TransformedSpace,
+        q: &[f32],
+        n: usize,
+        mut filter: impl FnMut(UserId, EventId) -> bool,
+    ) -> (Vec<(f32, UserId, EventId)>, TaStats) {
+        assert_eq!(q.len(), space.dim(), "query dimensionality mismatch");
+        assert_eq!(self.pairs, space.len(), "index was built from a space of different size");
+        let mut stats = TaStats::default();
+        if n == 0 || space.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let k = space.k();
+        let u = &q[0..k];
+
+        // Per-query composite keys: A over distinct events, B over distinct
+        // partners. O((|X| + |U|)·K).
+        let a_keys: Vec<f32> = self
+            .event_rep
+            .iter()
+            .map(|&rep| dot(u, &space.point(rep as usize)[0..k]))
+            .collect();
+        let b_keys: Vec<f32> = self
+            .partner_rep
+            .iter()
+            .map(|&rep| dot(u, &space.point(rep as usize)[k..2 * k]))
+            .collect();
+        let event_group_lists: Vec<Vec<u32>> =
+            self.event_groups.iter().map(|(_, g)| g.clone()).collect();
+        let partner_group_lists: Vec<Vec<u32>> =
+            self.partner_groups.iter().map(|(_, g)| g.clone()).collect();
+        let mut a_cursor = GroupCursor::new(&a_keys, &event_group_lists);
+        let mut b_cursor = GroupCursor::new(&b_keys, &partner_group_lists);
+        let mut c_pos = 0usize;
+
+        let mut seen = vec![false; space.len()];
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n + 1);
+        let c_value = |idx: u32| space.point(idx as usize)[2 * k];
+
+        loop {
+            let mut progressed = false;
+            // One sorted access per list per round.
+            for source in 0..3u8 {
+                let idx = match source {
+                    0 => a_cursor.pop(),
+                    1 => b_cursor.pop(),
+                    _ => {
+                        let v = self.by_interaction.get(c_pos).copied();
+                        if v.is_some() {
+                            c_pos += 1;
+                        }
+                        v
+                    }
+                };
+                let Some(idx) = idx else { continue };
+                progressed = true;
+                stats.sorted_accesses += 1;
+                if seen[idx as usize] {
+                    continue;
+                }
+                seen[idx as usize] = true;
+                let (partner, event) = space.pair(idx as usize);
+                if !filter(partner, event) {
+                    continue;
+                }
+                stats.scored += 1;
+                let score = a_keys[self.event_gid[idx as usize] as usize]
+                    + b_keys[self.partner_gid[idx as usize] as usize]
+                    + c_value(idx) * q[2 * k];
+                if heap.len() < n {
+                    heap.push(HeapEntry { score, idx });
+                } else if let Some(worst) = heap.peek() {
+                    if score > worst.score {
+                        heap.pop();
+                        heap.push(HeapEntry { score, idx });
+                    }
+                }
+            }
+            if !progressed {
+                break; // all lists exhausted
+            }
+            // Threshold: no unseen pair can beat A_cur + B_cur + C_cur.
+            if heap.len() == n {
+                let c_bound = if c_pos < self.by_interaction.len() {
+                    c_value(self.by_interaction[c_pos]) * q[2 * k]
+                } else {
+                    f32::NEG_INFINITY
+                };
+                let threshold = a_cursor.bound() + b_cursor.bound() + c_bound;
+                let min_top = heap.peek().expect("heap is non-empty").score;
+                if min_top >= threshold {
+                    break;
+                }
+            }
+        }
+
+        let mut results: Vec<(f32, UserId, EventId)> = heap
+            .into_iter()
+            .map(|e| {
+                let (p, x) = space.pair(e.idx as usize);
+                (e.score, p, x)
+            })
+            .collect();
+        results.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("scores are finite").then((a.1, a.2).cmp(&(b.1, b.2)))
+        });
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use crate::transform::toy_model;
+    use gem_core::GemModel;
+    use rand::RngExt;
+
+    fn cross_space(model: &GemModel, users: u32, events: u32) -> TransformedSpace {
+        let candidates: Vec<(UserId, EventId)> = (0..users)
+            .flat_map(|p| (0..events).map(move |x| (UserId(p), EventId(x))))
+            .collect();
+        TransformedSpace::build(model, &candidates)
+    }
+
+    #[test]
+    fn ta_matches_brute_force_on_toy_model() {
+        let model = toy_model();
+        let space = cross_space(&model, 3, 2);
+        let index = TaIndex::build(&space);
+        let brute = BruteForce::new(&space);
+        for u in 0..3u32 {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            let (ta, _) = index.top_n(&space, &q, 3, |p, _| p != UserId(u));
+            let bf = brute.top_n(&q, 3, |p, _| p != UserId(u));
+            assert_eq!(ta.len(), bf.len());
+            for (a, b) in ta.iter().zip(&bf) {
+                assert!((a.0 - b.0).abs() < 1e-5, "score mismatch {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ta_matches_brute_force_on_random_model() {
+        let mut rng = gem_sampling::rng_from_seed(31);
+        let dim = 8;
+        let users: Vec<f32> = (0..40 * dim).map(|_| rng.random::<f32>()).collect();
+        let events: Vec<f32> = (0..25 * dim).map(|_| rng.random::<f32>()).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let space = cross_space(&model, 40, 25);
+        let index = TaIndex::build(&space);
+        let brute = BruteForce::new(&space);
+        for u in [0u32, 7, 13, 39] {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            for n in [1, 5, 10] {
+                let (ta, stats) = index.top_n(&space, &q, n, |p, _| p != UserId(u));
+                let bf = brute.top_n(&q, n, |p, _| p != UserId(u));
+                let ta_scores: Vec<f32> = ta.iter().map(|r| r.0).collect();
+                let bf_scores: Vec<f32> = bf.iter().map(|r| r.0).collect();
+                for (a, b) in ta_scores.iter().zip(&bf_scores) {
+                    assert!((a - b).abs() < 1e-5, "u={u} n={n}: {ta_scores:?} vs {bf_scores:?}");
+                }
+                assert!(stats.scored <= space.len());
+            }
+        }
+    }
+
+    #[test]
+    fn signed_queries_match_brute_force() {
+        // Un-rectified embeddings: signed coordinates everywhere.
+        let mut rng = gem_sampling::rng_from_seed(99);
+        let dim = 6;
+        let users: Vec<f32> = (0..20 * dim).map(|_| rng.random::<f32>() - 0.5).collect();
+        let events: Vec<f32> = (0..10 * dim).map(|_| rng.random::<f32>() - 0.5).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let space = cross_space(&model, 20, 10);
+        let index = TaIndex::build(&space);
+        let brute = BruteForce::new(&space);
+        for u in 0..20u32 {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            assert!(q.iter().any(|&v| v < 0.0), "test needs signed queries");
+            let (ta, _) = index.top_n(&space, &q, 5, |_, _| true);
+            let bf = brute.top_n(&q, 5, |_, _| true);
+            for (a, b) in ta.iter().zip(&bf) {
+                assert!((a.0 - b.0).abs() < 1e-5, "u={u}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ta_prunes_on_skewed_data() {
+        // One dominant partner: TA should stop long before exhausting the
+        // candidate pairs.
+        let dim = 4;
+        let n_users = 300u32;
+        let n_events = 40u32;
+        let mut rng = gem_sampling::rng_from_seed(5);
+        let mut users: Vec<f32> = (0..n_users as usize * dim)
+            .map(|_| rng.random::<f32>() * 0.05)
+            .collect();
+        for d in 0..dim {
+            users[dim + d] = 3.0; // partner 1 dominates
+        }
+        let events: Vec<f32> = (0..n_events as usize * dim)
+            .map(|_| rng.random::<f32>() * 0.5)
+            .collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let space = cross_space(&model, n_users, n_events);
+        let index = TaIndex::build(&space);
+        let q = TransformedSpace::query_vector(&model, UserId(0));
+        let (top, stats) = index.top_n(&space, &q, 5, |_, _| true);
+        assert_eq!(top[0].1, UserId(1));
+        assert!(
+            stats.scored < space.len() / 4,
+            "TA scored {}/{} pairs",
+            stats.scored,
+            space.len()
+        );
+    }
+
+    #[test]
+    fn filter_excludes_candidates() {
+        let model = toy_model();
+        let space = cross_space(&model, 3, 2);
+        let index = TaIndex::build(&space);
+        let q = TransformedSpace::query_vector(&model, UserId(0));
+        let (results, _) = index.top_n(&space, &q, 10, |p, _| p != UserId(0));
+        assert!(results.iter().all(|r| r.1 != UserId(0)));
+        assert_eq!(results.len(), 4); // 2 partners × 2 events
+    }
+
+    #[test]
+    fn n_zero_or_empty_space() {
+        let model = toy_model();
+        let space = cross_space(&model, 3, 2);
+        let index = TaIndex::build(&space);
+        let q = TransformedSpace::query_vector(&model, UserId(0));
+        assert!(index.top_n(&space, &q, 0, |_, _| true).0.is_empty());
+
+        let empty = TransformedSpace::build(&model, &[]);
+        let index = TaIndex::build(&empty);
+        assert!(index.top_n(&empty, &q, 5, |_, _| true).0.is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_descending() {
+        let model = toy_model();
+        let space = cross_space(&model, 3, 2);
+        let index = TaIndex::build(&space);
+        let q = TransformedSpace::query_vector(&model, UserId(2));
+        let (results, _) = index.top_n(&space, &q, 6, |_, _| true);
+        for w in results.windows(2) {
+            assert!(w[0].0 >= w[1].0);
+        }
+    }
+
+    #[test]
+    fn group_structure_is_complete() {
+        let model = toy_model();
+        let space = cross_space(&model, 3, 2);
+        let index = TaIndex::build(&space);
+        assert_eq!(index.num_events(), 2);
+        assert_eq!(index.num_partners(), 3);
+        let total: usize = index.event_groups.iter().map(|(_, g)| g.len()).sum();
+        assert_eq!(total, space.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use gem_core::GemModel;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// TA always returns exactly the brute-force top-n scores, for any
+        /// signed model.
+        #[test]
+        fn ta_equals_brute_force(
+            dim in 2usize..5,
+            nu in 2u32..12,
+            nx in 1u32..8,
+            n in 1usize..6,
+            seed in 0u64..50,
+        ) {
+            let mut rng = gem_sampling::rng_from_seed(seed);
+            use rand::RngExt;
+            let users: Vec<f32> =
+                (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+            let events: Vec<f32> =
+                (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+            let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+            let candidates: Vec<(UserId, EventId)> = (0..nu)
+                .flat_map(|p| (0..nx).map(move |x| (UserId(p), EventId(x))))
+                .collect();
+            let space = TransformedSpace::build(&model, &candidates);
+            let index = TaIndex::build(&space);
+            let brute = BruteForce::new(&space);
+            let q = TransformedSpace::query_vector(&model, UserId(0));
+            let (ta, _) = index.top_n(&space, &q, n, |_, _| true);
+            let bf = brute.top_n(&q, n, |_, _| true);
+            prop_assert_eq!(ta.len(), bf.len());
+            for (a, b) in ta.iter().zip(&bf) {
+                prop_assert!((a.0 - b.0).abs() < 1e-5,
+                    "ta {:?} vs bf {:?}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The space transformation of §IV.
+//!
+//! Each event-partner pair `(x, u')` becomes one point
+//! `p_{xu'} = (x⃗, u'⃗, u'ᵀx)` in `2K+1` dimensions; the target user becomes
+//! `q_u = (u⃗, u⃗, 1)`. Then
+//!
+//! ```text
+//! q_u · p_{xu'} = u·x + u·u' + u'ᵀx  =  the Eq. 8 triple score.
+//! ```
+//!
+//! The transformation is computed offline once per model snapshot.
+
+use gem_core::math::dot;
+use gem_core::GemModel;
+use gem_ebsn::{EventId, UserId};
+
+/// The transformed candidate space: one `2K+1`-dim point per candidate
+/// event-partner pair.
+#[derive(Debug, Clone)]
+pub struct TransformedSpace {
+    k: usize,
+    /// Row-major points, `len() × (2k+1)`.
+    points: Vec<f32>,
+    /// `(partner, event)` identity of each point.
+    pairs: Vec<(UserId, EventId)>,
+}
+
+impl TransformedSpace {
+    /// Build the space for the given candidate pairs.
+    pub fn build(model: &GemModel, candidates: &[(UserId, EventId)]) -> Self {
+        let k = model.dim;
+        let dim = 2 * k + 1;
+        let mut points = Vec::with_capacity(candidates.len() * dim);
+        for &(partner, event) in candidates {
+            let pv = model.user_vec(partner);
+            let xv = model.event_vec(event);
+            points.extend_from_slice(xv);
+            points.extend_from_slice(pv);
+            points.push(dot(pv, xv));
+        }
+        Self { k, points, pairs: candidates.to_vec() }
+    }
+
+    /// The query point `q_u = (u, u, 1)` for a target user.
+    pub fn query_vector(model: &GemModel, u: UserId) -> Vec<f32> {
+        let uv = model.user_vec(u);
+        let mut q = Vec::with_capacity(2 * uv.len() + 1);
+        q.extend_from_slice(uv);
+        q.extend_from_slice(uv);
+        q.push(1.0);
+        q
+    }
+
+    /// Embedding dimension `K` of the underlying model.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Dimensionality of the transformed space (`2K+1`).
+    pub fn dim(&self) -> usize {
+        2 * self.k + 1
+    }
+
+    /// Number of candidate points.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The transformed point of candidate `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f32] {
+        let d = self.dim();
+        &self.points[i * d..(i + 1) * d]
+    }
+
+    /// The `(partner, event)` identity of candidate `i`.
+    #[inline]
+    pub fn pair(&self, i: usize) -> (UserId, EventId) {
+        self.pairs[i]
+    }
+
+    /// Approximate memory footprint in bytes (paper's storage-cost note).
+    pub fn bytes(&self) -> usize {
+        self.points.len() * std::mem::size_of::<f32>()
+            + self.pairs.len() * std::mem::size_of::<(UserId, EventId)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::EventScorer;
+
+    pub(crate) fn toy_model() -> GemModel {
+        // dim 2; 3 users, 2 events; strictly non-negative (post-ReLU).
+        GemModel::from_raw(
+            2,
+            vec![1.0, 0.5, 0.2, 0.9, 0.7, 0.0],
+            vec![0.3, 0.8, 1.0, 0.1],
+            vec![],
+            vec![],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn transformed_dot_equals_triple_score() {
+        let model = toy_model();
+        let candidates: Vec<(UserId, EventId)> = (0..3)
+            .flat_map(|p| (0..2).map(move |x| (UserId(p), EventId(x))))
+            .collect();
+        let space = TransformedSpace::build(&model, &candidates);
+        assert_eq!(space.dim(), 5);
+        for u in 0..3u32 {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            for i in 0..space.len() {
+                let (partner, event) = space.pair(i);
+                let via_space = dot(&q, space.point(i)) as f64;
+                let direct = model.score_triple(UserId(u), partner, event);
+                assert!(
+                    (via_space - direct).abs() < 1e-5,
+                    "u={u} i={i}: {via_space} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_layout_is_event_partner_interaction() {
+        let model = toy_model();
+        let space = TransformedSpace::build(&model, &[(UserId(1), EventId(0))]);
+        let p = space.point(0);
+        assert_eq!(&p[0..2], model.event_vec(EventId(0)));
+        assert_eq!(&p[2..4], model.user_vec(UserId(1)));
+        let expected = dot(model.user_vec(UserId(1)), model.event_vec(EventId(0)));
+        assert_eq!(p[4], expected);
+    }
+
+    #[test]
+    fn empty_candidates_build_empty_space() {
+        let model = toy_model();
+        let space = TransformedSpace::build(&model, &[]);
+        assert!(space.is_empty());
+        assert_eq!(space.len(), 0);
+    }
+
+    #[test]
+    fn bytes_reflects_point_storage() {
+        let model = toy_model();
+        let space = TransformedSpace::build(&model, &[(UserId(0), EventId(0))]);
+        assert_eq!(space.bytes(), 5 * 4 + 8);
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::toy_model;

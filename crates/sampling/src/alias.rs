@@ -1,0 +1,272 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! GEM samples a positive edge with probability proportional to its weight at
+//! *every* gradient step (§III-A, "edge sampling"), and a bipartite graph
+//! proportional to its edge count at every step of the joint trainer
+//! (Algorithm 2). Both are served by this table: `O(n)` construction, `O(1)`
+//! per draw, which keeps the per-step cost at the `O(K)` the paper's
+//! complexity analysis assumes.
+
+use rand::{Rng, RngExt};
+
+/// A Walker alias table over indices `0..n` with given non-negative weights.
+///
+/// # Example
+/// ```
+/// use gem_sampling::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[1.0, 2.0, 7.0]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let idx = table.sample(&mut rng);
+/// assert!(idx < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability for the "home" index of each bucket.
+    prob: Vec<f64>,
+    /// Alias index used when the home index is rejected.
+    alias: Vec<u32>,
+    /// Total weight the table was built from (useful for callers that merge
+    /// several tables, e.g. the multi-graph trainer).
+    total_weight: f64,
+}
+
+/// Errors that can arise when building an [`AliasTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AliasError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// All weights were zero.
+    ZeroMass,
+}
+
+impl std::fmt::Display for AliasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AliasError::Empty => write!(f, "cannot build alias table from empty weights"),
+            AliasError::InvalidWeight { index } => {
+                write!(f, "weight at index {index} is negative or non-finite")
+            }
+            AliasError::ZeroMass => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for AliasError {}
+
+impl AliasTable {
+    /// Build a table from non-negative weights.
+    pub fn new(weights: &[f64]) -> Result<Self, AliasError> {
+        if weights.is_empty() {
+            return Err(AliasError::Empty);
+        }
+        if weights.len() > u32::MAX as usize {
+            // Index space is u32 to keep the table compact; EBSN graphs are
+            // far below this bound.
+            return Err(AliasError::InvalidWeight { index: u32::MAX as usize });
+        }
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(AliasError::InvalidWeight { index: i });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(AliasError::ZeroMass);
+        }
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        // Partition buckets into those under- and over-filled relative to 1.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Move the deficit of bucket `s` out of bucket `l`.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical slack: whatever is left is (up to rounding) exactly 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Ok(Self { prob, alias, total_weight: total })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no outcomes (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The sum of the weights the table was built from.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Draw an index in `0..len()` with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let bucket = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 8], 400_000, 11);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.005, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let freqs = empirical(&weights, 400_000, 12);
+        for (i, f) in freqs.iter().enumerate() {
+            let expected = weights[i] / 10.0;
+            assert!((f - expected).abs() < 0.01, "idx {i}: {f} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let freqs = empirical(&[0.0, 5.0, 0.0, 5.0], 100_000, 13);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+    }
+
+    #[test]
+    fn single_entry_always_sampled() {
+        let table = AliasTable::new(&[3.7]).unwrap();
+        let mut rng = rng_from_seed(14);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(AliasTable::new(&[]).unwrap_err(), AliasError::Empty);
+        assert_eq!(
+            AliasTable::new(&[1.0, -2.0]).unwrap_err(),
+            AliasError::InvalidWeight { index: 1 }
+        );
+        assert_eq!(
+            AliasTable::new(&[1.0, f64::NAN]).unwrap_err(),
+            AliasError::InvalidWeight { index: 1 }
+        );
+        assert_eq!(AliasTable::new(&[0.0, 0.0]).unwrap_err(), AliasError::ZeroMass);
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        let table = AliasTable::new(&[1.5, 2.5]).unwrap();
+        assert!((table.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn highly_skewed_distribution() {
+        // One huge weight among many tiny ones must dominate.
+        let mut weights = vec![1e-6; 1000];
+        weights[500] = 1.0;
+        let freqs = empirical(&weights, 200_000, 15);
+        assert!(freqs[500] > 0.99, "dominant freq {}", freqs[500]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Construction never panics on valid inputs and sampled indices are
+        /// always in range with nonzero weight.
+        #[test]
+        fn sampled_indices_have_positive_weight(
+            weights in prop::collection::vec(0.0f64..100.0, 1..64),
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let table = AliasTable::new(&weights).unwrap();
+            let mut rng = rng_from_seed(seed);
+            for _ in 0..256 {
+                let idx = table.sample(&mut rng);
+                prop_assert!(idx < weights.len());
+                prop_assert!(weights[idx] > 0.0, "sampled zero-weight index {idx}");
+            }
+        }
+
+        /// The empirical distribution converges to the normalized weights
+        /// (coarse bound; this is a statistical test with fixed seeds).
+        #[test]
+        fn empirical_distribution_matches(
+            weights in prop::collection::vec(0.1f64..10.0, 2..12),
+        ) {
+            let total: f64 = weights.iter().sum();
+            let table = AliasTable::new(&weights).unwrap();
+            let mut rng = rng_from_seed(42);
+            let draws = 60_000;
+            let mut counts = vec![0usize; weights.len()];
+            for _ in 0..draws {
+                counts[table.sample(&mut rng)] += 1;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                let expected = weights[i] / total;
+                let got = c as f64 / draws as f64;
+                prop_assert!((got - expected).abs() < 0.03,
+                    "index {i}: empirical {got} vs expected {expected}");
+            }
+        }
+    }
+}

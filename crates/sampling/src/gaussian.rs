@@ -1,0 +1,125 @@
+//! Hand-rolled Gaussian sampling (Box–Muller).
+//!
+//! The GEM paper initialises all embeddings from `N(0, 0.01)` (§V-A). The
+//! workspace does not depend on `rand_distr`, so the polar Box–Muller
+//! transform is implemented here. The polar variant avoids trigonometric
+//! functions and rejects ~21% of candidate pairs, which is perfectly fine for
+//! an initialisation-only code path.
+
+use rand::{Rng, RngExt};
+
+/// Draw a single sample from `N(mean, std_dev²)`.
+///
+/// Convenience wrapper around [`GaussianSampler`] for one-off draws; when
+/// drawing many samples prefer the sampler, which caches the spare variate
+/// the transform produces.
+pub fn gaussian<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let mut g = GaussianSampler::new(mean, std_dev);
+    g.sample(rng)
+}
+
+/// A reusable Gaussian sampler using the polar Box–Muller transform.
+///
+/// Each transform produces two independent standard normal variates; the
+/// second is cached and returned by the next call, halving the number of
+/// uniform draws needed.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Create a sampler for `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "standard deviation must be finite and non-negative, got {std_dev}"
+        );
+        Self { mean, std_dev, spare: None }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std_dev * z;
+        }
+        // Polar method: draw (u, v) uniformly on [-1, 1]² until inside the
+        // unit circle (excluding the origin), then transform.
+        loop {
+            let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return self.mean + self.std_dev * (u * factor);
+            }
+        }
+    }
+
+    /// Fill `out` with samples.
+    pub fn fill<R: Rng>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn moments_match_parameters() {
+        let mut rng = rng_from_seed(99);
+        let mut g = GaussianSampler::new(2.0, 3.0);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 9.0).abs() < 0.25, "variance was {var}");
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let mut rng = rng_from_seed(1);
+        let mut g = GaussianSampler::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn tail_mass_is_small() {
+        // ~0.27% of standard normal mass lies outside ±3σ.
+        let mut rng = rng_from_seed(7);
+        let mut g = GaussianSampler::new(0.0, 1.0);
+        let n = 100_000;
+        let outside = (0..n).filter(|_| g.sample(&mut rng).abs() > 3.0).count();
+        let frac = outside as f64 / n as f64;
+        assert!(frac < 0.006, "tail fraction {frac} too large");
+        assert!(frac > 0.0005, "tail fraction {frac} too small");
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn negative_std_dev_panics() {
+        GaussianSampler::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn fill_fills_everything() {
+        let mut rng = rng_from_seed(3);
+        let mut g = GaussianSampler::new(0.0, 0.01);
+        let mut buf = vec![f64::NAN; 101];
+        g.fill(&mut rng, &mut buf);
+        assert!(buf.iter().all(|x| x.is_finite()));
+    }
+}

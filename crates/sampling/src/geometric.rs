@@ -1,0 +1,195 @@
+//! Truncated geometric rank distribution for the adaptive noise sampler.
+//!
+//! GEM-A (§III-B, Eq. 6) samples a *rank* `s ∈ {0, …, n-1}` with
+//! `p(s) ∝ exp(-s/λ)`: low ranks (nodes currently scored most similar to the
+//! context node) are far more likely, which is what makes the generated
+//! negative edges "adversarial". The distribution must be truncated at the
+//! number of candidate nodes `n`.
+//!
+//! Sampling uses inverse-transform on the closed-form geometric CDF, so a
+//! draw is `O(1)` — the paper's Algorithm 1 relies on rank draws being free
+//! compared to the `O(K)` gradient step.
+
+use rand::{Rng, RngExt};
+
+/// A geometric distribution over ranks `0..n` with density `∝ exp(-s/λ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TruncatedGeometric {
+    n: usize,
+    /// `q = exp(-1/λ)`, the per-step decay ratio.
+    q: f64,
+    /// `1 - q^n`, total mass before normalisation by `(1-q)`.
+    total_mass: f64,
+}
+
+impl TruncatedGeometric {
+    /// Create a distribution over `0..n` with temperature `lambda`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `lambda <= 0` or `lambda` is not finite.
+    pub fn new(n: usize, lambda: f64) -> Self {
+        assert!(n > 0, "rank support must be non-empty");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive and finite, got {lambda}"
+        );
+        let q = (-1.0 / lambda).exp();
+        // 1 - q^n, computed stably. For large n·(1/λ) this saturates at 1.
+        let total_mass = -(q.powi(n.min(i32::MAX as usize) as i32) - 1.0);
+        Self { n, q, total_mass }
+    }
+
+    /// Number of ranks in the support.
+    pub fn support(&self) -> usize {
+        self.n
+    }
+
+    /// Probability mass of rank `s` (0 outside the support).
+    pub fn pmf(&self, s: usize) -> f64 {
+        if s >= self.n {
+            return 0.0;
+        }
+        let unnorm = self.q.powi(s as i32) * (1.0 - self.q);
+        unnorm / self.total_mass
+    }
+
+    /// Draw one rank by inverse transform: `s = floor(ln(1 - u·mass) / ln q)`.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        if self.n == 1 {
+            return 0;
+        }
+        let u: f64 = rng.random::<f64>();
+        // CDF(s) = (1 - q^{s+1}) / (1 - q^n); invert for u in [0, 1).
+        let s = ((1.0 - u * self.total_mass).ln() / self.q.ln()).floor() as isize;
+        // Clamp against floating point edge cases at both ends.
+        s.clamp(0, self.n as isize - 1) as usize
+    }
+
+    /// Draw `m` ranks into a caller-provided buffer (may contain duplicates,
+    /// matching Algorithm 1 which draws a rank multiset of size M).
+    pub fn sample_many<R: Rng>(&self, rng: &mut R, out: &mut [usize]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, lambda) in &[(5usize, 1.0), (100, 10.0), (1000, 200.0), (3, 0.5)] {
+            let d = TruncatedGeometric::new(n, lambda);
+            let total: f64 = (0..n).map(|s| d.pmf(s)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} λ={lambda}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_monotonically_decreasing() {
+        let d = TruncatedGeometric::new(50, 7.0);
+        for s in 1..50 {
+            assert!(d.pmf(s) < d.pmf(s - 1));
+        }
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let d = TruncatedGeometric::new(20, 5.0);
+        let mut rng = rng_from_seed(21);
+        let draws = 400_000;
+        let mut counts = vec![0usize; 20];
+        for _ in 0..draws {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for s in 0..20 {
+            let got = counts[s] as f64 / draws as f64;
+            let expected = d.pmf(s);
+            assert!(
+                (got - expected).abs() < 0.01,
+                "rank {s}: empirical {got} vs pmf {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let d = TruncatedGeometric::new(7, 1000.0); // near-uniform
+        let mut rng = rng_from_seed(22);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn large_lambda_is_near_uniform() {
+        let d = TruncatedGeometric::new(4, 1e6);
+        for s in 0..4 {
+            assert!((d.pmf(s) - 0.25).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn small_lambda_concentrates_on_rank_zero() {
+        let d = TruncatedGeometric::new(100, 0.2);
+        assert!(d.pmf(0) > 0.99);
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let d = TruncatedGeometric::new(1, 10.0);
+        let mut rng = rng_from_seed(23);
+        assert_eq!(d.sample(&mut rng), 0);
+        assert!((d.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_many_fills_buffer() {
+        let d = TruncatedGeometric::new(10, 3.0);
+        let mut rng = rng_from_seed(24);
+        let mut buf = [usize::MAX; 5];
+        d.sample_many(&mut rng, &mut buf);
+        assert!(buf.iter().all(|&s| s < 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_panics() {
+        TruncatedGeometric::new(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn empty_support_panics() {
+        TruncatedGeometric::new(0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pmf_always_normalised(n in 1usize..500, lambda in 0.1f64..1000.0) {
+            let d = TruncatedGeometric::new(n, lambda);
+            let total: f64 = (0..n).map(|s| d.pmf(s)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-8);
+        }
+
+        #[test]
+        fn samples_always_in_range(n in 1usize..200, lambda in 0.1f64..500.0, seed in 0u64..64) {
+            let d = TruncatedGeometric::new(n, lambda);
+            let mut rng = rng_from_seed(seed);
+            for _ in 0..128 {
+                prop_assert!(d.sample(&mut rng) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Sampling primitives used throughout the GEM recommender.
+//!
+//! The GEM training loop (see the `gem-core` crate) is dominated by three
+//! kinds of random draws, all of which are implemented here:
+//!
+//! * **Weighted edge sampling** — a positive edge is drawn with probability
+//!   proportional to its weight (LINE-style edge sampling). Implemented with
+//!   a [`AliasTable`] (Walker's method), which draws in `O(1)`.
+//! * **Degree-based noise sampling** — negative (noise) nodes are drawn from
+//!   `P_n(v) ∝ deg(v)^0.75`, the distribution popularised by word2vec. See
+//!   [`DegreeNoise`].
+//! * **Rank sampling for the adaptive noise sampler** — GEM-A draws *ranks*
+//!   from a truncated geometric distribution `p(s) ∝ exp(-s/λ)` (Eq. 6 of the
+//!   paper). See [`TruncatedGeometric`].
+//!
+//! In addition the crate provides small deterministic RNG helpers
+//! ([`rng_from_seed`], [`split_seed`]) and a hand-rolled Gaussian sampler
+//! ([`gaussian::gaussian`], Box–Muller) used for embedding initialisation, because the
+//! workspace deliberately avoids pulling in `rand_distr`.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod gaussian;
+pub mod geometric;
+pub mod noise;
+pub mod rng;
+
+pub use alias::AliasTable;
+pub use gaussian::{gaussian, GaussianSampler};
+pub use geometric::TruncatedGeometric;
+pub use noise::DegreeNoise;
+pub use rng::{rng_from_seed, split_seed, SeededRng};

@@ -1,0 +1,110 @@
+//! Degree-based noise distribution `P_n(v) ∝ deg(v)^0.75`.
+//!
+//! This is the static noise sampler used by GEM-P and PTE (§III-A): when a
+//! negative edge is needed for a context node, the noise node is drawn from
+//! the smoothed degree distribution popularised by word2vec. GEM-A replaces
+//! this with the adaptive rank-based sampler, but the degree sampler remains
+//! both a baseline and the fallback when the adaptive rankings are stale.
+
+use crate::alias::{AliasError, AliasTable};
+use rand::Rng;
+
+/// Default smoothing exponent from word2vec / LINE.
+pub const DEFAULT_EXPONENT: f64 = 0.75;
+
+/// A static noise-node distribution over one side of a bipartite graph.
+#[derive(Debug, Clone)]
+pub struct DegreeNoise {
+    table: AliasTable,
+    exponent: f64,
+}
+
+impl DegreeNoise {
+    /// Build from node degrees with the standard 0.75 exponent.
+    ///
+    /// Degrees may be weighted (fractional); zero-degree nodes are never
+    /// sampled.
+    pub fn from_degrees(degrees: &[f64]) -> Result<Self, AliasError> {
+        Self::with_exponent(degrees, DEFAULT_EXPONENT)
+    }
+
+    /// Build with a custom smoothing exponent (0 = uniform over nodes with
+    /// nonzero degree, 1 = proportional to degree).
+    pub fn with_exponent(degrees: &[f64], exponent: f64) -> Result<Self, AliasError> {
+        let weights: Vec<f64> = degrees
+            .iter()
+            .map(|&d| if d > 0.0 { d.powf(exponent) } else { 0.0 })
+            .collect();
+        Ok(Self { table: AliasTable::new(&weights)?, exponent })
+    }
+
+    /// The smoothing exponent the distribution was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Number of nodes covered (including zero-degree nodes).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when covering zero nodes (cannot happen for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draw a noise node index.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn smoothing_flattens_the_distribution() {
+        // degree ratio 16:1 becomes 16^0.75 : 1 = 8:1 under smoothing.
+        let noise = DegreeNoise::from_degrees(&[16.0, 1.0]).unwrap();
+        let mut rng = rng_from_seed(31);
+        let draws = 300_000;
+        let hits0 = (0..draws).filter(|_| noise.sample(&mut rng) == 0).count();
+        let ratio = hits0 as f64 / (draws - hits0) as f64;
+        assert!((ratio - 8.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_degree_nodes_never_sampled() {
+        let noise = DegreeNoise::from_degrees(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = rng_from_seed(32);
+        for _ in 0..10_000 {
+            let v = noise.sample(&mut rng);
+            assert!(v == 1 || v == 3);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform_over_active_nodes() {
+        let noise = DegreeNoise::with_exponent(&[1.0, 100.0], 0.0).unwrap();
+        let mut rng = rng_from_seed(33);
+        let draws = 200_000;
+        let hits0 = (0..draws).filter(|_| noise.sample(&mut rng) == 0).count();
+        let frac = hits0 as f64 / draws as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn all_zero_degrees_is_an_error() {
+        assert!(DegreeNoise::from_degrees(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn exponent_is_recorded() {
+        let noise = DegreeNoise::with_exponent(&[1.0, 2.0], 0.5).unwrap();
+        assert_eq!(noise.exponent(), 0.5);
+        assert_eq!(noise.len(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Uniform lat/lon grid index for ε-neighbourhood queries.
+//!
+//! DBSCAN repeatedly asks "which points lie within ε km of p?". A naive scan
+//! is `O(n)` per query and `O(n²)` overall. City-scale EBSN data (thousands
+//! of venues) clusters comfortably with a uniform grid whose cell side is ε:
+//! any point within ε of `p` lives in the 3×3 block of cells around `p`'s
+//! cell, so the candidate set is small and the exact haversine test is only
+//! run on those candidates.
+//!
+//! Longitude cell width is corrected by `cos(latitude)` at the bounding box
+//! centre so the cells stay ~ε km wide at the dataset's latitude (a city
+//! spans a small latitude range, so a single correction factor suffices).
+
+use crate::point::{haversine_km, GeoPoint};
+
+/// Degrees of latitude per kilometre (≈ 1/111.32).
+const DEG_LAT_PER_KM: f64 = 1.0 / 111.319_49;
+
+/// A uniform grid over a set of points, built once, queried many times.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<GeoPoint>,
+    /// Cell id → indices of points in that cell.
+    cells: std::collections::HashMap<(i32, i32), Vec<u32>>,
+    min_lat: f64,
+    min_lon: f64,
+    cell_deg_lat: f64,
+    cell_deg_lon: f64,
+}
+
+impl GridIndex {
+    /// Build an index with cells sized for radius queries of `eps_km`.
+    ///
+    /// # Panics
+    /// Panics if `eps_km` is not strictly positive and finite.
+    pub fn build(points: &[GeoPoint], eps_km: f64) -> Self {
+        assert!(
+            eps_km.is_finite() && eps_km > 0.0,
+            "eps_km must be positive and finite, got {eps_km}"
+        );
+        let (mut min_lat, mut max_lat) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_lon, mut _max_lon) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_lat = min_lat.min(p.lat());
+            max_lat = max_lat.max(p.lat());
+            min_lon = min_lon.min(p.lon());
+            _max_lon = _max_lon.max(p.lon());
+        }
+        if points.is_empty() {
+            min_lat = 0.0;
+            max_lat = 0.0;
+            min_lon = 0.0;
+        }
+        let mid_lat = ((min_lat + max_lat) / 2.0).to_radians();
+        let cell_deg_lat = eps_km * DEG_LAT_PER_KM;
+        // Shrink longitude degrees per km by cos(latitude); clamp so polar
+        // data degrades to coarse cells instead of dividing by ~0.
+        let cos_lat = mid_lat.cos().max(0.01);
+        let cell_deg_lon = eps_km * DEG_LAT_PER_KM / cos_lat;
+
+        let mut cells: std::collections::HashMap<(i32, i32), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            let key = cell_key(p, min_lat, min_lon, cell_deg_lat, cell_deg_lon);
+            cells.entry(key).or_default().push(i as u32);
+        }
+        Self {
+            points: points.to_vec(),
+            cells,
+            min_lat,
+            min_lon,
+            cell_deg_lat,
+            cell_deg_lon,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `eps_km` of `center` (including the
+    /// centre point itself if it is indexed at distance 0).
+    ///
+    /// `eps_km` must not exceed the radius the index was built for, otherwise
+    /// the 3×3 cell block no longer covers the query disc; this is enforced
+    /// with a debug assertion.
+    pub fn neighbors_within(&self, center: &GeoPoint, eps_km: f64, out: &mut Vec<u32>) {
+        out.clear();
+        debug_assert!(
+            eps_km * DEG_LAT_PER_KM <= self.cell_deg_lat * (1.0 + 1e-9),
+            "query radius exceeds the grid cell size the index was built for"
+        );
+        let (cx, cy) = cell_key(
+            center,
+            self.min_lat,
+            self.min_lon,
+            self.cell_deg_lat,
+            self.cell_deg_lon,
+        );
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &idx in bucket {
+                        if haversine_km(center, &self.points[idx as usize]) <= eps_km {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn cell_key(
+    p: &GeoPoint,
+    min_lat: f64,
+    min_lon: f64,
+    cell_deg_lat: f64,
+    cell_deg_lon: f64,
+) -> (i32, i32) {
+    let x = ((p.lat() - min_lat) / cell_deg_lat).floor() as i32;
+    let y = ((p.lon() - min_lon) / cell_deg_lon).floor() as i32;
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    /// Brute-force reference for neighbour queries.
+    fn brute(points: &[GeoPoint], center: &GeoPoint, eps: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| haversine_km(center, q) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_city() {
+        let mut rng = gem_sampling::rng_from_seed(77);
+        // ~20km x 20km box around Beijing.
+        let points: Vec<GeoPoint> = (0..500)
+            .map(|_| {
+                p(
+                    39.8 + rng.random::<f64>() * 0.2,
+                    116.3 + rng.random::<f64>() * 0.25,
+                )
+            })
+            .collect();
+        let eps = 1.5;
+        let index = GridIndex::build(&points, eps);
+        let mut got = Vec::new();
+        for center in points.iter().take(50) {
+            index.neighbors_within(center, eps, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, brute(&points, center, eps));
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_no_neighbors() {
+        let index = GridIndex::build(&[], 1.0);
+        let mut out = vec![0u32];
+        index.neighbors_within(&p(0.0, 0.0), 1.0, &mut out);
+        assert!(out.is_empty());
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn point_is_its_own_neighbor() {
+        let points = vec![p(40.0, 116.0)];
+        let index = GridIndex::build(&points, 0.5);
+        let mut out = Vec::new();
+        index.neighbors_within(&points[0], 0.5, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn distant_points_are_not_neighbors() {
+        let points = vec![p(40.0, 116.0), p(40.5, 116.0)]; // ~55 km apart
+        let index = GridIndex::build(&points, 1.0);
+        let mut out = Vec::new();
+        index.neighbors_within(&points[0], 1.0, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let points = vec![p(40.0, 116.0); 5];
+        let index = GridIndex::build(&points, 1.0);
+        let mut out = Vec::new();
+        index.neighbors_within(&points[0], 1.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps_km")]
+    fn zero_eps_panics() {
+        GridIndex::build(&[], 0.0);
+    }
+}

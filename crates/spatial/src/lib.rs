@@ -1,0 +1,27 @@
+//! Spatial substrate for the GEM recommender.
+//!
+//! The paper's event–location bipartite graph (§II, Definition 4) connects
+//! each event to a *region* rather than to its raw venue coordinate: "we
+//! divide all events into a set of regions `V_L` using DBSCAN based on their
+//! geographic coordinates". This crate supplies everything that pipeline
+//! needs, hand-rolled:
+//!
+//! * [`GeoPoint`] — a validated (latitude, longitude) pair with
+//!   [`haversine_km`] great-circle distance.
+//! * [`GridIndex`] — a uniform lat/lon grid used to answer ε-neighbourhood
+//!   queries in expected `O(points in 3×3 cells)`, keeping DBSCAN near
+//!   `O(n)` on city-scale data instead of `O(n²)`.
+//! * [`Dbscan`] — density-based clustering with the classic core /
+//!   border / noise semantics; produces [`RegionAssignment`]s mapping each
+//!   event to a region id (noise points become singleton regions so every
+//!   event participates in the event–location graph).
+
+#![warn(missing_docs)]
+
+pub mod dbscan;
+pub mod grid;
+pub mod point;
+
+pub use dbscan::{ClusterLabel, Dbscan, DbscanParams, RegionAssignment};
+pub use grid::GridIndex;
+pub use point::{haversine_km, GeoError, GeoPoint, EARTH_RADIUS_KM};

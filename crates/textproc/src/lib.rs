@@ -1,0 +1,23 @@
+//! Text-processing substrate for the GEM recommender.
+//!
+//! The event–content bipartite graph (§II, Definition 6) links each event to
+//! the vocabulary words of its textual description, with **TF-IDF** edge
+//! weights. This crate supplies the full pipeline:
+//!
+//! * [`tokenize::tokenize`] — lowercasing, alphanumeric word extraction,
+//! * [`StopWords`] — a small English stop-word list plus user extensions,
+//! * [`Vocabulary`] — interned word ↔ dense id mapping with document
+//!   frequencies and min/max document-frequency pruning,
+//! * [`TfIdf`] — standard `tf · log(N / df)` weighting over a corpus.
+
+#![warn(missing_docs)]
+
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vocab;
+
+pub use stopwords::StopWords;
+pub use tfidf::{TfIdf, WeightedTerm};
+pub use tokenize::tokenize;
+pub use vocab::{Vocabulary, VocabularyBuilder, WordId};

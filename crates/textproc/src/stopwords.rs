@@ -1,0 +1,94 @@
+//! Stop-word filtering.
+//!
+//! Very high-frequency function words carry no topical signal and would
+//! otherwise dominate the event–content graph's edge count (Algorithm 2
+//! samples graphs proportionally to edge count, so junk edges dilute
+//! training). A compact English list is built in; domain lists can be added.
+
+use std::collections::HashSet;
+
+/// A set of words to exclude from the vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct StopWords {
+    words: HashSet<String>,
+}
+
+/// A compact English stop-word list (function words only).
+const ENGLISH: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have",
+    "he", "her", "his", "i", "if", "in", "into", "is", "it", "its", "me", "my", "no",
+    "not", "of", "on", "or", "our", "she", "so", "that", "the", "their", "them", "then",
+    "there", "these", "they", "this", "to", "us", "was", "we", "were", "will", "with",
+    "you", "your",
+];
+
+impl StopWords {
+    /// An empty stop list (nothing filtered).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The built-in English list.
+    pub fn english() -> Self {
+        let mut s = Self::default();
+        for w in ENGLISH {
+            s.words.insert((*w).to_string());
+        }
+        s
+    }
+
+    /// Add extra stop words (already-lowercased).
+    pub fn extend<I: IntoIterator<Item = String>>(&mut self, extra: I) {
+        self.words.extend(extra);
+    }
+
+    /// True if `word` should be dropped.
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Number of stop words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if no stop words are configured.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_list_filters_function_words() {
+        let s = StopWords::english();
+        assert!(s.contains("the"));
+        assert!(s.contains("and"));
+        assert!(!s.contains("concert"));
+    }
+
+    #[test]
+    fn none_filters_nothing() {
+        let s = StopWords::none();
+        assert!(!s.contains("the"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extension_adds_words() {
+        let mut s = StopWords::english();
+        let before = s.len();
+        s.extend(["event".to_string(), "meetup".to_string()]);
+        assert_eq!(s.len(), before + 2);
+        assert!(s.contains("meetup"));
+    }
+
+    #[test]
+    fn list_has_no_duplicates() {
+        let s = StopWords::english();
+        assert_eq!(s.len(), ENGLISH.len());
+    }
+}

@@ -1,0 +1,179 @@
+//! TF-IDF edge weights for the event–content graph.
+//!
+//! Definition 6 of the paper sets the weight of edge `(event, word)` to the
+//! standard TF-IDF of the word in the event's description. We use:
+//!
+//! * **tf**: raw count of the word in the document (the "standard" tf of the
+//!   original Salton weighting),
+//! * **idf**: `ln(N / df)` with `N` = corpus size, `df` = document
+//!   frequency.
+//!
+//! Weights are strictly positive for any word that appears in the document
+//! and in the vocabulary, which the edge-sampling trainer requires.
+
+use crate::vocab::{Vocabulary, WordId};
+
+/// One weighted vocabulary term of a document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedTerm {
+    /// The vocabulary word.
+    pub word: WordId,
+    /// TF-IDF weight (> 0).
+    pub weight: f64,
+}
+
+/// TF-IDF weigher bound to a vocabulary.
+#[derive(Debug, Clone)]
+pub struct TfIdf<'v> {
+    vocab: &'v Vocabulary,
+    /// Precomputed idf per word id.
+    idf: Vec<f64>,
+}
+
+impl<'v> TfIdf<'v> {
+    /// Precompute idf values for a vocabulary.
+    ///
+    /// Words with `df == N` get idf `ln(N/df) = 0`; to keep their edges
+    /// sampleable we floor idf at a small positive epsilon.
+    pub fn new(vocab: &'v Vocabulary) -> Self {
+        const IDF_FLOOR: f64 = 1e-3;
+        let n = vocab.num_docs().max(1) as f64;
+        let idf = (0..vocab.len())
+            .map(|i| {
+                let df = vocab.doc_freq(WordId(i as u32)).max(1) as f64;
+                (n / df).ln().max(IDF_FLOOR)
+            })
+            .collect();
+        Self { vocab, idf }
+    }
+
+    /// The idf of a word.
+    pub fn idf(&self, word: WordId) -> f64 {
+        self.idf[word.index()]
+    }
+
+    /// Weigh a tokenized document. Tokens missing from the vocabulary are
+    /// skipped; each vocabulary word appears once in the output with weight
+    /// `count · idf`.
+    pub fn weigh<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Vec<WeightedTerm> {
+        let mut counts: std::collections::HashMap<WordId, u32> = std::collections::HashMap::new();
+        for t in tokens {
+            if let Some(id) = self.vocab.id(t) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut terms: Vec<WeightedTerm> = counts
+            .into_iter()
+            .map(|(word, tf)| WeightedTerm { word, weight: tf as f64 * self.idf(word) })
+            .collect();
+        // Deterministic order for downstream graph construction.
+        terms.sort_unstable_by_key(|t| t.word);
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::VocabularyBuilder;
+
+    fn vocab3() -> Vocabulary {
+        // 4 docs; "jazz" in 2, "night" in 4, "tech" in 1.
+        let mut b = VocabularyBuilder::new();
+        b.add_document(["jazz", "night"]);
+        b.add_document(["jazz", "night"]);
+        b.add_document(["tech", "night"]);
+        b.add_document(["night"]);
+        b.build(1, 1.0)
+    }
+
+    #[test]
+    fn idf_matches_hand_computation() {
+        let v = vocab3();
+        let t = TfIdf::new(&v);
+        let jazz = v.id("jazz").unwrap();
+        let tech = v.id("tech").unwrap();
+        let night = v.id("night").unwrap();
+        assert!((t.idf(jazz) - (4.0f64 / 2.0).ln()).abs() < 1e-12);
+        assert!((t.idf(tech) - (4.0f64 / 1.0).ln()).abs() < 1e-12);
+        // df == N → floored at epsilon, still positive.
+        assert_eq!(t.idf(night), 1e-3);
+    }
+
+    #[test]
+    fn weigh_counts_term_frequency() {
+        let v = vocab3();
+        let t = TfIdf::new(&v);
+        let terms = t.weigh(["jazz", "jazz", "tech"]);
+        assert_eq!(terms.len(), 2);
+        let jazz = terms.iter().find(|w| w.word == v.id("jazz").unwrap()).unwrap();
+        let tech = terms.iter().find(|w| w.word == v.id("tech").unwrap()).unwrap();
+        assert!((jazz.weight - 2.0 * (2.0f64).ln()).abs() < 1e-12);
+        assert!((tech.weight - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_vocabulary_tokens_are_skipped() {
+        let v = vocab3();
+        let t = TfIdf::new(&v);
+        let terms = t.weigh(["unknown", "words", "jazz"]);
+        assert_eq!(terms.len(), 1);
+    }
+
+    #[test]
+    fn empty_document_gives_no_terms() {
+        let v = vocab3();
+        let t = TfIdf::new(&v);
+        assert!(t.weigh(std::iter::empty::<&str>()).is_empty());
+    }
+
+    #[test]
+    fn weights_are_always_positive() {
+        let v = vocab3();
+        let t = TfIdf::new(&v);
+        for term in t.weigh(["jazz", "night", "tech", "night"]) {
+            assert!(term.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_by_word_id() {
+        let v = vocab3();
+        let t = TfIdf::new(&v);
+        let terms = t.weigh(["tech", "night", "jazz"]);
+        for pair in terms.windows(2) {
+            assert!(pair[0].word < pair[1].word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::vocab::VocabularyBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every produced term is in-vocabulary, positive, and unique.
+        #[test]
+        fn weigh_invariants(
+            docs in prop::collection::vec(
+                prop::collection::vec("[a-e]{1,2}", 1..8), 2..12),
+            query in prop::collection::vec("[a-g]{1,2}", 0..10),
+        ) {
+            let mut b = VocabularyBuilder::new();
+            for d in &docs {
+                b.add_document(d.iter().map(|s| s.as_str()));
+            }
+            let v = b.build(1, 1.0);
+            let t = TfIdf::new(&v);
+            let terms = t.weigh(query.iter().map(|s| s.as_str()));
+            let mut seen = std::collections::HashSet::new();
+            for term in &terms {
+                prop_assert!(term.word.index() < v.len());
+                prop_assert!(term.weight > 0.0);
+                prop_assert!(seen.insert(term.word));
+            }
+        }
+    }
+}

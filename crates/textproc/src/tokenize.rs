@@ -1,0 +1,112 @@
+//! Unicode-aware word tokenization.
+//!
+//! Event descriptions are free text (the real Douban corpus is Chinese; the
+//! synthetic corpus is space-separated topic words). The tokenizer keeps
+//! runs of alphanumeric characters, lowercases ASCII, and treats every CJK
+//! ideograph as its own token — the standard character-unigram fallback for
+//! unsegmented Chinese text, adequate for bag-of-words TF-IDF.
+
+/// Split text into lowercase word tokens.
+///
+/// Rules:
+/// * a run of non-CJK alphanumeric chars is one token (lowercased),
+/// * each CJK ideograph (U+4E00–U+9FFF) is its own single-char token,
+/// * everything else is a separator.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if is_cjk(ch) {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            tokens.push(ch.to_string());
+        } else if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[inline]
+fn is_cjk(ch: char) -> bool {
+    ('\u{4E00}'..='\u{9FFF}').contains(&ch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_english() {
+        assert_eq!(
+            tokenize("Movie Night at the Park!"),
+            vec!["movie", "night", "at", "the", "park"]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_whitespace_are_separators() {
+        assert_eq!(tokenize("tech-conference,2012"), vec!["tech", "conference", "2012"]);
+        assert_eq!(tokenize("  \t\nhello   world  "), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ...").is_empty());
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(tokenize("room 101"), vec!["room", "101"]);
+    }
+
+    #[test]
+    fn cjk_chars_become_unigrams() {
+        assert_eq!(tokenize("北京聚会"), vec!["北", "京", "聚", "会"]);
+        // Mixed script: latin run broken by CJK.
+        assert_eq!(tokenize("live音乐show"), vec!["live", "音", "乐", "show"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("CAFÉ"), vec!["café"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Tokens are never empty and contain no separators.
+        #[test]
+        fn tokens_are_well_formed(text in ".{0,200}") {
+            for t in tokenize(&text) {
+                prop_assert!(!t.is_empty());
+                prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+                // Lowercasing is idempotent on the output (some uppercase
+                // chars like 🄰 have no lowercase mapping and pass through).
+                prop_assert_eq!(t.to_lowercase(), t.clone());
+            }
+        }
+
+        /// Tokenization is idempotent: re-tokenizing the joined tokens gives
+        /// the same tokens.
+        #[test]
+        fn idempotent(text in "[a-zA-Z0-9 ,.!]{0,100}") {
+            let once = tokenize(&text);
+            let again = tokenize(&once.join(" "));
+            prop_assert_eq!(once, again);
+        }
+    }
+}

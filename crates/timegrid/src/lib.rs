@@ -1,0 +1,26 @@
+//! Temporal substrate for the GEM recommender.
+//!
+//! The event–time bipartite graph (§II, Definition 5) links each event to
+//! *three* time-slot nodes drawn from a fixed vocabulary of **33 slots**
+//! across three periodic scales:
+//!
+//! * 24 hour-of-day slots,
+//! * 7 day-of-week slots,
+//! * 2 weekday/weekend slots.
+//!
+//! The paper's example: "2017-06-29 18:00" maps to {18:00, Thursday,
+//! weekday}.
+//!
+//! Timestamps in the data model are Unix seconds in the event's local civil
+//! time (EBSN event start times are published as local wall-clock times).
+//! The civil calendar (date, weekday, hour) is computed here from first
+//! principles — no `chrono` dependency — using Howard Hinnant's proven
+//! days-from-civil / civil-from-days algorithms.
+
+#![warn(missing_docs)]
+
+pub mod civil;
+pub mod slots;
+
+pub use civil::{CivilDateTime, Weekday};
+pub use slots::{TimeSlot, TimeSlotSet, NUM_TIME_SLOTS, SLOTS_PER_EVENT};

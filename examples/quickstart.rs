@@ -1,0 +1,70 @@
+//! Quickstart: synthesize a small EBSN, train GEM, get joint event-partner
+//! recommendations for one user.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ebsn_rec::prelude::*;
+
+fn main() {
+    // --- 1. Data -----------------------------------------------------------
+    // A small synthetic city (see `ebsn_rec::data::synth` for the knobs, or
+    // `ebsn_rec::data::io::load_dataset` to load a real crawl from CSV).
+    let (dataset, report) = ebsn_rec::data::synth::generate(&SynthConfig::tiny(42));
+    println!(
+        "dataset: {} users, {} events, {} attendances, {} friendships",
+        report.num_users, report.num_events, report.num_attendances, report.num_friendships
+    );
+
+    // --- 2. Split + relation graphs ----------------------------------------
+    // Events are split chronologically (70% train); held-out events keep only
+    // their content/location/time edges — they are cold-start by construction.
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    let graphs = TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[]);
+    println!(
+        "graphs: UX={} UU={} XC={} XT={} XL={} edges, {} regions, {} vocabulary words",
+        graphs.user_event.num_edges(),
+        graphs.user_user.num_edges(),
+        graphs.event_word.num_edges(),
+        graphs.event_time.num_edges(),
+        graphs.event_region.num_edges(),
+        graphs.num_regions,
+        graphs.vocabulary.len(),
+    );
+
+    // --- 3. Train GEM -------------------------------------------------------
+    let trainer = GemTrainer::new(&graphs, TrainConfig::gem_a(42)).expect("valid config");
+    trainer.run(300_000, 2);
+    let model = trainer.model();
+    println!("trained {} steps (K = {})", trainer.progress().steps, model.dim);
+
+    // --- 4. Online joint event-partner recommendation -----------------------
+    // Candidates: upcoming (test-partition) events × all users, pruned to each
+    // partner's top-8 events, served by the Threshold Algorithm.
+    let partners: Vec<UserId> = (0..dataset.num_users).map(UserId::from_index).collect();
+    let engine = RecommendationEngine::build(model, &partners, &split.test_events, 8);
+    println!(
+        "engine: {} candidate (partner, event) pairs after pruning",
+        engine.num_candidates()
+    );
+
+    let user = UserId(0);
+    let (recs, stats) = engine.recommend(user, 5, Method::Ta);
+    println!("\ntop-5 event-partner recommendations for {user}:");
+    for (i, r) in recs.iter().enumerate() {
+        let event = &dataset.events[r.event.index()];
+        println!(
+            "  {}. bring {} to event {} (starts at unix {}, score {:.3})",
+            i + 1,
+            r.partner,
+            r.event,
+            event.start_time,
+            r.score
+        );
+    }
+    println!(
+        "\nTA scored {} of {} candidates ({:.1}%)",
+        stats.scored,
+        engine.num_candidates(),
+        100.0 * stats.scored as f64 / engine.num_candidates().max(1) as f64
+    );
+}

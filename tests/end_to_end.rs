@@ -1,0 +1,195 @@
+//! End-to-end integration tests spanning the whole pipeline:
+//! synthesis → split → graphs → training → evaluation → online serving.
+
+use ebsn_rec::prelude::*;
+
+/// Shared small fixture (expensive enough to build once per test binary).
+fn fixture() -> (EbsnDataset, ChronoSplit, GroundTruth, TrainingGraphs) {
+    let (dataset, _) = ebsn_rec::data::synth::generate(&SynthConfig::tiny(1234));
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    let gt = GroundTruth::extract(&dataset, &split);
+    let graphs = TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[]);
+    (dataset, split, gt, graphs)
+}
+
+#[test]
+fn gem_beats_random_ranking_on_cold_start_events() {
+    let (dataset, split, gt, graphs) = fixture();
+    let trainer = GemTrainer::new(&graphs, TrainConfig::gem_a(9)).expect("config");
+    trainer.run(250_000, 1);
+    let model = trainer.model();
+
+    let cfg = EvalConfig { max_cases: 400, ..Default::default() };
+    let r = eval_event_rec(&model, &dataset, &split, &gt, &cfg);
+    // Negative pools here are small (tiny dataset ≈ 25 test events); chance
+    // Accuracy@5 ≈ 5/25 = 0.2. Require a clear margin over chance.
+    let acc5 = r.accuracy(5).expect("cutoff requested");
+    assert!(acc5 > 0.4, "GEM-A Accuracy@5 {acc5} not above chance margin");
+}
+
+#[test]
+fn cold_start_signal_comes_from_context_graphs() {
+    // The paper's core cold-start mechanism: a held-out event's embedding is
+    // learned purely from its content/location/time edges. Decorrelating
+    // that context (rotating descriptions, venues and times among events)
+    // must collapse cold-start accuracy toward chance, while the intact
+    // dataset stays far above it. (Cross-model orderings like GEM > PER are
+    // scale-dependent and exercised by the fig3 driver instead.)
+    let (dataset, split, gt, graphs) = fixture();
+
+    let trainer = GemTrainer::new(&graphs, TrainConfig::gem_p(3)).expect("config");
+    trainer.run(300_000, 1);
+    let intact = trainer.model();
+
+    // Rotate event metadata by a fixed offset: every event now carries some
+    // other event's words, venue and start time — same marginals, zero
+    // per-event signal. The split is kept fixed (same test partition).
+    let mut shuffled = dataset.clone();
+    let n = shuffled.events.len();
+    let rotated: Vec<_> = (0..n).map(|i| shuffled.events[(i + 37) % n].clone()).collect();
+    for (e, r) in shuffled.events.iter_mut().zip(rotated) {
+        e.description = r.description;
+        e.venue = r.venue;
+        // keep start_time so the chronological split stays identical
+    }
+    let shuffled_graphs =
+        TrainingGraphs::build(&shuffled, &split, &GraphBuildConfig::default(), &[]);
+    let trainer = GemTrainer::new(&shuffled_graphs, TrainConfig::gem_p(3)).expect("config");
+    trainer.run(300_000, 1);
+    let broken = trainer.model();
+
+    let cfg = EvalConfig { max_cases: 400, ..Default::default() };
+    let acc_intact = eval_event_rec(&intact, &dataset, &split, &gt, &cfg).accuracy(10).unwrap();
+    let acc_broken = eval_event_rec(&broken, &shuffled, &split, &gt, &cfg).accuracy(10).unwrap();
+    // The tiny fixture's negative pools are ~25 events, so chance
+    // Accuracy@10 is already ≈ 0.4; the decorrelated model must sit close
+    // to that while the intact model clears it decisively.
+    assert!(
+        acc_intact > acc_broken + 0.05,
+        "context decorrelation should hurt: intact {acc_intact} vs broken {acc_broken}"
+    );
+    assert!(acc_intact > 0.55, "intact model too weak: {acc_intact}");
+}
+
+#[test]
+fn partner_recommendation_beats_chance_in_both_scenarios() {
+    let (dataset, split, gt, graphs) = fixture();
+    assert!(!gt.partner_triples.is_empty());
+
+    for scenario in [PartnerScenario::Friends, PartnerScenario::PotentialFriends] {
+        let scenario_graphs = match scenario {
+            PartnerScenario::Friends => &graphs,
+            PartnerScenario::PotentialFriends => {
+                // Rebuild with ground-truth links removed.
+                Box::leak(Box::new(TrainingGraphs::build(
+                    &dataset,
+                    &split,
+                    &GraphBuildConfig::default(),
+                    gt.removed_friendships(scenario),
+                )))
+            }
+        };
+        let trainer = GemTrainer::new(scenario_graphs, TrainConfig::gem_a(11)).expect("config");
+        trainer.run(250_000, 1);
+        let model = trainer.model();
+        let cfg = EvalConfig { max_cases: 200, triple_negatives: 100, ..Default::default() };
+        let r = eval_partner_rec(&model, &dataset, &split, &gt, &cfg);
+        // ~200 negatives per triple → chance Accuracy@10 ≈ 0.05.
+        let acc = r.accuracy(10).unwrap();
+        assert!(acc > 0.15, "{scenario:?}: Accuracy@10 {acc} not above chance");
+    }
+}
+
+#[test]
+fn ta_engine_agrees_with_brute_force_end_to_end() {
+    let (dataset, split, _gt, graphs) = fixture();
+    let trainer = GemTrainer::new(&graphs, TrainConfig::gem_p(17)).expect("config");
+    trainer.run(120_000, 1);
+    let model = trainer.model();
+
+    let partners: Vec<UserId> = (0..dataset.num_users).map(UserId::from_index).collect();
+    let engine = RecommendationEngine::build(model, &partners, &split.test_events, 6);
+    for u in (0..dataset.num_users).step_by(13) {
+        let user = UserId::from_index(u);
+        let (ta, _) = engine.recommend(user, 7, Method::Ta);
+        let (bf, _) = engine.recommend(user, 7, Method::BruteForce);
+        assert_eq!(ta.len(), bf.len());
+        for (a, b) in ta.iter().zip(&bf) {
+            assert!(
+                (a.score - b.score).abs() < 1e-5,
+                "user {user}: TA {a:?} vs BF {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hogwild_training_matches_single_thread_quality() {
+    let (dataset, split, gt, graphs) = fixture();
+    let cfg = EvalConfig { max_cases: 400, ..Default::default() };
+
+    let single = GemTrainer::new(&graphs, TrainConfig::gem_p(23)).expect("config");
+    single.run(200_000, 1);
+    let acc1 = eval_event_rec(&single.model(), &dataset, &split, &gt, &cfg)
+        .accuracy(10)
+        .unwrap();
+
+    let multi = GemTrainer::new(&graphs, TrainConfig::gem_p(23)).expect("config");
+    multi.run(200_000, 4);
+    let acc4 = eval_event_rec(&multi.model(), &dataset, &split, &gt, &cfg)
+        .accuracy(10)
+        .unwrap();
+
+    // Hogwild may differ slightly but must stay in the same quality range.
+    assert!(
+        (acc1 - acc4).abs() < 0.15,
+        "1-thread {acc1} vs 4-thread {acc4} diverge too much"
+    );
+}
+
+#[test]
+fn dataset_round_trips_through_csv_and_retrains_identically() {
+    let (dataset, _, _, _) = fixture();
+    let dir = std::env::temp_dir().join(format!("ebsn-e2e-io-{}", std::process::id()));
+    ebsn_rec::data::io::save_dataset(&dataset, &dir).expect("save");
+    let loaded = ebsn_rec::data::io::load_dataset(&dataset.name, &dir).expect("load");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Identical splits and graphs from the reloaded dataset.
+    let s1 = ChronoSplit::new(&dataset, SplitRatios::default());
+    let s2 = ChronoSplit::new(&loaded, SplitRatios::default());
+    assert_eq!(s1.test_events, s2.test_events);
+
+    let g1 = TrainingGraphs::build(&dataset, &s1, &GraphBuildConfig::default(), &[]);
+    let g2 = TrainingGraphs::build(&loaded, &s2, &GraphBuildConfig::default(), &[]);
+    assert_eq!(g1.user_event.num_edges(), g2.user_event.num_edges());
+    assert_eq!(g1.event_word.num_edges(), g2.event_word.num_edges());
+
+    // And identical training outcomes (full determinism across the IO trip).
+    let t1 = GemTrainer::new(&g1, TrainConfig::gem_p(31)).expect("config");
+    t1.run(20_000, 1);
+    let t2 = GemTrainer::new(&g2, TrainConfig::gem_p(31)).expect("config");
+    t2.run(20_000, 1);
+    assert_eq!(t1.model().users, t2.model().users);
+}
+
+#[test]
+fn significance_test_separates_gem_from_weak_baseline() {
+    let (dataset, split, gt, graphs) = fixture();
+    let trainer = GemTrainer::new(&graphs, TrainConfig::gem_a(41)).expect("config");
+    trainer.run(250_000, 1);
+    let gem = trainer.model();
+    let weak = Pcmf::train(&graphs, &PcmfConfig { steps: 5_000, ..Default::default() });
+
+    let cfg = EvalConfig { max_cases: 500, ..Default::default() };
+    let rg = eval_event_rec(&gem, &dataset, &split, &gt, &cfg);
+    let rw = eval_event_rec(&weak, &dataset, &split, &gt, &cfg);
+    let test = sign_test(&rg.hits_at(10), &rw.hits_at(10));
+    assert!(
+        test.p_value < 0.01,
+        "expected significance, got p = {} ({} vs {} wins)",
+        test.p_value,
+        test.a_wins,
+        test.b_wins
+    );
+}
