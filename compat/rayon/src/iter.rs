@@ -1,0 +1,247 @@
+//! The parallel-iterator subset: `par_iter().map(..).collect()`,
+//! `map_init`, `for_each`, and `par_chunks_mut(..).enumerate().for_each`.
+//!
+//! All adaptors are *eager at the terminal call*: the chain records the
+//! slice and the closures, and the terminal (`collect`/`for_each`) splits
+//! the index space into contiguous per-thread chunks. See the crate docs
+//! for the determinism argument.
+
+use crate::current_num_threads;
+
+/// Split `[T]` work across scoped threads; `make` maps each contiguous
+/// chunk (plus its starting offset) to a `Vec` of outputs, concatenated in
+/// chunk order.
+fn run_chunked<'a, T, R>(
+    items: &'a [T],
+    min_len: usize,
+    make: impl Fn(usize, &'a [T]) -> Vec<R> + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_chunks = n.div_ceil(min_len.max(1));
+    let threads = current_num_threads().min(max_chunks).max(1);
+    if threads == 1 {
+        return make(0, items);
+    }
+    let chunk_len = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let make = &make;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || make(i * chunk_len, chunk)))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.append(&mut handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParSliceIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { items: self, min_len: 1 }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { items: self, min_len: 1 }
+    }
+}
+
+/// A parallel iterator over the elements of a slice.
+pub struct ParSliceIter<'a, T> {
+    items: &'a [T],
+    min_len: usize,
+}
+
+impl<'a, T: Sync> ParSliceIter<'a, T> {
+    /// Lower bound on per-thread chunk size (limits splitting overhead for
+    /// cheap element work).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Map each element through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, min_len: self.min_len, f }
+    }
+
+    /// Map with per-thread mutable state built by `init` — the idiomatic
+    /// shape for reusable scratch buffers.
+    pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParMapInit<'a, T, I, F>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit { items: self.items, min_len: self.min_len, init, f }
+    }
+
+    /// Run `f` on every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_chunked(self.items, self.min_len, |_, chunk| {
+            chunk.iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` can name the adaptor methods'
+/// home (kept for signature-compatibility with real rayon imports).
+pub trait ParallelIterator {}
+
+/// The result of [`ParSliceIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    min_len: usize,
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Collect outputs in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let f = &self.f;
+        run_chunked(self.items, self.min_len, |_, chunk| chunk.iter().map(f).collect()).into()
+    }
+}
+
+/// The result of [`ParSliceIter::map_init`].
+pub struct ParMapInit<'a, T, I, F> {
+    items: &'a [T],
+    min_len: usize,
+    init: I,
+    f: F,
+}
+
+impl<'a, T, S, R, I, F> ParMapInit<'a, T, I, F>
+where
+    T: Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+    R: Send,
+{
+    /// Collect outputs in input order; `init` runs once per chunk.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let (init, f) = (&self.init, &self.f);
+        run_chunked(self.items, self.min_len, |_, chunk| {
+            let mut state = init();
+            chunk.iter().map(|item| f(&mut state, item)).collect()
+        })
+        .into()
+    }
+}
+
+/// `.par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// The result of [`ParallelSliceMut::par_chunks_mut`].
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { slice: self.slice, size: self.size }
+    }
+
+    /// Run `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// The result of [`ParChunksMut::enumerate`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Run `f` on every `(chunk_index, chunk)`, chunks distributed as
+    /// contiguous runs across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let size = self.size;
+        let total_chunks = self.slice.len().div_ceil(size);
+        if total_chunks == 0 {
+            return;
+        }
+        let threads = current_num_threads().min(total_chunks);
+        if threads <= 1 {
+            for (i, chunk) in self.slice.chunks_mut(size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let chunks_per_thread = total_chunks.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = self.slice;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = (chunks_per_thread * size).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let start_chunk = base;
+                base += head.len().div_ceil(size);
+                scope.spawn(move || {
+                    for (j, chunk) in head.chunks_mut(size).enumerate() {
+                        f((start_chunk + j, chunk));
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the parallel-iterator subset the workspace uses, implemented as
+//! *deterministic chunked fork-join* over `std::thread::scope`:
+//!
+//! * the input index space is split into at most [`current_num_threads`]
+//!   contiguous chunks,
+//! * each chunk is processed on its own scoped thread (in input order
+//!   within the chunk),
+//! * per-chunk outputs are concatenated **in chunk order**.
+//!
+//! Because the work assignment is a pure function of input length (never
+//! of timing), `collect` returns results in exactly input order and every
+//! run — at any thread count, including 1 — produces bit-identical output.
+//! That is the determinism guarantee the serving layer documents.
+//!
+//! There is no work stealing: this trades peak load-balance for zero
+//! dependencies, which is the right call for the coarse, uniform batches
+//! (per-partner pruning, per-row transforms, per-user queries) it serves.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    static OVERRIDE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() == 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("rayon::join closure panicked");
+        (ra, rb)
+    })
+}
+
+pub mod iter;
+
+/// Everything a `use rayon::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = items.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_creates_state_per_chunk() {
+        let items: Vec<u32> = (0..257).collect();
+        let out: Vec<u32> = items
+            .par_iter()
+            .map_init(Vec::<u32>::new, |scratch, &x| {
+                scratch.push(x);
+                x + 1
+            })
+            .collect();
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_exactly_once() {
+        let mut data = vec![0u64; 10 * 7];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += i as u64 + 1;
+            }
+        });
+        for (i, chunk) in data.chunks(7).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let items: Vec<u8> = Vec::new();
+        let out: Vec<u8> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let mut empty: Vec<u8> = Vec::new();
+        empty.par_chunks_mut(4).enumerate().for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        items.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never links a serializer backend (persistence is a hand-written binary
+//! format in `gem-core::persist`). This crate keeps those derives compiling
+//! without network access: the derive macros expand to nothing and the
+//! traits exist purely as markers.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; real serialization is provided by `gem-core::persist`.
+pub trait Serialize {}
+
+/// Marker trait; real deserialization is provided by `gem-core::persist`.
+pub trait Deserialize<'de>: Sized {}

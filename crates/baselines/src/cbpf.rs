@@ -80,11 +80,9 @@ impl Cbpf {
         // Event composition: region edges (weight 1), time edges (weight 1),
         // word edges (TF-IDF); normalised to sum 1 per event.
         let mut components: Vec<Vec<AuxRef>> = vec![Vec::new(); num_events];
-        for (table, graph) in [
-            (0u8, &graphs.event_region),
-            (1u8, &graphs.event_time),
-            (2u8, &graphs.event_word),
-        ] {
+        for (table, graph) in
+            [(0u8, &graphs.event_region), (1u8, &graphs.event_time), (2u8, &graphs.event_word)]
+        {
             for e in graph.edges() {
                 components[e.left as usize].push(AuxRef {
                     table,
@@ -238,18 +236,18 @@ mod tests {
         let m = Cbpf::train(&g, &CbpfConfig { dim: 4, steps: 1_000, ..Default::default() });
         // Recompute one event vector by hand and compare.
         let x = 0usize;
-        let mut expected = vec![0.0f32; 4];
+        let mut expected = [0.0f32; 4];
         let mut wsum = 0.0f32;
         for c in &m.components[x] {
             wsum += c.weight;
             let base = c.idx as usize * 4;
-            for d in 0..4 {
-                expected[d] += c.weight * m.aux[c.table as usize][base + d];
+            for (d, e) in expected.iter_mut().enumerate() {
+                *e += c.weight * m.aux[c.table as usize][base + d];
             }
         }
         assert!((wsum - 1.0).abs() < 1e-4, "weights sum to {wsum}");
-        for d in 0..4 {
-            assert!((expected[d] - m.event_vec(EventId(0))[d]).abs() < 1e-5);
+        for (e, v) in expected.iter().zip(m.event_vec(EventId(0))) {
+            assert!((e - v).abs() < 1e-5);
         }
     }
 
@@ -260,9 +258,8 @@ mod tests {
         let g = graphs();
         let m = Cbpf::train(&g, &CbpfConfig { dim: 8, steps: 30_000, ..Default::default() });
         let n = m.events.len() / m.dim;
-        let zero_events = (0..n)
-            .filter(|&x| m.event_vec(EventId(x as u32)).iter().all(|&v| v == 0.0))
-            .count();
+        let zero_events =
+            (0..n).filter(|&x| m.event_vec(EventId(x as u32)).iter().all(|&v| v == 0.0)).count();
         assert_eq!(zero_events, 0, "{zero_events}/{n} events have all-zero vectors");
     }
 
@@ -276,18 +273,13 @@ mod tests {
         let mut wins = 0;
         for e in ux.edges().iter().take(trials) {
             let pos = m.score_event(UserId(e.left), EventId(e.right));
-            let neg = m.score_event(
-                UserId(e.left),
-                EventId(rng.random_range(0..ux.right_count()) as u32),
-            );
+            let neg = m
+                .score_event(UserId(e.left), EventId(rng.random_range(0..ux.right_count()) as u32));
             if pos > neg {
                 wins += 1;
             }
         }
-        assert!(
-            wins as f64 > trials as f64 * 0.6,
-            "only {wins}/{trials} positives outrank random"
-        );
+        assert!(wins as f64 > trials as f64 * 0.6, "only {wins}/{trials} positives outrank random");
     }
 
     #[test]

@@ -56,10 +56,7 @@ impl CfaprE {
 
     /// Raw co-attendance count of a pair.
     pub fn co_attended(&self, u: UserId, v: UserId) -> u32 {
-        self.co_attendance
-            .get(&(u.0.min(v.0), u.0.max(v.0)))
-            .copied()
-            .unwrap_or(0)
+        self.co_attendance.get(&(u.0.min(v.0), u.0.max(v.0))).copied().unwrap_or(0)
     }
 }
 
@@ -149,11 +146,8 @@ mod tests {
     #[test]
     fn pair_score_positive_with_history() {
         let (_, _, cfapr) = build();
-        let (&(u, v), _) = cfapr
-            .co_attendance
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .expect("some pairs co-attended");
+        let (&(u, v), _) =
+            cfapr.co_attendance.iter().max_by_key(|(_, &c)| c).expect("some pairs co-attended");
         let s = cfapr.score_pair(UserId(u), UserId(v));
         assert!(s >= 0.0);
         assert_eq!(s, cfapr.score_pair(UserId(v), UserId(u)));

@@ -106,8 +106,7 @@ impl Pcmf {
                 matrices[li][edge.left as usize * dim..(edge.left as usize + 1) * dim].to_vec();
             let vj: Vec<f32> =
                 matrices[ri][edge.right as usize * dim..(edge.right as usize + 1) * dim].to_vec();
-            let vk: Vec<f32> =
-                matrices[ri][neg as usize * dim..(neg as usize + 1) * dim].to_vec();
+            let vk: Vec<f32> = matrices[ri][neg as usize * dim..(neg as usize + 1) * dim].to_vec();
 
             // BPR: maximize σ(vi·vj − vi·vk).
             let e = 1.0 - sigmoid(dot(&vi, &vj) - dot(&vi, &vk));
@@ -189,10 +188,8 @@ mod tests {
         let trials = 300.min(ux.num_edges());
         for e in ux.edges().iter().take(trials) {
             let pos = m.score_event(UserId(e.left), EventId(e.right));
-            let neg = m.score_event(
-                UserId(e.left),
-                EventId(rng.random_range(0..ux.right_count()) as u32),
-            );
+            let neg = m
+                .score_event(UserId(e.left), EventId(rng.random_range(0..ux.right_count()) as u32));
             if pos > neg {
                 wins += 1;
             }

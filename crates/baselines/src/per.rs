@@ -214,10 +214,7 @@ impl PerModel {
             }
         }
         // U–X–L–X.
-        let region = self.region_profile[u]
-            .get(&self.event_region[x])
-            .copied()
-            .unwrap_or(0.0);
+        let region = self.region_profile[u].get(&self.event_region[x]).copied().unwrap_or(0.0);
         // U–X–T–X.
         let mut time = 0.0f32;
         for &s in &self.event_slots[x] {
@@ -228,10 +225,7 @@ impl PerModel {
             0.0
         } else {
             let att = &self.attendees[x];
-            let hits = self.friends[u]
-                .iter()
-                .filter(|f| att.binary_search(f).is_ok())
-                .count();
+            let hits = self.friends[u].iter().filter(|f| att.binary_search(f).is_ok()).count();
             hits as f32 / self.friends[u].len() as f32
         };
         [content, region, time, social, self.popularity[x]]
@@ -315,10 +309,8 @@ mod tests {
         let mut wins = 0;
         for e in ux.edges().iter().take(trials) {
             let pos = m.score_event(UserId(e.left), EventId(e.right));
-            let neg = m.score_event(
-                UserId(e.left),
-                EventId(rng.random_range(0..ux.right_count()) as u32),
-            );
+            let neg = m
+                .score_event(UserId(e.left), EventId(rng.random_range(0..ux.right_count()) as u32));
             if pos > neg {
                 wins += 1;
             }

@@ -1,0 +1,87 @@
+//! Math-kernel micro-benchmarks: the unrolled `dot`/`axpy` against scalar
+//! references, and the fused `dot_batch` row sweep against a per-row loop,
+//! at typical GEM dimensionalities (`K` and the transformed `2K+1`).
+//!
+//! Run with: `cargo bench -p gem-bench --bench kernels`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gem_core::math::{axpy, dot, dot_batch};
+use std::hint::black_box;
+
+fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+fn filled(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2_654_435_761).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            (state as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for dim in [20usize, 41, 60, 121] {
+        let a = filled(dim, 3);
+        let b = filled(dim, 17);
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |bench, _| {
+            bench.iter(|| naive_dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("unrolled", dim), &dim, |bench, _| {
+            bench.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("axpy");
+    for dim in [20usize, 60] {
+        let v = filled(dim, 5);
+        let mut out = filled(dim, 7);
+        group.bench_with_input(BenchmarkId::new("unrolled", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                axpy(black_box(&mut out), black_box(&v), 0.37);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot_batch");
+    let dim = 41usize; // 2K+1 at K=20
+    let rows_n = 4096usize;
+    let q = filled(dim, 3);
+    let rows = filled(dim * rows_n, 29);
+    let mut out = vec![0.0f32; rows_n];
+    group.throughput(Throughput::Elements(rows_n as u64));
+    group.bench_function(BenchmarkId::new("per_row_loop", rows_n), |bench| {
+        bench.iter(|| {
+            for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+                *o = naive_dot(black_box(&q), row);
+            }
+            out[0]
+        })
+    });
+    group.bench_function(BenchmarkId::new("fused", rows_n), |bench| {
+        bench.iter(|| {
+            dot_batch(black_box(&q), black_box(&rows), &mut out);
+            out[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_axpy, bench_dot_batch);
+criterion_main!(benches);

@@ -7,7 +7,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gem_core::GemModel;
 use gem_ebsn::{EventId, UserId};
-use gem_query::{top_k_events_per_partner, BruteForce, Method, RecommendationEngine, TaIndex, TransformedSpace};
+use gem_query::{
+    top_k_events_per_partner, BruteForce, Method, RecommendationEngine, TaIndex, TransformedSpace,
+};
 use gem_sampling::rng_from_seed;
 use rand::RngExt;
 use std::hint::black_box;

@@ -39,8 +39,7 @@ fn bench_dbscan(c: &mut Criterion) {
 
 fn bench_tfidf(c: &mut Criterion) {
     let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(33));
-    let docs: Vec<Vec<String>> =
-        dataset.events.iter().map(|e| tokenize(&e.description)).collect();
+    let docs: Vec<Vec<String>> = dataset.events.iter().map(|e| tokenize(&e.description)).collect();
     c.bench_function("tfidf/vocab_and_weights_120_docs", |b| {
         b.iter(|| {
             let mut vb = VocabularyBuilder::new();
@@ -81,22 +80,11 @@ fn bench_synthesis_and_graphs(c: &mut Criterion) {
     let split = ChronoSplit::new(&dataset, SplitRatios::default());
     group.bench_function("build_five_graphs", |b| {
         b.iter(|| {
-            TrainingGraphs::build(
-                black_box(&dataset),
-                &split,
-                &GraphBuildConfig::default(),
-                &[],
-            )
+            TrainingGraphs::build(black_box(&dataset), &split, &GraphBuildConfig::default(), &[])
         })
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dbscan,
-    bench_tfidf,
-    bench_time_slots,
-    bench_synthesis_and_graphs
-);
+criterion_group!(benches, bench_dbscan, bench_tfidf, bench_time_slots, bench_synthesis_and_graphs);
 criterion_main!(benches);

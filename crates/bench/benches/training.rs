@@ -68,10 +68,5 @@ fn bench_dimension_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gradient_steps,
-    bench_rectifier_ablation,
-    bench_dimension_scaling
-);
+criterion_group!(benches, bench_gradient_steps, bench_rectifier_ablation, bench_dimension_scaling);
 criterion_main!(benches);

@@ -22,11 +22,7 @@ fn main() {
     let cutoffs = [1usize, 5, 10, 15, 20];
     for city in [City::Beijing, City::Shanghai] {
         let env = ExperimentEnv::build(city, params.scale, params.seed);
-        println!(
-            "{} — {} positive triples",
-            city.name(),
-            env.gt.partner_triples.len()
-        );
+        println!("{} — {} positive triples", city.name(), env.gt.partner_triples.len());
         let models = gem_bench::train_competitors(&env, &env.graphs, &params, true);
 
         let widths = [8usize, 8, 8, 8, 8, 8];

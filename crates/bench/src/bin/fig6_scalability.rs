@@ -21,8 +21,7 @@ fn main() {
     println!("Figure 6: Hogwild scalability of GEM-A (Beijing-sim 1/{scale}, {steps} steps)\n");
 
     let env = ExperimentEnv::build(City::Beijing, scale, seed);
-    let eval_cfg =
-        EvalConfig { max_cases: 1000, cutoffs: vec![10], seed, ..Default::default() };
+    let eval_cfg = EvalConfig { max_cases: 1000, cutoffs: vec![10], seed, ..Default::default() };
 
     let mut thread_counts = vec![1usize, 2, 4, 8, 16];
     thread_counts.retain(|&t| t <= max_threads);

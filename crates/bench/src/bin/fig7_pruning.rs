@@ -28,12 +28,10 @@ fn main() {
 
     let env = ExperimentEnv::build(City::Beijing, scale, seed);
     let model = gem_bench::train_variant(&env.graphs, Variant::GemA, steps, threads, seed);
-    let partners: Vec<UserId> =
-        (0..env.dataset.num_users).map(|u| UserId(u as u32)).collect();
+    let partners: Vec<UserId> = (0..env.dataset.num_users).map(|u| UserId(u as u32)).collect();
     let events = env.split.test_events.clone();
-    let users: Vec<UserId> = (0..queries)
-        .map(|i| UserId(((i * 131) % env.dataset.num_users) as u32))
-        .collect();
+    let users: Vec<UserId> =
+        (0..queries).map(|i| UserId(((i * 131) % env.dataset.num_users) as u32)).collect();
 
     println!(
         "Figure 7: pruning sweep (Beijing-sim 1/{scale}, {} users x {} events, top-{n})\n",
@@ -42,8 +40,7 @@ fn main() {
     );
 
     // Reference: unpruned top-n sets per user.
-    let full_engine =
-        RecommendationEngine::build(model.clone(), &partners, &events, events.len());
+    let full_engine = RecommendationEngine::build(model.clone(), &partners, &events, events.len());
     let reference: Vec<Vec<(UserId, gem_ebsn::EventId)>> = users
         .iter()
         .map(|&u| {

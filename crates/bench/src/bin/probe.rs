@@ -22,12 +22,42 @@ fn main() {
 
     let eval_cfg = EvalConfig { max_cases: 800, ..Default::default() };
     let combos: Vec<(&str, NoiseKind, SamplingDirection, GraphChoice)> = vec![
-        ("degree|bi|prop (GEM-P)", NoiseKind::Degree, SamplingDirection::Bidirectional, GraphChoice::EdgeCountProportional),
-        ("degree|bi|unif", NoiseKind::Degree, SamplingDirection::Bidirectional, GraphChoice::Uniform),
-        ("degree|uni|prop", NoiseKind::Degree, SamplingDirection::Unidirectional, GraphChoice::EdgeCountProportional),
-        ("degree|uni|unif (PTE)", NoiseKind::Degree, SamplingDirection::Unidirectional, GraphChoice::Uniform),
-        ("adaptive|bi|prop (GEM-A)", NoiseKind::Adaptive, SamplingDirection::Bidirectional, GraphChoice::EdgeCountProportional),
-        ("adaptive|bi|unif", NoiseKind::Adaptive, SamplingDirection::Bidirectional, GraphChoice::Uniform),
+        (
+            "degree|bi|prop (GEM-P)",
+            NoiseKind::Degree,
+            SamplingDirection::Bidirectional,
+            GraphChoice::EdgeCountProportional,
+        ),
+        (
+            "degree|bi|unif",
+            NoiseKind::Degree,
+            SamplingDirection::Bidirectional,
+            GraphChoice::Uniform,
+        ),
+        (
+            "degree|uni|prop",
+            NoiseKind::Degree,
+            SamplingDirection::Unidirectional,
+            GraphChoice::EdgeCountProportional,
+        ),
+        (
+            "degree|uni|unif (PTE)",
+            NoiseKind::Degree,
+            SamplingDirection::Unidirectional,
+            GraphChoice::Uniform,
+        ),
+        (
+            "adaptive|bi|prop (GEM-A)",
+            NoiseKind::Adaptive,
+            SamplingDirection::Bidirectional,
+            GraphChoice::EdgeCountProportional,
+        ),
+        (
+            "adaptive|bi|unif",
+            NoiseKind::Adaptive,
+            SamplingDirection::Bidirectional,
+            GraphChoice::Uniform,
+        ),
     ];
     let no_relu = args.flag("no-relu");
     let decay = args.get("decay", 20_000u64);

@@ -1,0 +1,263 @@
+//! Serving-layer throughput baseline: engine build time, single- vs
+//! multi-thread queries/sec, and math-kernel microbenchmarks.
+//!
+//! Usage: `cargo run --release -p gem-bench --bin serving_throughput \
+//!         [--scale 40 --steps 100000 --queries 512 --top-n 10 --prune-k 20]`
+//!
+//! Measures the three layers this serving stack is built from:
+//!
+//! 1. **Kernels** — the unrolled `dot` vs a scalar reference, and the fused
+//!    [`dot_batch`] row sweep vs a per-row `dot` loop, at the `2K+1`
+//!    transformed dimensionality.
+//! 2. **Engine build** — prune → transform → TA index, wall-clock.
+//! 3. **Serving** — queries/sec for GEM-TA and GEM-BF, sequentially on one
+//!    thread (one reused [`ServeScratch`]) and through
+//!    [`RecommendationEngine::recommend_batch`] across all available
+//!    threads. Batch results are asserted identical to the sequential ones
+//!    before any number is reported.
+//!
+//! Writes machine-readable results to `BENCH_serving.json` in the working
+//! directory (schema documented in EXPERIMENTS.md).
+
+use gem_bench::{Args, City, ExperimentEnv, Variant};
+use gem_core::math::{dot, dot_batch};
+use gem_ebsn::UserId;
+use gem_query::{Method, RecommendationEngine, ServeScratch};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Scalar reference dot product (the pre-optimization kernel shape).
+fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Nanoseconds per call of `f`, auto-calibrated to a ≥50 ms measurement.
+fn bench_ns(mut f: impl FnMut() -> f32) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        let mut acc = 0.0f32;
+        for _ in 0..iters {
+            acc += f();
+        }
+        black_box(acc);
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(50) {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+/// Deterministic pseudo-random vector (xorshift32), enough for timing.
+fn filled(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2_654_435_761).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            (state as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+struct KernelNumbers {
+    dim: usize,
+    dot_naive_ns: f64,
+    dot_unrolled_ns: f64,
+    batch_rows: usize,
+    dot_loop_ns_per_row: f64,
+    dot_batch_ns_per_row: f64,
+}
+
+fn bench_kernels(dim: usize) -> KernelNumbers {
+    let a = filled(dim, 3);
+    let b = filled(dim, 17);
+    let dot_naive_ns = bench_ns(|| naive_dot(black_box(&a), black_box(&b)));
+    let dot_unrolled_ns = bench_ns(|| dot(black_box(&a), black_box(&b)));
+
+    let batch_rows = 4096usize;
+    let rows = filled(dim * batch_rows, 29);
+    let mut out = vec![0.0f32; batch_rows];
+    let dot_loop_ns = bench_ns(|| {
+        let q = black_box(&a);
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+            *o = naive_dot(q, row);
+        }
+        out[0]
+    });
+    let dot_batch_ns = bench_ns(|| {
+        dot_batch(black_box(&a), black_box(&rows), &mut out);
+        out[0]
+    });
+    KernelNumbers {
+        dim,
+        dot_naive_ns,
+        dot_unrolled_ns,
+        batch_rows,
+        dot_loop_ns_per_row: dot_loop_ns / batch_rows as f64,
+        dot_batch_ns_per_row: dot_batch_ns / batch_rows as f64,
+    }
+}
+
+struct ServingNumbers {
+    single_thread_qps: f64,
+    batch_qps: f64,
+}
+
+/// Time `users` through the engine sequentially (reused scratch) and via
+/// `recommend_batch`, asserting the batch output is identical first.
+fn bench_serving(
+    engine: &RecommendationEngine,
+    users: &[UserId],
+    n: usize,
+    method: Method,
+) -> ServingNumbers {
+    // Warm up + correctness gate: batch must reproduce sequential exactly.
+    let mut scratch = ServeScratch::new();
+    let sequential: Vec<_> =
+        users.iter().map(|&u| engine.recommend_with(u, n, method, &mut scratch)).collect();
+    let batch = engine.recommend_batch(users, n, method);
+    assert_eq!(batch, sequential, "batch serving diverged from sequential");
+
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while start.elapsed() < Duration::from_millis(300) {
+        for &u in users {
+            black_box(engine.recommend_with(u, n, method, &mut scratch));
+        }
+        reps += 1;
+    }
+    let single_thread_qps = (reps * users.len() as u64) as f64 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while start.elapsed() < Duration::from_millis(300) {
+        black_box(engine.recommend_batch(users, n, method));
+        reps += 1;
+    }
+    let batch_qps = (reps * users.len() as u64) as f64 / start.elapsed().as_secs_f64();
+    ServingNumbers { single_thread_qps, batch_qps }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get("scale", 40usize);
+    let steps = args.get("steps", 100_000u64);
+    let train_threads = args.get("threads", 4usize);
+    let queries = args.get("queries", 512usize);
+    let top_n = args.get("top-n", 10usize);
+    let prune_k = args.get("prune-k", 20usize);
+    let seed = args.get("seed", 7u64);
+    let serving_threads = rayon::current_num_threads();
+
+    println!("Serving throughput baseline (Douban-Sim Beijing 1/{scale}, {serving_threads} serving threads)\n");
+
+    println!("[1/3] kernel microbenchmarks");
+    let env = ExperimentEnv::build(City::Beijing, scale, seed);
+    let model = gem_bench::train_variant(&env.graphs, Variant::GemA, steps, train_threads, seed);
+    let kernels = bench_kernels(2 * model.dim + 1);
+    println!(
+        "  dot dim={}: scalar {:.1} ns -> unrolled {:.1} ns ({:.2}x)",
+        kernels.dim,
+        kernels.dot_naive_ns,
+        kernels.dot_unrolled_ns,
+        kernels.dot_naive_ns / kernels.dot_unrolled_ns
+    );
+    println!(
+        "  batch of {} rows: per-row loop {:.1} ns/row -> fused dot_batch {:.1} ns/row ({:.2}x)",
+        kernels.batch_rows,
+        kernels.dot_loop_ns_per_row,
+        kernels.dot_batch_ns_per_row,
+        kernels.dot_loop_ns_per_row / kernels.dot_batch_ns_per_row
+    );
+
+    println!("[2/3] engine build (prune k={prune_k} -> transform -> TA index)");
+    let partners: Vec<UserId> = (0..env.dataset.num_users).map(|u| UserId(u as u32)).collect();
+    let events = env.split.test_events.clone();
+    let build_start = Instant::now();
+    let engine = RecommendationEngine::build(model, &partners, &events, prune_k);
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  {} partners x {} events -> {} candidate pairs in {:.1} ms ({:.1} MiB)",
+        partners.len(),
+        events.len(),
+        engine.num_candidates(),
+        build_ms,
+        engine.space_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    println!("[3/3] serving throughput ({queries} queries, top-{top_n})");
+    let users: Vec<UserId> =
+        (0..queries).map(|i| UserId(((i * 97) % env.dataset.num_users) as u32)).collect();
+    let ta = bench_serving(&engine, &users, top_n, Method::Ta);
+    let bf = bench_serving(&engine, &users, top_n, Method::BruteForce);
+    for (name, s) in [("GEM-TA", &ta), ("GEM-BF", &bf)] {
+        println!(
+            "  {name}: {:.0} qps single-thread, {:.0} qps batch x{serving_threads} ({:.2}x)",
+            s.single_thread_qps,
+            s.batch_qps,
+            s.batch_qps / s.single_thread_qps
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serving_throughput\",\n",
+            "  \"city\": \"Beijing\",\n",
+            "  \"scale\": {scale},\n",
+            "  \"serving_threads\": {threads},\n",
+            "  \"engine\": {{\n",
+            "    \"build_ms\": {build_ms:.3},\n",
+            "    \"partners\": {partners},\n",
+            "    \"events\": {events},\n",
+            "    \"prune_k\": {prune_k},\n",
+            "    \"candidate_pairs\": {pairs},\n",
+            "    \"space_mib\": {mib:.3}\n",
+            "  }},\n",
+            "  \"serving\": {{\n",
+            "    \"queries\": {queries},\n",
+            "    \"top_n\": {top_n},\n",
+            "    \"ta\": {{ \"single_thread_qps\": {ta1:.1}, \"batch_qps\": {tam:.1} }},\n",
+            "    \"brute_force\": {{ \"single_thread_qps\": {bf1:.1}, \"batch_qps\": {bfm:.1} }}\n",
+            "  }},\n",
+            "  \"kernels\": {{\n",
+            "    \"dim\": {kdim},\n",
+            "    \"dot_naive_ns\": {kn:.2},\n",
+            "    \"dot_unrolled_ns\": {ku:.2},\n",
+            "    \"batch_rows\": {krows},\n",
+            "    \"dot_loop_ns_per_row\": {kl:.2},\n",
+            "    \"dot_batch_ns_per_row\": {kb:.2}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        scale = scale,
+        threads = serving_threads,
+        build_ms = build_ms,
+        partners = partners.len(),
+        events = events.len(),
+        prune_k = prune_k,
+        pairs = engine.num_candidates(),
+        mib = engine.space_bytes() as f64 / (1024.0 * 1024.0),
+        queries = queries,
+        top_n = top_n,
+        ta1 = ta.single_thread_qps,
+        tam = ta.batch_qps,
+        bf1 = bf.single_thread_qps,
+        bfm = bf.batch_qps,
+        kdim = kernels.dim,
+        kn = kernels.dot_naive_ns,
+        ku = kernels.dot_unrolled_ns,
+        krows = kernels.batch_rows,
+        kl = kernels.dot_loop_ns_per_row,
+        kb = kernels.dot_batch_ns_per_row,
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nWrote BENCH_serving.json");
+}

@@ -24,12 +24,7 @@ fn main() {
     let checkpoints: Vec<u64> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15];
 
     let env = ExperimentEnv::build(City::Beijing, scale, seed);
-    let eval_cfg = EvalConfig {
-        max_cases,
-        cutoffs: vec![5, 10],
-        seed,
-        ..Default::default()
-    };
+    let eval_cfg = EvalConfig { max_cases, cutoffs: vec![5, 10], seed, ..Default::default() };
 
     // Collect rows first: each variant trains once, evaluated at checkpoints.
     let variants = [Variant::GemA, Variant::GemP, Variant::Pte];

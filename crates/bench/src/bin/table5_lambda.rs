@@ -27,10 +27,7 @@ fn main() {
     };
 
     let widths = [6usize, 8, 8, 8, 8, 8, 8];
-    table::header(
-        &["λ", "EvtA@5", "EvtA@10", "EvtA@20", "EP A@5", "EP A@10", "EP A@20"],
-        &widths,
-    );
+    table::header(&["λ", "EvtA@5", "EvtA@10", "EvtA@20", "EP A@5", "EP A@10", "EP A@20"], &widths);
     for &lambda in &lambdas {
         let mut cfg = Variant::GemA.config(params.seed);
         cfg.lambda = lambda;

@@ -27,8 +27,7 @@ fn main() {
 
     // Full candidate space: every user is a potential partner, every test
     // (upcoming) event a candidate event — no pruning in Table VI.
-    let partners: Vec<UserId> =
-        (0..env.dataset.num_users).map(|u| UserId(u as u32)).collect();
+    let partners: Vec<UserId> = (0..env.dataset.num_users).map(|u| UserId(u as u32)).collect();
     let events = env.split.test_events.clone();
     println!(
         "Table VI: online recommendation efficiency (Beijing-sim 1/{scale}: {} users x {} test events = {} pairs)\n",
@@ -39,9 +38,8 @@ fn main() {
     let engine = RecommendationEngine::build(model, &partners, &events, events.len());
 
     // A deterministic sample of query users.
-    let users: Vec<UserId> = (0..queries)
-        .map(|i| UserId(((i * 97) % env.dataset.num_users) as u32))
-        .collect();
+    let users: Vec<UserId> =
+        (0..queries).map(|i| UserId(((i * 97) % env.dataset.num_users) as u32)).collect();
 
     let widths = [10usize, 14, 14, 14];
     table::header(&["method", "n", "total time (s)", "pairs scored"], &widths);

@@ -155,16 +155,14 @@ pub fn train_competitors(
 
     let mut out: Vec<(String, Box<dyn gem_core::EventScorer>)> = Vec::new();
 
-    let gem_a =
-        train_variant(graphs, Variant::GemA, params.steps * 2, params.threads, params.seed);
+    let gem_a = train_variant(graphs, Variant::GemA, params.steps * 2, params.threads, params.seed);
     if with_cfapr {
         let cfapr = CfaprE::build(gem_a.clone(), &env.dataset, &env.split);
         out.push(("CFAPR-E".to_string(), Box::new(cfapr)));
     }
     out.push(("GEM-A".to_string(), Box::new(gem_a)));
 
-    let gem_p =
-        train_variant(graphs, Variant::GemP, params.steps * 2, params.threads, params.seed);
+    let gem_p = train_variant(graphs, Variant::GemP, params.steps * 2, params.threads, params.seed);
     out.push(("GEM-P".to_string(), Box::new(gem_p)));
 
     let pte = train_variant(graphs, Variant::Pte, params.steps * 5, params.threads, params.seed);
@@ -295,9 +293,7 @@ mod tests {
 
     #[test]
     fn args_parse_pairs_and_flags() {
-        let a = Args::parse(
-            ["--scale", "20", "--quick", "--steps", "1000"].map(String::from),
-        );
+        let a = Args::parse(["--scale", "20", "--quick", "--steps", "1000"].map(String::from));
         assert_eq!(a.get("scale", 0usize), 20);
         assert_eq!(a.get("steps", 0u64), 1000);
         assert_eq!(a.get("missing", 5i32), 5);
@@ -320,19 +316,14 @@ mod tests {
         // Scenario-2 graphs have strictly fewer social edges when partner
         // links exist.
         if !env.gt.partner_links.is_empty() {
-            assert!(
-                env.graphs_potential.user_user.num_edges() < env.graphs.user_user.num_edges()
-            );
+            assert!(env.graphs_potential.user_user.num_edges() < env.graphs.user_user.num_edges());
         }
     }
 
     #[test]
     fn variants_produce_distinct_configs() {
         assert_ne!(Variant::GemA.config(1).noise, Variant::GemP.config(1).noise);
-        assert_ne!(
-            Variant::GemP.config(1).direction,
-            Variant::Pte.config(1).direction
-        );
+        assert_ne!(Variant::GemP.config(1).direction, Variant::Pte.config(1).direction);
     }
 
     #[test]

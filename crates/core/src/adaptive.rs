@@ -22,9 +22,9 @@
 
 use crate::matrix::AtomicMatrix;
 use gem_sampling::TruncatedGeometric;
-use parking_lot::RwLock;
 use rand::{Rng, RngExt};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Per-graph-side state of the adaptive sampler.
 ///
@@ -94,6 +94,7 @@ impl AdaptiveState {
         let mut by_dim = Vec::with_capacity(n * dim);
         let mut sigma = Vec::with_capacity(dim);
         let mut column = vec![0.0f32; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
         for f in 0..dim {
             // Snapshot the column once: under Hogwild the live values keep
             // moving, and sorting directly on the matrix would give the
@@ -102,14 +103,15 @@ impl AdaptiveState {
                 *slot = matrix.get(c as usize, f);
             }
             sigma.push(crate::math::variance(&column));
-            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.clear();
+            order.extend(0..n as u32);
             order.sort_unstable_by(|&a, &b| {
                 column[b as usize]
                     .partial_cmp(&column[a as usize])
                     .expect("embedding values are finite")
                     .then(candidates[a as usize].cmp(&candidates[b as usize]))
             });
-            by_dim.extend(order.into_iter().map(|i| candidates[i as usize]));
+            by_dim.extend(order.iter().map(|&i| candidates[i as usize]));
         }
         Rankings { by_dim, sigma }
     }
@@ -122,7 +124,7 @@ impl AdaptiveState {
         if drawn < self.refresh_interval {
             return;
         }
-        if let Some(mut guard) = self.rankings.try_write() {
+        if let Ok(mut guard) = self.rankings.try_write() {
             // Re-check after acquiring: another thread may have refreshed.
             if self.draws_since_refresh.load(Ordering::Relaxed) >= self.refresh_interval {
                 *guard = Self::compute(matrix, &self.candidates);
@@ -134,7 +136,8 @@ impl AdaptiveState {
     /// Force an immediate refresh (used by tests and by the trainer right
     /// after initialisation).
     pub fn refresh_now(&self, matrix: &AtomicMatrix) {
-        *self.rankings.write() = Self::compute(matrix, &self.candidates);
+        *self.rankings.write().expect("rankings lock poisoned") =
+            Self::compute(matrix, &self.candidates);
         self.draws_since_refresh.store(0, Ordering::Relaxed);
     }
 
@@ -149,7 +152,7 @@ impl AdaptiveState {
     /// contribute the largest (most adversarial) `v_c·v_k`.
     pub fn sample<R: Rng>(&self, context: &[f32], rng: &mut R) -> u32 {
         debug_assert_eq!(context.len(), self.dim);
-        let rankings = self.rankings.read();
+        let rankings = self.rankings.read().expect("rankings lock poisoned");
         let mut total = 0.0f64;
         for (c, sigma) in context.iter().zip(&rankings.sigma) {
             total += (c.abs() * sigma) as f64;
@@ -190,6 +193,21 @@ pub struct ExactAdaptiveSampler {
     geometric: TruncatedGeometric,
 }
 
+/// Caller-owned scratch for [`ExactAdaptiveSampler`] draws, mirroring the
+/// trainer's `StepBuffers` pattern: allocate once, reuse per draw.
+#[derive(Debug, Default)]
+pub struct ExactScratch {
+    row: Vec<f32>,
+    scored: Vec<(f32, u32)>,
+}
+
+impl ExactScratch {
+    /// Empty scratch; buffers grow to the right size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ExactAdaptiveSampler {
     /// Build over the candidate node ids.
     ///
@@ -203,36 +221,56 @@ impl ExactAdaptiveSampler {
 
     /// Rank all candidates by descending true dot product with `context`
     /// and return the node at a geometrically drawn rank.
+    ///
+    /// Allocating convenience wrapper around [`Self::sample_with`].
     pub fn sample<R: Rng>(&self, matrix: &AtomicMatrix, context: &[f32], rng: &mut R) -> u32 {
-        let mut row = vec![0.0f32; matrix.dim()];
-        let mut scored: Vec<(f32, u32)> = self
-            .candidates
-            .iter()
-            .map(|&c| {
-                matrix.read_row(c as usize, &mut row);
-                (crate::math::dot(context, &row), c)
-            })
-            .collect();
-        scored.sort_unstable_by(|a, b| {
+        self.sample_with(matrix, context, rng, &mut ExactScratch::new())
+    }
+
+    /// Like [`Self::sample`], but reusing caller-owned scratch so repeated
+    /// draws (the benches' hot loop) perform no per-call allocation.
+    pub fn sample_with<R: Rng>(
+        &self,
+        matrix: &AtomicMatrix,
+        context: &[f32],
+        rng: &mut R,
+        scratch: &mut ExactScratch,
+    ) -> u32 {
+        scratch.row.resize(matrix.dim(), 0.0);
+        scratch.scored.clear();
+        scratch.scored.extend(self.candidates.iter().map(|&c| {
+            matrix.read_row(c as usize, &mut scratch.row);
+            (crate::math::dot(context, &scratch.row), c)
+        }));
+        scratch.scored.sort_unstable_by(|a, b| {
             b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1))
         });
         let s = self.geometric.sample(rng);
-        scored[s].1
+        scratch.scored[s].1
     }
 
     /// The true similarity rank (0-based) of `node` w.r.t. `context` —
     /// used by tests to measure how adversarial a sampler's draws are.
     pub fn rank_of(&self, matrix: &AtomicMatrix, context: &[f32], node: u32) -> usize {
-        let mut row = vec![0.0f32; matrix.dim()];
-        matrix.read_row(node as usize, &mut row);
-        let target = crate::math::dot(context, &row);
+        self.rank_of_with(matrix, context, node, &mut ExactScratch::new())
+    }
+
+    /// Like [`Self::rank_of`], but reusing caller-owned scratch.
+    pub fn rank_of_with(
+        &self,
+        matrix: &AtomicMatrix,
+        context: &[f32],
+        node: u32,
+        scratch: &mut ExactScratch,
+    ) -> usize {
+        scratch.row.resize(matrix.dim(), 0.0);
+        matrix.read_row(node as usize, &mut scratch.row);
+        let target = crate::math::dot(context, &scratch.row);
         self.candidates
             .iter()
             .filter(|&&c| {
-                matrix.read_row(c as usize, &mut row.clone());
-                let mut r = vec![0.0f32; matrix.dim()];
-                matrix.read_row(c as usize, &mut r);
-                crate::math::dot(context, &r) > target
+                matrix.read_row(c as usize, &mut scratch.row);
+                crate::math::dot(context, &scratch.row) > target
             })
             .count()
     }
@@ -269,7 +307,7 @@ mod tests {
     fn rankings_order_by_value_descending() {
         let m = descending_matrix(10, 3);
         let state = AdaptiveState::new(&m, 2.0);
-        let r = state.rankings.read();
+        let r = state.rankings.read().unwrap();
         // Dim 0: nodes already in rank order 0,1,2,...
         assert_eq!(&r.by_dim[0..10], &(0..10u32).collect::<Vec<_>>()[..]);
         // Dim 1 is all zeros: ties broken by id.
@@ -408,6 +446,28 @@ mod tests {
     }
 
     #[test]
+    fn exact_scratch_reuse_matches_fresh_allocation() {
+        let n = 30;
+        let m = descending_matrix(n, 3);
+        let exact = ExactAdaptiveSampler::new((0..n as u32).collect(), 0.7);
+        let context = [0.9f32, -0.2, 0.4];
+        let mut scratch = ExactScratch::new();
+        // Identical RNG streams must give identical draws whether the
+        // scratch is reused or freshly allocated per call.
+        let mut rng_a = rng_from_seed(11);
+        let mut rng_b = rng_from_seed(11);
+        for _ in 0..50 {
+            let with = exact.sample_with(&m, &context, &mut rng_a, &mut scratch);
+            let fresh = exact.sample(&m, &context, &mut rng_b);
+            assert_eq!(with, fresh);
+            assert_eq!(
+                exact.rank_of_with(&m, &context, with, &mut scratch),
+                exact.rank_of(&m, &context, with)
+            );
+        }
+    }
+
+    #[test]
     fn maybe_refresh_fires_after_interval() {
         let m = descending_matrix(4, 1); // interval = 4 * 2 = 8
         let state = AdaptiveState::new(&m, 1.0);
@@ -418,7 +478,7 @@ mod tests {
         for _ in 0..=state.refresh_interval {
             state.maybe_refresh(&m);
         }
-        let r = state.rankings.read();
+        let r = state.rankings.read().unwrap();
         assert_eq!(r.by_dim[0], 3, "refresh should expose the new top node");
     }
 }

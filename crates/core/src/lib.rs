@@ -35,8 +35,8 @@ pub mod model;
 pub mod persist;
 pub mod trainer;
 
+pub use adaptive::{AdaptiveState, ExactAdaptiveSampler, ExactScratch};
 pub use config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
-pub use adaptive::{AdaptiveState, ExactAdaptiveSampler};
 pub use matrix::AtomicMatrix;
 pub use model::{EventScorer, GemModel};
 pub use persist::{load_model, save_model, PersistError};

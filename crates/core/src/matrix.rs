@@ -100,10 +100,7 @@ impl AtomicMatrix {
 
     /// Snapshot the whole matrix into a plain `Vec<f32>` (row-major).
     pub fn snapshot(&self) -> Vec<f32> {
-        self.data
-            .iter()
-            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
-            .collect()
+        self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect()
     }
 }
 

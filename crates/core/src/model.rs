@@ -77,7 +77,11 @@ impl GemModel {
             ("time_slots", &time_slots),
             ("words", &words),
         ] {
-            assert!(m.len() % dim == 0, "{name} matrix length {} not a multiple of dim {dim}", m.len());
+            assert!(
+                m.len() % dim == 0,
+                "{name} matrix length {} not a multiple of dim {dim}",
+                m.len()
+            );
         }
         GemModel { dim, users, events, regions, time_slots, words }
     }

@@ -20,7 +20,9 @@ use crate::math::{axpy, dot, sigmoid};
 use crate::matrix::AtomicMatrix;
 use crate::model::GemModel;
 use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
-use gem_sampling::{rng_from_seed, split_seed, AliasTable, DegreeNoise, GaussianSampler, SeededRng};
+use gem_sampling::{
+    rng_from_seed, split_seed, AliasTable, DegreeNoise, GaussianSampler, SeededRng,
+};
 use rand::RngExt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -227,24 +229,27 @@ impl<'g> GemTrainer<'g> {
                 self.step(&mut rng, &mut bufs, chunk + i);
             }
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for t in 0..threads {
                     let quota = steps / threads as u64
                         + if (t as u64) < steps % threads as u64 { 1 } else { 0 };
                     let seed = split_seed(base, t as u64 + 1);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut rng = rng_from_seed(seed);
                         let mut bufs = StepBuffers::new(self.config.dim);
                         for i in 0..quota {
                             // Workers share the global decay clock
-                            // approximately: each sees its own progress
-                            // scaled by the worker count.
-                            self.step(&mut rng, &mut bufs, chunk + i * threads as u64);
+                            // approximately: worker `t` takes step indices
+                            // `chunk + t, chunk + t + threads, ...`, so the
+                            // workers jointly cover `chunk..chunk + steps`
+                            // and every index drives the learning-rate
+                            // schedule exactly once.
+                            let step_idx = chunk + t as u64 + i * threads as u64;
+                            self.step(&mut rng, &mut bufs, step_idx);
                         }
                     });
                 }
-            })
-            .expect("hogwild worker panicked");
+            });
         }
         self.steps_done.fetch_add(steps, Ordering::Relaxed);
     }
@@ -286,8 +291,7 @@ impl<'g> GemTrainer<'g> {
         bufs.grad_j.iter_mut().zip(&bufs.vi).for_each(|(o, &v)| *o = g * v);
 
         let alpha = if self.config.lr_decay_t0 > 0 {
-            self.config.learning_rate
-                / (1.0 + t as f32 / self.config.lr_decay_t0 as f32).sqrt()
+            self.config.learning_rate / (1.0 + t as f32 / self.config.lr_decay_t0 as f32).sqrt()
         } else {
             self.config.learning_rate
         };

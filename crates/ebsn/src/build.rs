@@ -93,10 +93,8 @@ impl TrainingGraphs {
             BipartiteGraph::new(NodeKind::User, NodeKind::Event, num_users, num_events, ux_edges);
 
         // --- user–user (1 + common training events) ----------------------
-        let removed: HashSet<(u32, u32)> = removed_friendships
-            .iter()
-            .flat_map(|&(a, b)| [(a.0, b.0), (b.0, a.0)])
-            .collect();
+        let removed: HashSet<(u32, u32)> =
+            removed_friendships.iter().flat_map(|&(a, b)| [(a.0, b.0), (b.0, a.0)]).collect();
         // Count common training events via the training user–event adjacency.
         let mut uu_edges = Vec::with_capacity(dataset.friendships.len() * 2);
         for &(u, v) in &dataset.friendships {
@@ -115,11 +113,8 @@ impl TrainingGraphs {
             BipartiteGraph::new(NodeKind::User, NodeKind::User, num_users, num_users, uu_edges);
 
         // --- event–region (DBSCAN over event coordinates, all events) ----
-        let event_points: Vec<GeoPoint> = dataset
-            .events
-            .iter()
-            .map(|e| dataset.venues[e.venue.index()])
-            .collect();
+        let event_points: Vec<GeoPoint> =
+            dataset.events.iter().map(|e| dataset.venues[e.venue.index()]).collect();
         let regions = Dbscan::new(config.dbscan).assign_regions(&event_points);
         let region_of_event: Vec<RegionId> =
             regions.region_of.iter().map(|&r| RegionId(r)).collect();
@@ -152,11 +147,7 @@ impl TrainingGraphs {
         );
 
         // --- event–word (TF-IDF, all events) ------------------------------
-        let stop = if config.filter_stopwords {
-            StopWords::english()
-        } else {
-            StopWords::none()
-        };
+        let stop = if config.filter_stopwords { StopWords::english() } else { StopWords::none() };
         let tokenized: Vec<Vec<String>> = dataset
             .events
             .iter()
@@ -176,11 +167,7 @@ impl TrainingGraphs {
         let mut xc_edges = Vec::new();
         for (x, doc) in tokenized.iter().enumerate() {
             for term in tfidf.weigh(doc.iter().map(|s| s.as_str())) {
-                xc_edges.push(Edge {
-                    left: x as u32,
-                    right: term.word.0,
-                    weight: term.weight,
-                });
+                xc_edges.push(Edge { left: x as u32, right: term.word.0, weight: term.weight });
             }
         }
         let event_word = BipartiteGraph::new(
@@ -206,13 +193,7 @@ impl TrainingGraphs {
     /// The five graphs in the paper's order (UX, XT, XC, XL, UU), for the
     /// joint trainer.
     pub fn all(&self) -> [&BipartiteGraph; 5] {
-        [
-            &self.user_event,
-            &self.event_time,
-            &self.event_word,
-            &self.event_region,
-            &self.user_user,
-        ]
+        [&self.user_event, &self.event_time, &self.event_word, &self.event_region, &self.user_user]
     }
 
     /// Region of a given event.
@@ -274,19 +255,9 @@ mod tests {
         let (_, _, g) = graphs_for_tiny(&[]);
         // (u0,u1) share train event e0 → weight 2. (u1,u2) share only test
         // event e2 → weight 1.
-        let e01 = g
-            .user_user
-            .edges()
-            .iter()
-            .find(|e| e.left == 0 && e.right == 1)
-            .unwrap();
+        let e01 = g.user_user.edges().iter().find(|e| e.left == 0 && e.right == 1).unwrap();
         assert_eq!(e01.weight, 2.0);
-        let e12 = g
-            .user_user
-            .edges()
-            .iter()
-            .find(|e| e.left == 1 && e.right == 2)
-            .unwrap();
+        let e12 = g.user_user.edges().iter().find(|e| e.left == 1 && e.right == 2).unwrap();
         assert_eq!(e12.weight, 1.0);
         // Both directions present.
         assert!(g.user_user.has_edge(1, 0));

@@ -287,10 +287,7 @@ mod tests {
             NodeKind::Event,
             2,
             2,
-            vec![
-                Edge { left: 0, right: 0, weight: 1.0 },
-                Edge { left: 0, right: 0, weight: 2.0 },
-            ],
+            vec![Edge { left: 0, right: 0, weight: 1.0 }, Edge { left: 0, right: 0, weight: 2.0 }],
         );
     }
 

@@ -141,12 +141,16 @@ mod tests {
         let (_, _, g) = gt();
         // u1 and u2 both attend e2 and are friends → both orderings.
         assert_eq!(g.partner_triples.len(), 2);
-        assert!(g
-            .partner_triples
-            .contains(&PartnerTriple { user: UserId(1), partner: UserId(2), event: EventId(2) }));
-        assert!(g
-            .partner_triples
-            .contains(&PartnerTriple { user: UserId(2), partner: UserId(1), event: EventId(2) }));
+        assert!(g.partner_triples.contains(&PartnerTriple {
+            user: UserId(1),
+            partner: UserId(2),
+            event: EventId(2)
+        }));
+        assert!(g.partner_triples.contains(&PartnerTriple {
+            user: UserId(2),
+            partner: UserId(1),
+            event: EventId(2)
+        }));
         assert_eq!(g.partner_links, vec![(UserId(1), UserId(2))]);
     }
 

@@ -185,6 +185,9 @@ fn sorted_intersection_len<T: Ord>(a: &[T], b: &[T]) -> usize {
 }
 
 #[cfg(test)]
+pub(crate) use tests::tiny_dataset;
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -201,11 +204,7 @@ mod tests {
                     start_time: 1_000_000,
                     description: "jazz night".into(),
                 },
-                Event {
-                    venue: VenueId(0),
-                    start_time: 2_000_000,
-                    description: "tech talk".into(),
-                },
+                Event { venue: VenueId(0), start_time: 2_000_000, description: "tech talk".into() },
                 Event {
                     venue: VenueId(1),
                     start_time: 3_000_000,
@@ -288,6 +287,3 @@ mod tests {
         assert!(d.validate().is_err());
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::tiny_dataset;

@@ -69,9 +69,7 @@ impl ChronoSplit {
             "validation ratio must be in [0, 1), got {}",
             ratios.validation_of_heldout
         );
-        let mut order: Vec<EventId> = (0..dataset.events.len())
-            .map(EventId::from_index)
-            .collect();
+        let mut order: Vec<EventId> = (0..dataset.events.len()).map(EventId::from_index).collect();
         order.sort_by_key(|&x| (dataset.events[x.index()].start_time, x));
 
         let n = order.len();
@@ -106,12 +104,7 @@ impl ChronoSplit {
 
     /// Attendance pairs restricted to training events.
     pub fn train_attendance(&self, dataset: &EbsnDataset) -> Vec<(crate::UserId, EventId)> {
-        dataset
-            .attendance
-            .iter()
-            .copied()
-            .filter(|&(_, x)| self.is_train(x))
-            .collect()
+        dataset.attendance.iter().copied().filter(|&(_, x)| self.is_train(x)).collect()
     }
 }
 
@@ -147,22 +140,14 @@ mod tests {
         assert_eq!(s.validation_events.len(), 1);
         assert_eq!(s.test_events.len(), 2);
         // Every training event starts before every held-out event.
-        let max_train = s
-            .train_events
-            .iter()
-            .map(|&x| d.events[x.index()].start_time)
-            .max()
-            .unwrap();
+        let max_train =
+            s.train_events.iter().map(|&x| d.events[x.index()].start_time).max().unwrap();
         for &x in s.validation_events.iter().chain(&s.test_events) {
             assert!(d.events[x.index()].start_time >= max_train);
         }
         // Validation events start before test events.
-        let max_val = s
-            .validation_events
-            .iter()
-            .map(|&x| d.events[x.index()].start_time)
-            .max()
-            .unwrap();
+        let max_val =
+            s.validation_events.iter().map(|&x| d.events[x.index()].start_time).max().unwrap();
         for &x in &s.test_events {
             assert!(d.events[x.index()].start_time >= max_val);
         }
@@ -173,10 +158,7 @@ mod tests {
         let times: Vec<i64> = (0..100).map(|i| (i * 37) % 1000).collect();
         let d = dataset_with_times(&times);
         let s = ChronoSplit::new(&d, SplitRatios::default());
-        assert_eq!(
-            s.train_events.len() + s.validation_events.len() + s.test_events.len(),
-            100
-        );
+        assert_eq!(s.train_events.len() + s.validation_events.len() + s.test_events.len(), 100);
         let mut all: Vec<EventId> = s
             .train_events
             .iter()

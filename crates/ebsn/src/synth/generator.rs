@@ -63,11 +63,8 @@ pub fn generate(config: &SynthConfig) -> (EbsnDataset, SynthesisReport) {
             // Districts on a jittered ring around the city centre.
             let angle = t as f64 / config.num_topics as f64 * std::f64::consts::TAU;
             let radius = config.district_radius_km * (0.35 + 0.65 * rng.random::<f64>());
-            let district = offset_km(
-                config.city_center,
-                radius * angle.cos(),
-                radius * angle.sin(),
-            );
+            let district =
+                offset_km(config.city_center, radius * angle.cos(), radius * angle.sin());
             let words: Vec<usize> =
                 (t * config.words_per_topic..(t + 1) * config.words_per_topic).collect();
             let chunk = (words.len() / SUBTOPICS).max(1);
@@ -83,9 +80,8 @@ pub fn generate(config: &SynthConfig) -> (EbsnDataset, SynthesisReport) {
         })
         .collect();
     // Zipf-ish topic popularity.
-    let topic_pop: Vec<f64> = (0..config.num_topics)
-        .map(|t| 1.0 / (t as f64 + 1.0).powf(0.8))
-        .collect();
+    let topic_pop: Vec<f64> =
+        (0..config.num_topics).map(|t| 1.0 / (t as f64 + 1.0).powf(0.8)).collect();
     let topic_table = AliasTable::new(&topic_pop).expect("topic popularity weights");
 
     // ---- venues ---------------------------------------------------------
@@ -131,9 +127,8 @@ pub fn generate(config: &SynthConfig) -> (EbsnDataset, SynthesisReport) {
             UserProfile { primary, primary_sub, secondary, home, activity }
         })
         .collect();
-    let activity_table =
-        AliasTable::new(&users.iter().map(|u| u.activity).collect::<Vec<_>>())
-            .expect("activity weights");
+    let activity_table = AliasTable::new(&users.iter().map(|u| u.activity).collect::<Vec<_>>())
+        .expect("activity weights");
 
     // ---- friendships (homophilous configuration model) -------------------
     let mut users_of_topic: Vec<Vec<u32>> = vec![Vec::new(); config.num_topics];
@@ -444,11 +439,8 @@ fn sample_description(
 fn offset_km(center: (f64, f64), east_km: f64, north_km: f64) -> GeoPoint {
     let dlat = north_km / 111.32;
     let dlon = east_km / (111.32 * center.0.to_radians().cos().max(0.01));
-    GeoPoint::new(
-        (center.0 + dlat).clamp(-89.9, 89.9),
-        (center.1 + dlon).clamp(-179.9, 179.9),
-    )
-    .expect("offset stays in range")
+    GeoPoint::new((center.0 + dlat).clamp(-89.9, 89.9), (center.1 + dlon).clamp(-179.9, 179.9))
+        .expect("offset stays in range")
 }
 
 #[cfg(test)]
@@ -496,12 +488,9 @@ mod tests {
         // random pairs.
         let (d, _) = generate(&SynthConfig::tiny(11));
         let idx = d.index();
-        let friend_avg: f64 = d
-            .friendships
-            .iter()
-            .map(|&(u, v)| idx.common_events(u, v) as f64)
-            .sum::<f64>()
-            / d.friendships.len() as f64;
+        let friend_avg: f64 =
+            d.friendships.iter().map(|&(u, v)| idx.common_events(u, v) as f64).sum::<f64>()
+                / d.friendships.len() as f64;
         let mut rng = rng_from_seed(5);
         let rand_avg: f64 = (0..d.friendships.len())
             .map(|_| {

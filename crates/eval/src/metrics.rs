@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn ties_contribute_half() {
         assert_eq!(expected_rank(2.0, &[2.0, 2.0]), 2.0); // 1 + 0 + 1
-        // Constant scorer over 1000 negatives: expected rank ≈ 501.
+                                                          // Constant scorer over 1000 negatives: expected rank ≈ 501.
         let negs = vec![0.0; 1000];
         assert_eq!(expected_rank(0.0, &negs), 501.0);
     }

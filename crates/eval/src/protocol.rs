@@ -71,10 +71,9 @@ pub fn eval_event_rec_on(
     let mut rng = rng_from_seed(config.seed);
     let (cases, test_events) = match which {
         EvalSplit::Test => (subsample(&gt.event_cases, config.max_cases), &split.test_events),
-        EvalSplit::Validation => (
-            subsample(&gt.event_cases_validation, config.max_cases),
-            &split.validation_events,
-        ),
+        EvalSplit::Validation => {
+            (subsample(&gt.event_cases_validation, config.max_cases), &split.validation_events)
+        }
     };
 
     let mut ranks = Vec::with_capacity(cases.len());
@@ -89,10 +88,8 @@ pub fn eval_event_rec_on(
             .collect();
         let negatives = sample_without_replacement(&eligible, config.event_negatives, &mut rng);
         let pos = scorer.score_event(case.user, case.event);
-        let neg_scores: Vec<f64> = negatives
-            .iter()
-            .map(|&x| scorer.score_event(case.user, x))
-            .collect();
+        let neg_scores: Vec<f64> =
+            negatives.iter().map(|&x| scorer.score_event(case.user, x)).collect();
         ranks.push(expected_rank(pos, &neg_scores));
     }
     EvalResult::from_ranks(ranks, &config.cutoffs)
@@ -175,9 +172,7 @@ fn subsample<T: Copy>(cases: &[T], max: usize) -> Vec<T> {
         return cases.to_vec();
     }
     let stride = cases.len() as f64 / max as f64;
-    (0..max)
-        .map(|i| cases[(i as f64 * stride) as usize])
-        .collect()
+    (0..max).map(|i| cases[(i as f64 * stride) as usize]).collect()
 }
 
 #[cfg(test)]

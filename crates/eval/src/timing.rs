@@ -1,7 +1,7 @@
 //! Wall-clock measurement of online recommendation (Table VI, Fig. 7).
 
-use gem_query::{Method, RecommendationEngine};
 use gem_ebsn::UserId;
+use gem_query::{Method, RecommendationEngine};
 use std::time::{Duration, Instant};
 
 /// Aggregate timing of a batch of top-n queries.

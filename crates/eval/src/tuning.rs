@@ -49,10 +49,8 @@ pub fn grid_search<C: Clone>(
     mut evaluate: impl FnMut(&C) -> f64,
 ) -> GridSearchResult<C> {
     assert!(!candidates.is_empty(), "grid search needs at least one candidate");
-    let points: Vec<GridPoint<C>> = candidates
-        .iter()
-        .map(|c| GridPoint { config: c.clone(), score: evaluate(c) })
-        .collect();
+    let points: Vec<GridPoint<C>> =
+        candidates.iter().map(|c| GridPoint { config: c.clone(), score: evaluate(c) }).collect();
     // First maximum wins ties (Rust's max_by would return the last).
     let mut best = 0;
     for (i, p) in points.iter().enumerate().skip(1) {
@@ -144,18 +142,12 @@ mod tests {
         bad.dim = 1;
         bad.learning_rate = 1e-8;
         let eval_cfg = EvalConfig { max_cases: 150, ..Default::default() };
-        let r = tune_gem(
-            &[bad, good],
-            &graphs,
-            &dataset,
-            &split,
-            &gt,
-            60_000,
+        let r = tune_gem(&[bad, good], &graphs, &dataset, &split, &gt, 60_000, 1, 1, &eval_cfg);
+        assert_eq!(
+            r.best,
             1,
-            1,
-            &eval_cfg,
+            "grid search picked the crippled config: {:?}",
+            r.points.iter().map(|p| p.score).collect::<Vec<_>>()
         );
-        assert_eq!(r.best, 1, "grid search picked the crippled config: {:?}",
-            r.points.iter().map(|p| p.score).collect::<Vec<_>>());
     }
 }

@@ -5,8 +5,26 @@
 //! oracle for the TA implementation.
 
 use crate::transform::TransformedSpace;
-use gem_core::math::dot;
+use gem_core::math::dot_batch;
 use gem_ebsn::{EventId, UserId};
+
+/// Reusable working memory for [`BruteForce::top_n_with`]: the raw score
+/// table and the filtered `(score, partner, event)` selection buffer. Both
+/// are `O(candidates)` — reusing them keeps large per-query allocations
+/// (which glibc serves via mmap/munmap, page-faulting every touch) off the
+/// serving path.
+#[derive(Debug, Default)]
+pub struct BruteScratch {
+    scores: Vec<f32>,
+    scored: Vec<(f32, UserId, EventId)>,
+}
+
+impl BruteScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Brute-force scorer over a transformed space.
 #[derive(Debug, Clone, Copy)]
@@ -22,20 +40,43 @@ impl<'s> BruteForce<'s> {
 
     /// Exact top-`n` by scanning all candidates. Candidates rejected by
     /// `filter` are skipped. Results are sorted by descending score.
+    /// Allocates a fresh score buffer; serving loops should call
+    /// [`Self::top_n_with`] with a reused one.
     pub fn top_n(
         &self,
         q: &[f32],
         n: usize,
+        filter: impl FnMut(UserId, EventId) -> bool,
+    ) -> Vec<(f32, UserId, EventId)> {
+        let mut scratch = BruteScratch::new();
+        self.top_n_with(q, n, filter, &mut scratch)
+    }
+
+    /// [`Self::top_n`] with caller-owned scratch. All candidates are
+    /// scored in one [`dot_batch`] sweep over the contiguous point rows
+    /// (the fused kernel beats a per-point `dot` call loop), then the
+    /// filter and selection run over the score table; only the final `n`
+    /// results are copied out.
+    pub fn top_n_with(
+        &self,
+        q: &[f32],
+        n: usize,
         mut filter: impl FnMut(UserId, EventId) -> bool,
+        scratch: &mut BruteScratch,
     ) -> Vec<(f32, UserId, EventId)> {
         assert_eq!(q.len(), self.space.dim(), "query dimensionality mismatch");
-        let mut scored: Vec<(f32, UserId, EventId)> = Vec::with_capacity(self.space.len());
-        for i in 0..self.space.len() {
+        let scores = &mut scratch.scores;
+        scores.clear();
+        scores.resize(self.space.len(), 0.0);
+        dot_batch(q, self.space.points_flat(), scores);
+        let scored = &mut scratch.scored;
+        scored.clear();
+        for (i, &s) in scores.iter().enumerate() {
             let (p, x) = self.space.pair(i);
             if !filter(p, x) {
                 continue;
             }
-            scored.push((dot(q, self.space.point(i)), p, x));
+            scored.push((s, p, x));
         }
         let take = n.min(scored.len());
         if take == 0 {
@@ -43,16 +84,14 @@ impl<'s> BruteForce<'s> {
         }
         if take < scored.len() {
             scored.select_nth_unstable_by(take - 1, |a, b| {
-                b.0.partial_cmp(&a.0)
-                    .expect("scores are finite")
-                    .then((a.1, a.2).cmp(&(b.1, b.2)))
+                b.0.partial_cmp(&a.0).expect("scores are finite").then((a.1, a.2).cmp(&(b.1, b.2)))
             });
-            scored.truncate(take);
         }
-        scored.sort_unstable_by(|a, b| {
+        let top = &mut scored[..take];
+        top.sort_unstable_by(|a, b| {
             b.0.partial_cmp(&a.0).expect("scores are finite").then((a.1, a.2).cmp(&(b.1, b.2)))
         });
-        scored
+        top.to_vec()
     }
 }
 
@@ -63,9 +102,8 @@ mod tests {
 
     fn space() -> TransformedSpace {
         let model = toy_model();
-        let candidates: Vec<(UserId, EventId)> = (0..3)
-            .flat_map(|p| (0..2).map(move |x| (UserId(p), EventId(x))))
-            .collect();
+        let candidates: Vec<(UserId, EventId)> =
+            (0..3).flat_map(|p| (0..2).map(move |x| (UserId(p), EventId(x)))).collect();
         TransformedSpace::build(&model, &candidates)
     }
 
@@ -106,10 +144,7 @@ mod tests {
         let q = TransformedSpace::query_vector(&model, UserId(0));
         let results = BruteForce::new(&s).top_n(&q, 6, |_, _| true);
         for w in results.windows(2) {
-            assert!(
-                w[0].0 > w[1].0
-                    || (w[0].0 == w[1].0 && (w[0].1, w[0].2) < (w[1].1, w[1].2))
-            );
+            assert!(w[0].0 > w[1].0 || (w[0].0 == w[1].0 && (w[0].1, w[0].2) < (w[1].1, w[1].2)));
         }
     }
 }

@@ -5,12 +5,13 @@
 //! top-n `(partner, event)` recommendations per target user via either
 //! GEM-TA or GEM-BF.
 
-use crate::brute::BruteForce;
+use crate::brute::{BruteForce, BruteScratch};
 use crate::prune::top_k_events_per_partner;
-use crate::ta::{TaIndex, TaStats};
+use crate::ta::{TaIndex, TaScratch, TaStats};
 use crate::transform::TransformedSpace;
 use gem_core::GemModel;
 use gem_ebsn::{EventId, UserId};
+use rayon::prelude::*;
 
 /// Retrieval method for [`RecommendationEngine::recommend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,23 @@ pub struct Recommendation {
     pub event: EventId,
     /// Eq. 8 ranking score.
     pub score: f32,
+}
+
+/// Reusable per-thread serving state: the query vector, the TA working
+/// memory and the brute-force score table. One instance per serving thread
+/// removes all per-query allocation (beyond the returned result vector).
+#[derive(Debug, Default)]
+pub struct ServeScratch {
+    q: Vec<f32>,
+    ta: TaScratch,
+    brute: BruteScratch,
+}
+
+impl ServeScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A ready-to-serve recommendation engine over a trained model.
@@ -76,16 +94,39 @@ impl RecommendationEngine {
     /// Top-`n` event-partner recommendations for `user`. The user is never
     /// recommended as their own partner. Returns the recommendations and,
     /// for TA, the work counters (zeroed for brute force).
+    ///
+    /// Allocates fresh working memory per call; serving loops should hold a
+    /// [`ServeScratch`] and call [`Self::recommend_with`], or use
+    /// [`Self::recommend_batch`] which does so per thread.
     pub fn recommend(
         &self,
         user: UserId,
         n: usize,
         method: Method,
     ) -> (Vec<Recommendation>, TaStats) {
-        let q = TransformedSpace::query_vector(&self.model, user);
+        let mut scratch = ServeScratch::new();
+        self.recommend_with(user, n, method, &mut scratch)
+    }
+
+    /// [`Self::recommend`] with caller-owned scratch: no per-query
+    /// allocation beyond the returned recommendations once warm.
+    pub fn recommend_with(
+        &self,
+        user: UserId,
+        n: usize,
+        method: Method,
+        scratch: &mut ServeScratch,
+    ) -> (Vec<Recommendation>, TaStats) {
+        TransformedSpace::query_vector_into(&self.model, user, &mut scratch.q);
         match method {
             Method::Ta => {
-                let (results, stats) = self.index.top_n(&self.space, &q, n, |p, _| p != user);
+                let (results, stats) = self.index.top_n_with(
+                    &self.space,
+                    &scratch.q,
+                    n,
+                    |p, _| p != user,
+                    &mut scratch.ta,
+                );
                 (
                     results
                         .into_iter()
@@ -95,7 +136,12 @@ impl RecommendationEngine {
                 )
             }
             Method::BruteForce => {
-                let results = BruteForce::new(&self.space).top_n(&q, n, |p, _| p != user);
+                let results = BruteForce::new(&self.space).top_n_with(
+                    &scratch.q,
+                    n,
+                    |p, _| p != user,
+                    &mut scratch.brute,
+                );
                 (
                     results
                         .into_iter()
@@ -105,6 +151,27 @@ impl RecommendationEngine {
                 )
             }
         }
+    }
+
+    /// Serve many users at once, fanning the queries out across threads.
+    ///
+    /// Each thread reuses one [`ServeScratch`] across the queries it owns,
+    /// and users are assigned to threads as contiguous runs, so the output
+    /// is exactly `users.iter().map(|&u| self.recommend(u, n, method))` —
+    /// bit-identical at any thread count, including one.
+    pub fn recommend_batch(
+        &self,
+        users: &[UserId],
+        n: usize,
+        method: Method,
+    ) -> Vec<(Vec<Recommendation>, TaStats)> {
+        users
+            .par_iter()
+            .with_min_len(8)
+            .map_init(ServeScratch::new, |scratch, &user| {
+                self.recommend_with(user, n, method, scratch)
+            })
+            .collect()
     }
 }
 
@@ -168,5 +235,67 @@ mod tests {
         assert!(stats.sorted_accesses > 0);
         let (_, stats_bf) = e.recommend(UserId(0), 2, Method::BruteForce);
         assert_eq!(stats_bf, TaStats::default());
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_toy_model() {
+        let e = engine(2);
+        let users: Vec<UserId> = (0..3).map(UserId).collect();
+        for method in [Method::Ta, Method::BruteForce] {
+            let batch = e.recommend_batch(&users, 3, method);
+            assert_eq!(batch.len(), users.len());
+            for (&u, got) in users.iter().zip(&batch) {
+                let want = e.recommend(u, 3, method);
+                assert_eq!(*got, want, "user {u:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_on_empty_user_list() {
+        let e = engine(2);
+        assert!(e.recommend_batch(&[], 3, Method::Ta).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gem_core::GemModel;
+    use proptest::prelude::*;
+    use rand::RngExt;
+
+    proptest! {
+        /// `recommend_batch` is exactly the per-user sequential
+        /// `recommend`, for both methods, on random models at serving
+        /// scale (≥50 users, ≥20 events).
+        #[test]
+        fn batch_equals_sequential(
+            dim in 2usize..5,
+            nu in 50u32..60,
+            nx in 20u32..26,
+            k in 1usize..8,
+            n in 1usize..8,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = gem_sampling::rng_from_seed(seed);
+            let users_m: Vec<f32> =
+                (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+            let events_m: Vec<f32> =
+                (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+            let model = GemModel::from_raw(dim, users_m, events_m, vec![], vec![], vec![]);
+            let partners: Vec<UserId> = (0..nu).map(UserId).collect();
+            let events: Vec<EventId> = (0..nx).map(EventId).collect();
+            let e = RecommendationEngine::build(model, &partners, &events, k);
+            let targets: Vec<UserId> = (0..nu).step_by(7).map(UserId).collect();
+            for method in [Method::Ta, Method::BruteForce] {
+                let batch = e.recommend_batch(&targets, n, method);
+                prop_assert_eq!(batch.len(), targets.len());
+                for (&u, got) in targets.iter().zip(&batch) {
+                    let want = e.recommend(u, n, method);
+                    prop_assert_eq!(got, &want, "user {:?} method {:?}", u, method);
+                }
+            }
+        }
     }
 }

@@ -27,8 +27,8 @@ pub mod prune;
 pub mod ta;
 pub mod transform;
 
-pub use brute::BruteForce;
-pub use engine::{Method, Recommendation, RecommendationEngine};
+pub use brute::{BruteForce, BruteScratch};
+pub use engine::{Method, Recommendation, RecommendationEngine, ServeScratch};
 pub use prune::top_k_events_per_partner;
-pub use ta::{TaIndex, TaStats};
+pub use ta::{TaIndex, TaScratch, TaStats};
 pub use transform::TransformedSpace;

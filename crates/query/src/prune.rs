@@ -8,41 +8,52 @@
 
 use gem_core::{EventScorer, GemModel};
 use gem_ebsn::{EventId, UserId};
+use rayon::prelude::*;
 
 /// For each partner, the top-`k` events by `u'·x`. Output pairs are grouped
 /// by partner, each group sorted by descending event score.
 ///
 /// `k == 0` returns an empty candidate set; `k >= events.len()` keeps all
 /// pairs.
+///
+/// Partners are independent, so they are pruned in parallel (per-thread
+/// reusable score buffer via `map_init`) and the per-partner groups are
+/// concatenated sequentially in input order — the output is bit-identical
+/// at any thread count.
 pub fn top_k_events_per_partner(
     model: &GemModel,
     partners: &[UserId],
     events: &[EventId],
     k: usize,
 ) -> Vec<(UserId, EventId)> {
-    let mut out = Vec::with_capacity(partners.len() * k.min(events.len()));
-    let mut scored: Vec<(f32, EventId)> = Vec::with_capacity(events.len());
-    for &p in partners {
-        scored.clear();
-        scored.extend(
-            events
-                .iter()
-                .map(|&x| (model.score_event(p, x) as f32, x)),
-        );
-        let take = k.min(scored.len());
-        if take == 0 {
-            continue;
-        }
-        if take < scored.len() {
-            scored.select_nth_unstable_by(take - 1, |a, b| {
-                b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
-            });
-            scored.truncate(take);
-        }
-        scored.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
-        });
-        out.extend(scored.iter().map(|&(_, x)| (p, x)));
+    let take = k.min(events.len());
+    if take == 0 {
+        return Vec::new();
+    }
+    let per_partner: Vec<Vec<(UserId, EventId)>> = partners
+        .par_iter()
+        .with_min_len(32)
+        .map_init(
+            || Vec::with_capacity(events.len()),
+            |scored: &mut Vec<(f32, EventId)>, &p| {
+                scored.clear();
+                scored.extend(events.iter().map(|&x| (model.score_event(p, x) as f32, x)));
+                if take < scored.len() {
+                    scored.select_nth_unstable_by(take - 1, |a, b| {
+                        b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
+                    });
+                    scored.truncate(take);
+                }
+                scored.sort_unstable_by(|a, b| {
+                    b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
+                });
+                scored.iter().map(|&(_, x)| (p, x)).collect()
+            },
+        )
+        .collect();
+    let mut out = Vec::with_capacity(partners.len() * take);
+    for group in per_partner {
+        out.extend(group);
     }
     out
 }
@@ -68,8 +79,7 @@ mod tests {
     #[test]
     fn k_larger_than_events_keeps_all() {
         let model = toy_model();
-        let pairs =
-            top_k_events_per_partner(&model, &[UserId(2)], &[EventId(0), EventId(1)], 10);
+        let pairs = top_k_events_per_partner(&model, &[UserId(2)], &[EventId(0), EventId(1)], 10);
         assert_eq!(pairs.len(), 2);
         // Group is sorted by descending score.
         let s0 = model.score_event(pairs[0].0, pairs[0].1);

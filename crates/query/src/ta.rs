@@ -30,22 +30,41 @@
 //! stalls because thousands of pairs share each event's coordinates — the
 //! composite lists descend through *distinct* A/B values, so the threshold
 //! drops quickly regardless of embedding signs or density.
+//!
+//! # Serving-path layout
+//!
+//! The group structure is stored in CSR form (one flat member array plus a
+//! `groups+1` offset array per axis) so that a query never copies it: the
+//! per-query [`GroupCursor`]s *borrow* the index. All per-query working
+//! memory — composite keys, group orderings, the visited set, the top-n
+//! heap — lives in a caller-owned [`TaScratch`] that [`TaIndex::top_n_with`]
+//! reuses across calls, so a serving thread allocates only the final result
+//! vector once warmed up. The visited set is epoch-stamped: clearing it
+//! between queries is a counter bump, not an `O(pairs)` memset.
 
 use crate::transform::TransformedSpace;
 use gem_core::math::dot;
 use gem_ebsn::{EventId, UserId};
+use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 
-/// Offline part of the TA engine: pair groups and the interaction list.
+/// Offline part of the TA engine: pair groups (CSR) and the interaction
+/// list.
 #[derive(Debug, Clone)]
 pub struct TaIndex {
-    /// Distinct events, each with the candidate pair indices sharing it.
-    event_groups: Vec<(EventId, Vec<u32>)>,
+    /// CSR offsets into `event_members`, one entry per distinct event + 1.
+    event_offsets: Vec<u32>,
+    /// Pair indices grouped by event (flat; group `g` spans
+    /// `event_offsets[g]..event_offsets[g+1]`).
+    event_members: Vec<u32>,
     /// Representative pair index per event group (for the event vector).
     event_rep: Vec<u32>,
-    /// Distinct partners, each with their candidate pair indices.
-    partner_groups: Vec<(UserId, Vec<u32>)>,
+    /// CSR offsets into `partner_members`, one per distinct partner + 1.
+    partner_offsets: Vec<u32>,
+    /// Pair indices grouped by partner (flat).
+    partner_members: Vec<u32>,
     /// Representative pair index per partner group.
     partner_rep: Vec<u32>,
     /// All pair indices sorted by descending interaction value `u'ᵀx`.
@@ -65,6 +84,35 @@ pub struct TaStats {
     pub scored: usize,
     /// Total sorted-access pops across the three lists.
     pub sorted_accesses: usize,
+}
+
+/// Reusable per-query working memory for [`TaIndex::top_n_with`].
+///
+/// One instance per serving thread; reusing it across queries removes all
+/// per-query heap allocation from the TA hot path.
+#[derive(Debug, Default)]
+pub struct TaScratch {
+    /// Composite key `A(x) = u·x` per event group.
+    a_keys: Vec<f32>,
+    /// Composite key `B(u') = u·u'` per partner group.
+    b_keys: Vec<f32>,
+    /// Event groups ordered by descending `A`.
+    a_order: Vec<u32>,
+    /// Partner groups ordered by descending `B`.
+    b_order: Vec<u32>,
+    /// Epoch stamps: pair `i` was visited this query iff `seen[i] == epoch`.
+    seen: Vec<u32>,
+    /// Current query epoch.
+    epoch: u32,
+    /// Running top-n (min-heap via inverted ordering).
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TaScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Min-heap entry (inverted ordering on a max-heap).
@@ -92,27 +140,21 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Cursor over pairs grouped by a descending per-group key.
+/// Cursor descending through CSR groups by a per-group key; borrows both
+/// the index and the scratch-held ordering — no per-query copies.
 struct GroupCursor<'a> {
-    /// (group order, per-group pair lists) — group order is a permutation of
-    /// group indices by descending key.
-    order: Vec<u32>,
+    /// Group indices by descending key (from [`TaScratch`]).
+    order: &'a [u32],
     keys: &'a [f32],
-    groups: &'a [Vec<u32>],
+    offsets: &'a [u32],
+    members: &'a [u32],
     group_pos: usize,
     within_pos: usize,
 }
 
 impl<'a> GroupCursor<'a> {
-    fn new(keys: &'a [f32], groups: &'a [Vec<u32>]) -> Self {
-        let mut order: Vec<u32> = (0..groups.len() as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            keys[b as usize]
-                .partial_cmp(&keys[a as usize])
-                .expect("keys are finite")
-                .then(a.cmp(&b))
-        });
-        Self { order, keys, groups, group_pos: 0, within_pos: 0 }
+    fn new(order: &'a [u32], keys: &'a [f32], offsets: &'a [u32], members: &'a [u32]) -> Self {
+        Self { order, keys, offsets, members, group_pos: 0, within_pos: 0 }
     }
 
     /// Current upper bound: the key of the group being consumed.
@@ -127,9 +169,11 @@ impl<'a> GroupCursor<'a> {
     /// Pop the next pair index, descending through groups.
     fn pop(&mut self) -> Option<u32> {
         while self.group_pos < self.order.len() {
-            let g = &self.groups[self.order[self.group_pos] as usize];
-            if self.within_pos < g.len() {
-                let idx = g[self.within_pos];
+            let g = self.order[self.group_pos] as usize;
+            let start = self.offsets[g] as usize;
+            let end = self.offsets[g + 1] as usize;
+            if start + self.within_pos < end {
+                let idx = self.members[start + self.within_pos];
                 self.within_pos += 1;
                 return Some(idx);
             }
@@ -140,82 +184,165 @@ impl<'a> GroupCursor<'a> {
     }
 }
 
+/// Fill `order` with `0..keys.len()` sorted by descending key (ties by
+/// ascending index — deterministic).
+fn fill_order(order: &mut Vec<u32>, keys: &[f32]) {
+    order.clear();
+    order.extend(0..keys.len() as u32);
+    order.sort_unstable_by(|&a, &b| {
+        keys[b as usize].partial_cmp(&keys[a as usize]).expect("keys are finite").then(a.cmp(&b))
+    });
+}
+
+/// First-seen-order group assignment plus CSR membership tables for both
+/// axes. Sequential by construction (group ids depend on scan order).
+struct GroupTables {
+    event_offsets: Vec<u32>,
+    event_members: Vec<u32>,
+    event_rep: Vec<u32>,
+    partner_offsets: Vec<u32>,
+    partner_members: Vec<u32>,
+    partner_rep: Vec<u32>,
+    event_gid: Vec<u32>,
+    partner_gid: Vec<u32>,
+}
+
+/// Scatter pair indices into CSR (offsets + flat members) given each pair's
+/// group id. Members within a group stay in ascending pair order.
+fn csr_from_gids(gids: &[u32], num_groups: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; num_groups + 1];
+    for &g in gids {
+        offsets[g as usize + 1] += 1;
+    }
+    for g in 0..num_groups {
+        offsets[g + 1] += offsets[g];
+    }
+    let mut cursor: Vec<u32> = offsets[..num_groups].to_vec();
+    let mut members = vec![0u32; gids.len()];
+    for (i, &g) in gids.iter().enumerate() {
+        members[cursor[g as usize] as usize] = i as u32;
+        cursor[g as usize] += 1;
+    }
+    (offsets, members)
+}
+
+fn build_group_tables(space: &TransformedSpace) -> GroupTables {
+    let n = space.len();
+    let mut event_rep = Vec::new();
+    let mut partner_rep = Vec::new();
+    let mut event_slot: HashMap<EventId, u32> = HashMap::new();
+    let mut partner_slot: HashMap<UserId, u32> = HashMap::new();
+    let mut event_gid = vec![0u32; n];
+    let mut partner_gid = vec![0u32; n];
+    for i in 0..n {
+        let (partner, event) = space.pair(i);
+        let eg = *event_slot.entry(event).or_insert_with(|| {
+            event_rep.push(i as u32);
+            (event_rep.len() - 1) as u32
+        });
+        event_gid[i] = eg;
+        let pg = *partner_slot.entry(partner).or_insert_with(|| {
+            partner_rep.push(i as u32);
+            (partner_rep.len() - 1) as u32
+        });
+        partner_gid[i] = pg;
+    }
+    let (event_offsets, event_members) = csr_from_gids(&event_gid, event_rep.len());
+    let (partner_offsets, partner_members) = csr_from_gids(&partner_gid, partner_rep.len());
+    GroupTables {
+        event_offsets,
+        event_members,
+        event_rep,
+        partner_offsets,
+        partner_members,
+        partner_rep,
+        event_gid,
+        partner_gid,
+    }
+}
+
+/// Pair indices by descending interaction value: parallel key extraction,
+/// sequential sort (deterministic at any thread count).
+fn interaction_order(space: &TransformedSpace) -> Vec<u32> {
+    let n = space.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = space.k();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let keys: Vec<f32> =
+        order.par_iter().with_min_len(4096).map(|&i| space.point(i as usize)[2 * k]).collect();
+    order.sort_unstable_by(|&a, &b| {
+        keys[b as usize]
+            .partial_cmp(&keys[a as usize])
+            .expect("finite interaction values")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
 impl TaIndex {
     /// Build the offline structures (`O(n log n)` in the number of pairs).
+    ///
+    /// The two independent passes — first-seen group assignment (inherently
+    /// sequential: group ids depend on scan order) and the interaction-sorted
+    /// list (parallel key extraction + sequential sort) — run concurrently;
+    /// the result is bit-identical at any thread count.
     pub fn build(space: &TransformedSpace) -> Self {
         let n = space.len();
-        let k = space.k();
-        let mut event_groups: Vec<(EventId, Vec<u32>)> = Vec::new();
-        let mut event_rep = Vec::new();
-        let mut partner_groups: Vec<(UserId, Vec<u32>)> = Vec::new();
-        let mut partner_rep = Vec::new();
-        let mut event_slot: std::collections::HashMap<EventId, usize> =
-            std::collections::HashMap::new();
-        let mut partner_slot: std::collections::HashMap<UserId, usize> =
-            std::collections::HashMap::new();
-
-        let mut event_gid = vec![0u32; n];
-        let mut partner_gid = vec![0u32; n];
-        for i in 0..n {
-            let (partner, event) = space.pair(i);
-            let es = *event_slot.entry(event).or_insert_with(|| {
-                event_groups.push((event, Vec::new()));
-                event_rep.push(i as u32);
-                event_groups.len() - 1
-            });
-            event_groups[es].1.push(i as u32);
-            event_gid[i] = es as u32;
-            let ps = *partner_slot.entry(partner).or_insert_with(|| {
-                partner_groups.push((partner, Vec::new()));
-                partner_rep.push(i as u32);
-                partner_groups.len() - 1
-            });
-            partner_groups[ps].1.push(i as u32);
-            partner_gid[i] = ps as u32;
-        }
-
-        let mut by_interaction: Vec<u32> = (0..n as u32).collect();
-        by_interaction.sort_unstable_by(|&a, &b| {
-            let va = space.point(a as usize)[2 * k];
-            let vb = space.point(b as usize)[2 * k];
-            vb.partial_cmp(&va).expect("finite interaction values").then(a.cmp(&b))
-        });
-
+        let (groups, by_interaction) =
+            rayon::join(|| build_group_tables(space), || interaction_order(space));
         Self {
-            event_groups,
-            event_rep,
-            partner_groups,
-            partner_rep,
+            event_offsets: groups.event_offsets,
+            event_members: groups.event_members,
+            event_rep: groups.event_rep,
+            partner_offsets: groups.partner_offsets,
+            partner_members: groups.partner_members,
+            partner_rep: groups.partner_rep,
             by_interaction,
-            event_gid,
-            partner_gid,
+            event_gid: groups.event_gid,
+            partner_gid: groups.partner_gid,
             pairs: n,
         }
     }
 
     /// Number of distinct candidate events.
     pub fn num_events(&self) -> usize {
-        self.event_groups.len()
+        self.event_rep.len()
     }
 
     /// Number of distinct candidate partners.
     pub fn num_partners(&self) -> usize {
-        self.partner_groups.len()
+        self.partner_rep.len()
     }
 
     /// Exact top-`n` pairs for query `q = (u, u, 1)`, skipping pairs
-    /// rejected by `filter`. Returns `(results sorted by descending score,
-    /// work stats)`.
-    ///
-    /// # Panics
-    /// Panics if `q.len() != space.dim()` or the index was built from a
-    /// space of a different size.
+    /// rejected by `filter`. Allocates fresh working memory; serving loops
+    /// should call [`Self::top_n_with`] with a reused [`TaScratch`].
     pub fn top_n(
         &self,
         space: &TransformedSpace,
         q: &[f32],
         n: usize,
+        filter: impl FnMut(UserId, EventId) -> bool,
+    ) -> (Vec<(f32, UserId, EventId)>, TaStats) {
+        let mut scratch = TaScratch::new();
+        self.top_n_with(space, q, n, filter, &mut scratch)
+    }
+
+    /// [`Self::top_n`] with caller-owned scratch: zero per-query allocation
+    /// beyond the returned result vector once the scratch is warm.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != space.dim()` or the index was built from a
+    /// space of a different size.
+    pub fn top_n_with(
+        &self,
+        space: &TransformedSpace,
+        q: &[f32],
+        n: usize,
         mut filter: impl FnMut(UserId, EventId) -> bool,
+        scratch: &mut TaScratch,
     ) -> (Vec<(f32, UserId, EventId)>, TaStats) {
         assert_eq!(q.len(), space.dim(), "query dimensionality mismatch");
         assert_eq!(self.pairs, space.len(), "index was built from a space of different size");
@@ -227,27 +354,49 @@ impl TaIndex {
         let u = &q[0..k];
 
         // Per-query composite keys: A over distinct events, B over distinct
-        // partners. O((|X| + |U|)·K).
-        let a_keys: Vec<f32> = self
-            .event_rep
-            .iter()
-            .map(|&rep| dot(u, &space.point(rep as usize)[0..k]))
-            .collect();
-        let b_keys: Vec<f32> = self
-            .partner_rep
-            .iter()
-            .map(|&rep| dot(u, &space.point(rep as usize)[k..2 * k]))
-            .collect();
-        let event_group_lists: Vec<Vec<u32>> =
-            self.event_groups.iter().map(|(_, g)| g.clone()).collect();
-        let partner_group_lists: Vec<Vec<u32>> =
-            self.partner_groups.iter().map(|(_, g)| g.clone()).collect();
-        let mut a_cursor = GroupCursor::new(&a_keys, &event_group_lists);
-        let mut b_cursor = GroupCursor::new(&b_keys, &partner_group_lists);
+        // partners. O((|X| + |U|)·K), into reused buffers.
+        scratch.a_keys.clear();
+        scratch
+            .a_keys
+            .extend(self.event_rep.iter().map(|&rep| dot(u, &space.point(rep as usize)[0..k])));
+        scratch.b_keys.clear();
+        scratch.b_keys.extend(
+            self.partner_rep.iter().map(|&rep| dot(u, &space.point(rep as usize)[k..2 * k])),
+        );
+        fill_order(&mut scratch.a_order, &scratch.a_keys);
+        fill_order(&mut scratch.b_order, &scratch.b_keys);
+
+        let mut a_cursor = GroupCursor::new(
+            &scratch.a_order,
+            &scratch.a_keys,
+            &self.event_offsets,
+            &self.event_members,
+        );
+        let mut b_cursor = GroupCursor::new(
+            &scratch.b_order,
+            &scratch.b_keys,
+            &self.partner_offsets,
+            &self.partner_members,
+        );
         let mut c_pos = 0usize;
 
-        let mut seen = vec![false; space.len()];
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n + 1);
+        // Epoch-stamped visited set: bumping the epoch invalidates all
+        // stamps from previous queries in O(1).
+        if scratch.seen.len() != space.len() {
+            scratch.seen.clear();
+            scratch.seen.resize(space.len(), 0);
+            scratch.epoch = 0;
+        }
+        scratch.epoch = scratch.epoch.wrapping_add(1);
+        if scratch.epoch == 0 {
+            scratch.seen.fill(0);
+            scratch.epoch = 1;
+        }
+        let epoch = scratch.epoch;
+        let seen = &mut scratch.seen;
+
+        let heap = &mut scratch.heap;
+        heap.clear();
         let c_value = |idx: u32| space.point(idx as usize)[2 * k];
 
         loop {
@@ -268,17 +417,17 @@ impl TaIndex {
                 let Some(idx) = idx else { continue };
                 progressed = true;
                 stats.sorted_accesses += 1;
-                if seen[idx as usize] {
+                if seen[idx as usize] == epoch {
                     continue;
                 }
-                seen[idx as usize] = true;
+                seen[idx as usize] = epoch;
                 let (partner, event) = space.pair(idx as usize);
                 if !filter(partner, event) {
                     continue;
                 }
                 stats.scored += 1;
-                let score = a_keys[self.event_gid[idx as usize] as usize]
-                    + b_keys[self.partner_gid[idx as usize] as usize]
+                let score = scratch.a_keys[self.event_gid[idx as usize] as usize]
+                    + scratch.b_keys[self.partner_gid[idx as usize] as usize]
                     + c_value(idx) * q[2 * k];
                 if heap.len() < n {
                     heap.push(HeapEntry { score, idx });
@@ -308,7 +457,7 @@ impl TaIndex {
         }
 
         let mut results: Vec<(f32, UserId, EventId)> = heap
-            .into_iter()
+            .drain()
             .map(|e| {
                 let (p, x) = space.pair(e.idx as usize);
                 (e.score, p, x)
@@ -330,9 +479,8 @@ mod tests {
     use rand::RngExt;
 
     fn cross_space(model: &GemModel, users: u32, events: u32) -> TransformedSpace {
-        let candidates: Vec<(UserId, EventId)> = (0..users)
-            .flat_map(|p| (0..events).map(move |x| (UserId(p), EventId(x))))
-            .collect();
+        let candidates: Vec<(UserId, EventId)> =
+            (0..users).flat_map(|p| (0..events).map(move |x| (UserId(p), EventId(x)))).collect();
         TransformedSpace::build(model, &candidates)
     }
 
@@ -378,6 +526,28 @@ mod tests {
         }
     }
 
+    /// A single scratch reused across many queries must give results
+    /// identical to fresh allocation each time (epoch/buffer hygiene).
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let mut rng = gem_sampling::rng_from_seed(77);
+        let dim = 6;
+        let users: Vec<f32> = (0..30 * dim).map(|_| rng.random::<f32>() - 0.4).collect();
+        let events: Vec<f32> = (0..15 * dim).map(|_| rng.random::<f32>() - 0.4).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let space = cross_space(&model, 30, 15);
+        let index = TaIndex::build(&space);
+        let mut scratch = TaScratch::new();
+        for u in 0..30u32 {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            let (reused, stats_reused) =
+                index.top_n_with(&space, &q, 7, |p, _| p != UserId(u), &mut scratch);
+            let (fresh, stats_fresh) = index.top_n(&space, &q, 7, |p, _| p != UserId(u));
+            assert_eq!(reused, fresh, "u={u}");
+            assert_eq!(stats_reused, stats_fresh, "u={u}");
+        }
+    }
+
     #[test]
     fn signed_queries_match_brute_force() {
         // Un-rectified embeddings: signed coordinates everywhere.
@@ -408,27 +578,20 @@ mod tests {
         let n_users = 300u32;
         let n_events = 40u32;
         let mut rng = gem_sampling::rng_from_seed(5);
-        let mut users: Vec<f32> = (0..n_users as usize * dim)
-            .map(|_| rng.random::<f32>() * 0.05)
-            .collect();
+        let mut users: Vec<f32> =
+            (0..n_users as usize * dim).map(|_| rng.random::<f32>() * 0.05).collect();
         for d in 0..dim {
             users[dim + d] = 3.0; // partner 1 dominates
         }
-        let events: Vec<f32> = (0..n_events as usize * dim)
-            .map(|_| rng.random::<f32>() * 0.5)
-            .collect();
+        let events: Vec<f32> =
+            (0..n_events as usize * dim).map(|_| rng.random::<f32>() * 0.5).collect();
         let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
         let space = cross_space(&model, n_users, n_events);
         let index = TaIndex::build(&space);
         let q = TransformedSpace::query_vector(&model, UserId(0));
         let (top, stats) = index.top_n(&space, &q, 5, |_, _| true);
         assert_eq!(top[0].1, UserId(1));
-        assert!(
-            stats.scored < space.len() / 4,
-            "TA scored {}/{} pairs",
-            stats.scored,
-            space.len()
-        );
+        assert!(stats.scored < space.len() / 4, "TA scored {}/{} pairs", stats.scored, space.len());
     }
 
     #[test]
@@ -474,8 +637,24 @@ mod tests {
         let index = TaIndex::build(&space);
         assert_eq!(index.num_events(), 2);
         assert_eq!(index.num_partners(), 3);
-        let total: usize = index.event_groups.iter().map(|(_, g)| g.len()).sum();
-        assert_eq!(total, space.len());
+        // CSR invariants: offsets are monotone, cover all pairs, and the
+        // flat member arrays are a permutation of the pair indices.
+        for offsets in [&index.event_offsets, &index.partner_offsets] {
+            assert_eq!(offsets[0], 0);
+            assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(*offsets.last().unwrap() as usize, space.len());
+        }
+        for members in [&index.event_members, &index.partner_members] {
+            let mut sorted: Vec<u32> = members.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..space.len() as u32).collect::<Vec<_>>());
+        }
+        // Group membership agrees with the per-pair group ids.
+        for g in 0..index.num_events() {
+            let span = &index.event_members
+                [index.event_offsets[g] as usize..index.event_offsets[g + 1] as usize];
+            assert!(span.iter().all(|&i| index.event_gid[i as usize] as usize == g));
+        }
     }
 }
 
@@ -485,6 +664,37 @@ mod proptests {
     use crate::brute::BruteForce;
     use gem_core::GemModel;
     use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
+
+    fn check_ta_equals_bf(
+        dim: usize,
+        nu: u32,
+        nx: u32,
+        n: usize,
+        seed: u64,
+    ) -> Result<(), TestCaseError> {
+        let mut rng = gem_sampling::rng_from_seed(seed);
+        use rand::RngExt;
+        let users: Vec<f32> = (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let events: Vec<f32> = (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let candidates: Vec<(UserId, EventId)> =
+            (0..nu).flat_map(|p| (0..nx).map(move |x| (UserId(p), EventId(x)))).collect();
+        let space = TransformedSpace::build(&model, &candidates);
+        let index = TaIndex::build(&space);
+        let brute = BruteForce::new(&space);
+        let mut scratch = TaScratch::new();
+        for u in [0u32, nu / 2, nu - 1] {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            let (ta, _) = index.top_n_with(&space, &q, n, |_, _| true, &mut scratch);
+            let bf = brute.top_n(&q, n, |_, _| true);
+            prop_assert_eq!(ta.len(), bf.len());
+            for (a, b) in ta.iter().zip(&bf) {
+                prop_assert!((a.0 - b.0).abs() < 1e-5, "u={} ta {:?} vs bf {:?}", u, a, b);
+            }
+        }
+        Ok(())
+    }
 
     proptest! {
         /// TA always returns exactly the brute-force top-n scores, for any
@@ -497,27 +707,19 @@ mod proptests {
             n in 1usize..6,
             seed in 0u64..50,
         ) {
-            let mut rng = gem_sampling::rng_from_seed(seed);
-            use rand::RngExt;
-            let users: Vec<f32> =
-                (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
-            let events: Vec<f32> =
-                (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
-            let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
-            let candidates: Vec<(UserId, EventId)> = (0..nu)
-                .flat_map(|p| (0..nx).map(move |x| (UserId(p), EventId(x))))
-                .collect();
-            let space = TransformedSpace::build(&model, &candidates);
-            let index = TaIndex::build(&space);
-            let brute = BruteForce::new(&space);
-            let q = TransformedSpace::query_vector(&model, UserId(0));
-            let (ta, _) = index.top_n(&space, &q, n, |_, _| true);
-            let bf = brute.top_n(&q, n, |_, _| true);
-            prop_assert_eq!(ta.len(), bf.len());
-            for (a, b) in ta.iter().zip(&bf) {
-                prop_assert!((a.0 - b.0).abs() < 1e-5,
-                    "ta {:?} vs bf {:?}", a, b);
-            }
+            check_ta_equals_bf(dim, nu, nx, n, seed)?;
+        }
+
+        /// Same property at serving scale: ≥50 users × ≥20 events per case.
+        #[test]
+        fn ta_equals_brute_force_at_scale(
+            dim in 2usize..6,
+            nu in 50u32..65,
+            nx in 20u32..30,
+            n in 1usize..12,
+            seed in 0u64..1000,
+        ) {
+            check_ta_equals_bf(dim, nu, nx, n, seed)?;
         }
     }
 }

@@ -13,6 +13,7 @@
 use gem_core::math::dot;
 use gem_core::GemModel;
 use gem_ebsn::{EventId, UserId};
+use rayon::prelude::*;
 
 /// The transformed candidate space: one `2K+1`-dim point per candidate
 /// event-partner pair.
@@ -27,28 +28,42 @@ pub struct TransformedSpace {
 
 impl TransformedSpace {
     /// Build the space for the given candidate pairs.
+    ///
+    /// Rows are independent, so they are filled in parallel: each thread
+    /// owns a contiguous run of rows via `par_chunks_mut`, and row `i`
+    /// depends only on `candidates[i]` — the output is bit-identical at
+    /// any thread count.
     pub fn build(model: &GemModel, candidates: &[(UserId, EventId)]) -> Self {
         let k = model.dim;
         let dim = 2 * k + 1;
-        let mut points = Vec::with_capacity(candidates.len() * dim);
-        for &(partner, event) in candidates {
+        let mut points = vec![0.0f32; candidates.len() * dim];
+        points.par_chunks_mut(dim).enumerate().for_each(|(i, row)| {
+            let (partner, event) = candidates[i];
             let pv = model.user_vec(partner);
             let xv = model.event_vec(event);
-            points.extend_from_slice(xv);
-            points.extend_from_slice(pv);
-            points.push(dot(pv, xv));
-        }
+            row[0..k].copy_from_slice(xv);
+            row[k..2 * k].copy_from_slice(pv);
+            row[2 * k] = dot(pv, xv);
+        });
         Self { k, points, pairs: candidates.to_vec() }
     }
 
     /// The query point `q_u = (u, u, 1)` for a target user.
     pub fn query_vector(model: &GemModel, u: UserId) -> Vec<f32> {
-        let uv = model.user_vec(u);
-        let mut q = Vec::with_capacity(2 * uv.len() + 1);
-        q.extend_from_slice(uv);
-        q.extend_from_slice(uv);
-        q.push(1.0);
+        let mut q = Vec::new();
+        Self::query_vector_into(model, u, &mut q);
         q
+    }
+
+    /// Write the query point into a caller-owned buffer (cleared first).
+    /// Serving loops reuse one buffer across queries instead of allocating.
+    pub fn query_vector_into(model: &GemModel, u: UserId, out: &mut Vec<f32>) {
+        let uv = model.user_vec(u);
+        out.clear();
+        out.reserve(2 * uv.len() + 1);
+        out.extend_from_slice(uv);
+        out.extend_from_slice(uv);
+        out.push(1.0);
     }
 
     /// Embedding dimension `K` of the underlying model.
@@ -84,12 +99,22 @@ impl TransformedSpace {
         self.pairs[i]
     }
 
+    /// All points as one contiguous row-major slice (`len() × dim()`), for
+    /// batch kernels like [`gem_core::math::dot_batch`].
+    #[inline]
+    pub fn points_flat(&self) -> &[f32] {
+        &self.points
+    }
+
     /// Approximate memory footprint in bytes (paper's storage-cost note).
     pub fn bytes(&self) -> usize {
         self.points.len() * std::mem::size_of::<f32>()
             + self.pairs.len() * std::mem::size_of::<(UserId, EventId)>()
     }
 }
+
+#[cfg(test)]
+pub(crate) use tests::toy_model;
 
 #[cfg(test)]
 mod tests {
@@ -111,9 +136,8 @@ mod tests {
     #[test]
     fn transformed_dot_equals_triple_score() {
         let model = toy_model();
-        let candidates: Vec<(UserId, EventId)> = (0..3)
-            .flat_map(|p| (0..2).map(move |x| (UserId(p), EventId(x))))
-            .collect();
+        let candidates: Vec<(UserId, EventId)> =
+            (0..3).flat_map(|p| (0..2).map(move |x| (UserId(p), EventId(x)))).collect();
         let space = TransformedSpace::build(&model, &candidates);
         assert_eq!(space.dim(), 5);
         for u in 0..3u32 {
@@ -122,10 +146,7 @@ mod tests {
                 let (partner, event) = space.pair(i);
                 let via_space = dot(&q, space.point(i)) as f64;
                 let direct = model.score_triple(UserId(u), partner, event);
-                assert!(
-                    (via_space - direct).abs() < 1e-5,
-                    "u={u} i={i}: {via_space} vs {direct}"
-                );
+                assert!((via_space - direct).abs() < 1e-5, "u={u} i={i}: {via_space} vs {direct}");
             }
         }
     }
@@ -156,6 +177,3 @@ mod tests {
         assert_eq!(space.bytes(), 5 * 4 + 8);
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::toy_model;

@@ -102,17 +102,14 @@ mod tests {
         let d = TruncatedGeometric::new(20, 5.0);
         let mut rng = rng_from_seed(21);
         let draws = 400_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..draws {
             counts[d.sample(&mut rng)] += 1;
         }
-        for s in 0..20 {
-            let got = counts[s] as f64 / draws as f64;
+        for (s, &count) in counts.iter().enumerate() {
+            let got = count as f64 / draws as f64;
             let expected = d.pmf(s);
-            assert!(
-                (got - expected).abs() < 0.01,
-                "rank {s}: empirical {got} vs pmf {expected}"
-            );
+            assert!((got - expected).abs() < 0.01, "rank {s}: empirical {got} vs pmf {expected}");
         }
     }
 

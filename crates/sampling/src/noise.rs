@@ -31,10 +31,8 @@ impl DegreeNoise {
     /// Build with a custom smoothing exponent (0 = uniform over nodes with
     /// nonzero degree, 1 = proportional to degree).
     pub fn with_exponent(degrees: &[f64], exponent: f64) -> Result<Self, AliasError> {
-        let weights: Vec<f64> = degrees
-            .iter()
-            .map(|&d| if d > 0.0 { d.powf(exponent) } else { 0.0 })
-            .collect();
+        let weights: Vec<f64> =
+            degrees.iter().map(|&d| if d > 0.0 { d.powf(exponent) } else { 0.0 }).collect();
         Ok(Self { table: AliasTable::new(&weights)?, exponent })
     }
 

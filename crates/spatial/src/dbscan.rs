@@ -158,10 +158,9 @@ impl Dbscan {
                 if neigh.len() >= self.params.min_pts {
                     // q is itself core: its neighbourhood joins the cluster.
                     frontier.extend(
-                        neigh
-                            .iter()
-                            .copied()
-                            .filter(|&r| label[r as usize] == UNVISITED || label[r as usize] == NOISE),
+                        neigh.iter().copied().filter(|&r| {
+                            label[r as usize] == UNVISITED || label[r as usize] == NOISE
+                        }),
                     );
                 }
             }
@@ -316,8 +315,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_point() -> impl Strategy<Value = GeoPoint> {
-        (39.8f64..40.1, 116.2f64..116.6)
-            .prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+        (39.8f64..40.1, 116.2f64..116.6).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
     }
 
     proptest! {
@@ -337,7 +335,7 @@ mod proptests {
                 // Cluster ids each have >= min_pts - wait, border points make
                 // this subtle; just require each cluster id non-empty.
                 for c in 0..r.num_clusters as u32 {
-                    prop_assert!(r.region_of.iter().any(|&x| x == c));
+                    prop_assert!(r.region_of.contains(&c));
                 }
             }
         }

@@ -64,14 +64,7 @@ impl GridIndex {
             let key = cell_key(p, min_lat, min_lon, cell_deg_lat, cell_deg_lon);
             cells.entry(key).or_default().push(i as u32);
         }
-        Self {
-            points: points.to_vec(),
-            cells,
-            min_lat,
-            min_lon,
-            cell_deg_lat,
-            cell_deg_lon,
-        }
+        Self { points: points.to_vec(), cells, min_lat, min_lon, cell_deg_lat, cell_deg_lon }
     }
 
     /// Number of indexed points.
@@ -96,13 +89,8 @@ impl GridIndex {
             eps_km * DEG_LAT_PER_KM <= self.cell_deg_lat * (1.0 + 1e-9),
             "query radius exceeds the grid cell size the index was built for"
         );
-        let (cx, cy) = cell_key(
-            center,
-            self.min_lat,
-            self.min_lon,
-            self.cell_deg_lat,
-            self.cell_deg_lon,
-        );
+        let (cx, cy) =
+            cell_key(center, self.min_lat, self.min_lon, self.cell_deg_lat, self.cell_deg_lon);
         for dx in -1..=1 {
             for dy in -1..=1 {
                 if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
@@ -156,12 +144,7 @@ mod tests {
         let mut rng = gem_sampling::rng_from_seed(77);
         // ~20km x 20km box around Beijing.
         let points: Vec<GeoPoint> = (0..500)
-            .map(|_| {
-                p(
-                    39.8 + rng.random::<f64>() * 0.2,
-                    116.3 + rng.random::<f64>() * 0.25,
-                )
-            })
+            .map(|_| p(39.8 + rng.random::<f64>() * 0.2, 116.3 + rng.random::<f64>() * 0.25))
             .collect();
         let eps = 1.5;
         let index = GridIndex::build(&points, eps);

@@ -15,11 +15,10 @@ pub struct StopWords {
 
 /// A compact English stop-word list (function words only).
 const ENGLISH: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have",
-    "he", "her", "his", "i", "if", "in", "into", "is", "it", "its", "me", "my", "no",
-    "not", "of", "on", "or", "our", "she", "so", "that", "the", "their", "them", "then",
-    "there", "these", "they", "this", "to", "us", "was", "we", "were", "will", "with",
-    "you", "your",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
+    "her", "his", "i", "if", "in", "into", "is", "it", "its", "me", "my", "no", "not", "of", "on",
+    "or", "our", "she", "so", "that", "the", "their", "them", "then", "there", "these", "they",
+    "this", "to", "us", "was", "we", "were", "will", "with", "you", "your",
 ];
 
 impl StopWords {

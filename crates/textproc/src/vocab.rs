@@ -59,11 +59,8 @@ impl VocabularyBuilder {
             "max_df_fraction must be in [0, 1], got {max_df_fraction}"
         );
         let max_df = (max_df_fraction * self.num_docs as f64).ceil() as u32;
-        let mut kept: Vec<(String, u32)> = self
-            .doc_freq
-            .into_iter()
-            .filter(|(_, df)| *df >= min_df && *df <= max_df)
-            .collect();
+        let mut kept: Vec<(String, u32)> =
+            self.doc_freq.into_iter().filter(|(_, df)| *df >= min_df && *df <= max_df).collect();
         kept.sort_unstable_by(|a, b| a.0.cmp(&b.0));
 
         let mut word_to_id = HashMap::with_capacity(kept.len());

@@ -179,15 +179,9 @@ mod tests {
         assert_eq!(c.weekday, Weekday::Tuesday);
 
         // 1900 was NOT a leap year: days_from_civil must agree across Feb 28→Mar 1.
-        assert_eq!(
-            days_from_civil(1900, 3, 1) - days_from_civil(1900, 2, 28),
-            1
-        );
+        assert_eq!(days_from_civil(1900, 3, 1) - days_from_civil(1900, 2, 28), 1);
         // 2000 WAS a leap year.
-        assert_eq!(
-            days_from_civil(2000, 3, 1) - days_from_civil(2000, 2, 28),
-            2
-        );
+        assert_eq!(days_from_civil(2000, 3, 1) - days_from_civil(2000, 2, 28), 2);
     }
 
     #[test]

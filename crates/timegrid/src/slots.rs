@@ -97,11 +97,7 @@ impl TimeSlotSet {
         TimeSlotSet {
             hour: TimeSlot::Hour(c.hour),
             day: TimeSlot::Day(c.weekday),
-            day_type: if c.weekday.is_weekend() {
-                TimeSlot::Weekend
-            } else {
-                TimeSlot::Weekday
-            },
+            day_type: if c.weekday.is_weekend() { TimeSlot::Weekend } else { TimeSlot::Weekday },
         }
     }
 
@@ -176,9 +172,8 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let mut names: Vec<String> = (0..NUM_TIME_SLOTS)
-            .map(|i| TimeSlot::from_id(i).name())
-            .collect();
+        let mut names: Vec<String> =
+            (0..NUM_TIME_SLOTS).map(|i| TimeSlot::from_id(i).name()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), NUM_TIME_SLOTS);

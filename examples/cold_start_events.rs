@@ -34,7 +34,10 @@ fn main() {
     let result = eval_event_rec(&model, &dataset, &split, &gt, &eval_cfg);
     println!("\ncold-start event recommendation (GEM-A):");
     for acc in &result.per_n {
-        println!("  Accuracy@{:<2} = {:.3}   ({}/{} hits)", acc.n, acc.accuracy, acc.hits, acc.cases);
+        println!(
+            "  Accuracy@{:<2} = {:.3}   ({}/{} hits)",
+            acc.n, acc.accuracy, acc.hits, acc.cases
+        );
     }
     println!("  mean rank  = {:.1}", result.mean_rank);
 
@@ -45,13 +48,13 @@ fn main() {
         .max_by_key(|&u| index.events_of_user[u].len())
         .map(UserId::from_index)
         .expect("non-empty dataset");
-    let mut scored: Vec<(f64, EventId)> = split
-        .test_events
-        .iter()
-        .map(|&x| (model.score_event(user, x), x))
-        .collect();
+    let mut scored: Vec<(f64, EventId)> =
+        split.test_events.iter().map(|&x| (model.score_event(user, x), x)).collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
-    println!("\ntop upcoming events for {user} (attended {} past events):", index.events_of_user[user.index()].len());
+    println!(
+        "\ntop upcoming events for {user} (attended {} past events):",
+        index.events_of_user[user.index()].len()
+    );
     for (score, x) in scored.iter().take(5) {
         let words: Vec<&str> = dataset.events[x.index()].description.split(' ').take(4).collect();
         println!("  {x}  score {score:.3}  \"{} …\"", words.join(" "));

@@ -22,7 +22,12 @@ fn main() {
     let partners: Vec<UserId> = (0..dataset.num_users).map(UserId::from_index).collect();
     let upcoming = &split.test_events;
 
-    println!("candidate space without pruning: {} partners x {} events = {} pairs", partners.len(), upcoming.len(), partners.len() * upcoming.len());
+    println!(
+        "candidate space without pruning: {} partners x {} events = {} pairs",
+        partners.len(),
+        upcoming.len(),
+        partners.len() * upcoming.len()
+    );
 
     // Prune to each partner's top-k events, transform, index.
     for k in [4usize, 16, upcoming.len()] {

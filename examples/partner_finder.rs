@@ -35,9 +35,7 @@ fn main() {
         .iter()
         .copied()
         .max_by(|&a, &b| {
-            gem.score_event(user, a)
-                .partial_cmp(&gem.score_event(user, b))
-                .expect("finite scores")
+            gem.score_event(user, a).partial_cmp(&gem.score_event(user, b)).expect("finite scores")
         })
         .expect("test events exist");
     println!("best upcoming event: {event}\n");

@@ -42,10 +42,7 @@ fn main() {
     // partner's top-8 events, served by the Threshold Algorithm.
     let partners: Vec<UserId> = (0..dataset.num_users).map(UserId::from_index).collect();
     let engine = RecommendationEngine::build(model, &partners, &split.test_events, 8);
-    println!(
-        "engine: {} candidate (partner, event) pairs after pruning",
-        engine.num_candidates()
-    );
+    println!("engine: {} candidate (partner, event) pairs after pruning", engine.num_candidates());
 
     let user = UserId(0);
     let (recs, stats) = engine.recommend(user, 5, Method::Ta);

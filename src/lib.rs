@@ -97,12 +97,12 @@ pub mod substrate {
 pub mod prelude {
     pub use gem_baselines::{Cbpf, CbpfConfig, CfaprE, Pcmf, PcmfConfig, PerConfig, PerModel};
     pub use gem_core::{
-        EventScorer, GemModel, GemTrainer, GraphChoice, NoiseKind, RectifyMode,
-        SamplingDirection, TrainConfig,
+        EventScorer, GemModel, GemTrainer, GraphChoice, NoiseKind, RectifyMode, SamplingDirection,
+        TrainConfig,
     };
     pub use gem_ebsn::{
-        ChronoSplit, EbsnDataset, Event, EventId, GraphBuildConfig, GroundTruth,
-        PartnerScenario, RegionId, SplitRatios, SynthConfig, TrainingGraphs, UserId, VenueId,
+        ChronoSplit, EbsnDataset, Event, EventId, GraphBuildConfig, GroundTruth, PartnerScenario,
+        RegionId, SplitRatios, SynthConfig, TrainingGraphs, UserId, VenueId,
     };
     pub use gem_eval::{eval_event_rec, eval_partner_rec, sign_test, EvalConfig};
     pub use gem_query::{Method, Recommendation, RecommendationEngine};

@@ -115,10 +115,7 @@ fn ta_engine_agrees_with_brute_force_end_to_end() {
         let (bf, _) = engine.recommend(user, 7, Method::BruteForce);
         assert_eq!(ta.len(), bf.len());
         for (a, b) in ta.iter().zip(&bf) {
-            assert!(
-                (a.score - b.score).abs() < 1e-5,
-                "user {user}: TA {a:?} vs BF {b:?}"
-            );
+            assert!((a.score - b.score).abs() < 1e-5, "user {user}: TA {a:?} vs BF {b:?}");
         }
     }
 }
@@ -130,21 +127,14 @@ fn hogwild_training_matches_single_thread_quality() {
 
     let single = GemTrainer::new(&graphs, TrainConfig::gem_p(23)).expect("config");
     single.run(200_000, 1);
-    let acc1 = eval_event_rec(&single.model(), &dataset, &split, &gt, &cfg)
-        .accuracy(10)
-        .unwrap();
+    let acc1 = eval_event_rec(&single.model(), &dataset, &split, &gt, &cfg).accuracy(10).unwrap();
 
     let multi = GemTrainer::new(&graphs, TrainConfig::gem_p(23)).expect("config");
     multi.run(200_000, 4);
-    let acc4 = eval_event_rec(&multi.model(), &dataset, &split, &gt, &cfg)
-        .accuracy(10)
-        .unwrap();
+    let acc4 = eval_event_rec(&multi.model(), &dataset, &split, &gt, &cfg).accuracy(10).unwrap();
 
     // Hogwild may differ slightly but must stay in the same quality range.
-    assert!(
-        (acc1 - acc4).abs() < 0.15,
-        "1-thread {acc1} vs 4-thread {acc4} diverge too much"
-    );
+    assert!((acc1 - acc4).abs() < 0.15, "1-thread {acc1} vs 4-thread {acc4} diverge too much");
 }
 
 #[test]
