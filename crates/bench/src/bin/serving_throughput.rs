@@ -1,5 +1,6 @@
 //! Serving-layer throughput baseline: engine build time, single- vs
-//! multi-thread queries/sec, and math-kernel microbenchmarks.
+//! multi-thread queries/sec, latency percentiles, and math-kernel
+//! microbenchmarks.
 //!
 //! Usage: `cargo run --release -p gem-bench --bin serving_throughput \
 //!         [--scale 40 --steps 100000 --queries 512 --top-n 10 --prune-k 20]`
@@ -14,7 +15,14 @@
 //!    thread (one reused [`ServeScratch`]) and through
 //!    [`RecommendationEngine::recommend_batch`] across all available
 //!    threads. Batch results are asserted identical to the sequential ones
-//!    before any number is reported.
+//!    before any number is reported. The engine runs with a live gem-obs
+//!    registry, whose per-query latency histograms (p50/p95/p99) and TA
+//!    work counters are folded into the JSON report.
+//!
+//! With `--smoke` the bench instead runs a down-scaled self-check meant for
+//! CI: it asserts the instrumented engine emits metrics and that its
+//! single-thread throughput stays within 2% of an identical engine built
+//! with a no-op registry, then exits without writing the JSON report.
 //!
 //! Writes machine-readable results to `BENCH_serving.json` in the working
 //! directory (schema documented in EXPERIMENTS.md).
@@ -22,7 +30,8 @@
 use gem_bench::{Args, City, ExperimentEnv, Variant};
 use gem_core::math::{dot, dot_batch};
 use gem_ebsn::UserId;
-use gem_query::{Method, RecommendationEngine, ServeScratch};
+use gem_obs::MetricsRegistry;
+use gem_query::{EngineMetrics, Method, RecommendationEngine, ServeScratch};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -117,17 +126,21 @@ fn bench_serving(
     users: &[UserId],
     n: usize,
     method: Method,
+    window: Duration,
 ) -> ServingNumbers {
-    // Warm up + correctness gate: batch must reproduce sequential exactly.
+    // Warm up + correctness gate: batch must reproduce sequential exactly
+    // (every batch entry is Ok — these users are all in range).
     let mut scratch = ServeScratch::new();
     let sequential: Vec<_> =
         users.iter().map(|&u| engine.recommend_with(u, n, method, &mut scratch)).collect();
     let batch = engine.recommend_batch(users, n, method);
-    assert_eq!(batch, sequential, "batch serving diverged from sequential");
+    for (got, want) in batch.iter().zip(&sequential) {
+        assert_eq!(got.as_ref().ok(), Some(want), "batch serving diverged from sequential");
+    }
 
     let start = Instant::now();
     let mut reps = 0u64;
-    while start.elapsed() < Duration::from_millis(300) {
+    while start.elapsed() < window {
         for &u in users {
             black_box(engine.recommend_with(u, n, method, &mut scratch));
         }
@@ -137,7 +150,7 @@ fn bench_serving(
 
     let start = Instant::now();
     let mut reps = 0u64;
-    while start.elapsed() < Duration::from_millis(300) {
+    while start.elapsed() < window {
         black_box(engine.recommend_batch(users, n, method));
         reps += 1;
     }
@@ -145,8 +158,110 @@ fn bench_serving(
     ServingNumbers { single_thread_qps, batch_qps }
 }
 
+/// Best-of-`trials` single-thread qps (max filters scheduler noise; used
+/// only for the smoke overhead comparison, not the reported numbers).
+fn best_qps(
+    engine: &RecommendationEngine,
+    users: &[UserId],
+    n: usize,
+    method: Method,
+    trials: usize,
+    window: Duration,
+) -> f64 {
+    let mut scratch = ServeScratch::new();
+    for &u in users {
+        black_box(engine.recommend_with(u, n, method, &mut scratch));
+    }
+    let mut best = 0.0f64;
+    for _ in 0..trials {
+        let start = Instant::now();
+        let mut served = 0u64;
+        while start.elapsed() < window {
+            for &u in users {
+                black_box(engine.recommend_with(u, n, method, &mut scratch));
+            }
+            served += users.len() as u64;
+        }
+        best = best.max(served as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// CI self-check: metrics must actually be emitted, and instrumentation
+/// must cost <2% single-thread qps against a no-op-registry twin engine.
+fn run_smoke(args: &Args) {
+    let scale = args.get("scale", 160usize);
+    let steps = args.get("steps", 20_000u64);
+    let queries = args.get("queries", 256usize);
+    let top_n = args.get("top-n", 10usize);
+    let prune_k = args.get("prune-k", 20usize);
+    let seed = args.get("seed", 7u64);
+    let window = Duration::from_millis(args.get("window-ms", 150u64));
+    let trials = args.get("trials", 5usize);
+
+    println!("serving_throughput --smoke (Beijing 1/{scale}, {steps} steps)");
+    let env = ExperimentEnv::build(City::Beijing, scale, seed);
+    let model = gem_bench::train_variant(&env.graphs, Variant::GemA, steps, 2, seed);
+    let partners: Vec<UserId> = (0..env.dataset.num_users).map(|u| UserId(u as u32)).collect();
+    let events = env.split.test_events.clone();
+    let users: Vec<UserId> =
+        (0..queries).map(|i| UserId(((i * 97) % env.dataset.num_users) as u32)).collect();
+
+    let registry = MetricsRegistry::new();
+    let instrumented = RecommendationEngine::build_with_metrics(
+        model.clone(),
+        &partners,
+        &events,
+        prune_k,
+        EngineMetrics::register(&registry),
+    );
+    let noop = RecommendationEngine::build(model, &partners, &events, prune_k);
+
+    let qps_noop = best_qps(&noop, &users, top_n, Method::Ta, trials, window);
+    let qps_inst = best_qps(&instrumented, &users, top_n, Method::Ta, trials, window);
+    let overhead = 1.0 - qps_inst / qps_noop;
+    println!(
+        "  GEM-TA single-thread: no-op registry {qps_noop:.0} qps, instrumented {qps_inst:.0} qps \
+         ({:+.2}% overhead)",
+        overhead * 100.0
+    );
+
+    // Metrics must have been emitted by the instrumented runs.
+    let snap = registry.snapshot();
+    let hist = snap.histogram("serve.query_ns.ta").expect("serve.query_ns.ta missing");
+    assert!(hist.count > 0, "latency histogram recorded no queries");
+    assert!(hist.p50() > 0, "latency p50 is zero");
+    assert_eq!(
+        snap.counter("serve.queries"),
+        hist.count,
+        "serve.queries disagrees with the TA latency histogram"
+    );
+    assert!(snap.counter("serve.ta_scored") > 0, "TA scored counter never incremented");
+    assert!(snap.counter("serve.ta_sorted_accesses") > 0, "TA sorted-access counter empty");
+    assert!(snap.gauge("build.candidate_pairs") > 0.0, "build gauges not set");
+    println!(
+        "  metrics: {} queries, p50 {} ns, p99 {} ns, {:.1} scored/query",
+        hist.count,
+        hist.p50(),
+        hist.p99(),
+        snap.counter("serve.ta_scored") as f64 / hist.count as f64
+    );
+
+    assert!(
+        qps_inst >= 0.98 * qps_noop,
+        "instrumentation overhead {:.2}% exceeds the 2% budget \
+         (no-op {qps_noop:.0} qps vs instrumented {qps_inst:.0} qps)",
+        overhead * 100.0
+    );
+    println!("smoke OK: metrics emitted, overhead within 2%");
+}
+
 fn main() {
     let args = Args::from_env();
+    if args.flag("smoke") {
+        run_smoke(&args);
+        return;
+    }
     let scale = args.get("scale", 40usize);
     let steps = args.get("steps", 100_000u64);
     let train_threads = args.get("threads", 4usize);
@@ -155,6 +270,7 @@ fn main() {
     let prune_k = args.get("prune-k", 20usize);
     let seed = args.get("seed", 7u64);
     let serving_threads = rayon::current_num_threads();
+    let window = Duration::from_millis(300);
 
     println!("Serving throughput baseline (Douban-Sim Beijing 1/{scale}, {serving_threads} serving threads)\n");
 
@@ -180,8 +296,15 @@ fn main() {
     println!("[2/3] engine build (prune k={prune_k} -> transform -> TA index)");
     let partners: Vec<UserId> = (0..env.dataset.num_users).map(|u| UserId(u as u32)).collect();
     let events = env.split.test_events.clone();
+    let registry = MetricsRegistry::new();
     let build_start = Instant::now();
-    let engine = RecommendationEngine::build(model, &partners, &events, prune_k);
+    let engine = RecommendationEngine::build_with_metrics(
+        model,
+        &partners,
+        &events,
+        prune_k,
+        EngineMetrics::register(&registry),
+    );
     let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
     println!(
         "  {} partners x {} events -> {} candidate pairs in {:.1} ms ({:.1} MiB)",
@@ -195,8 +318,8 @@ fn main() {
     println!("[3/3] serving throughput ({queries} queries, top-{top_n})");
     let users: Vec<UserId> =
         (0..queries).map(|i| UserId(((i * 97) % env.dataset.num_users) as u32)).collect();
-    let ta = bench_serving(&engine, &users, top_n, Method::Ta);
-    let bf = bench_serving(&engine, &users, top_n, Method::BruteForce);
+    let ta = bench_serving(&engine, &users, top_n, Method::Ta, window);
+    let bf = bench_serving(&engine, &users, top_n, Method::BruteForce, window);
     for (name, s) in [("GEM-TA", &ta), ("GEM-BF", &bf)] {
         println!(
             "  {name}: {:.0} qps single-thread, {:.0} qps batch x{serving_threads} ({:.2}x)",
@@ -205,6 +328,27 @@ fn main() {
             s.batch_qps / s.single_thread_qps
         );
     }
+
+    // Fold the observability layer's view of the same run into the report:
+    // per-method latency percentiles plus the aggregated TA work counters
+    // (totals across warmup, correctness gate and both timing loops).
+    let snap = registry.snapshot();
+    let hist_ta = snap.histogram("serve.query_ns.ta").expect("serve.query_ns.ta missing");
+    let hist_bf = snap.histogram("serve.query_ns.bf").expect("serve.query_ns.bf missing");
+    let total_queries = snap.counter("serve.queries");
+    assert_eq!(
+        total_queries,
+        hist_ta.count + hist_bf.count,
+        "serve.queries disagrees with the latency histograms"
+    );
+    println!(
+        "  latency: TA p50 {} ns / p99 {} ns, BF p50 {} ns / p99 {} ns ({} queries observed)",
+        hist_ta.p50(),
+        hist_ta.p99(),
+        hist_bf.p50(),
+        hist_bf.p99(),
+        total_queries
+    );
 
     let json = format!(
         concat!(
@@ -224,8 +368,14 @@ fn main() {
             "  \"serving\": {{\n",
             "    \"queries\": {queries},\n",
             "    \"top_n\": {top_n},\n",
-            "    \"ta\": {{ \"single_thread_qps\": {ta1:.1}, \"batch_qps\": {tam:.1} }},\n",
-            "    \"brute_force\": {{ \"single_thread_qps\": {bf1:.1}, \"batch_qps\": {bfm:.1} }}\n",
+            "    \"ta\": {{ \"single_thread_qps\": {ta1:.1}, \"batch_qps\": {tam:.1},\n",
+            "      \"p50_ns\": {tap50}, \"p95_ns\": {tap95}, \"p99_ns\": {tap99}, ",
+            "\"mean_ns\": {tamean:.1} }},\n",
+            "    \"brute_force\": {{ \"single_thread_qps\": {bf1:.1}, \"batch_qps\": {bfm:.1},\n",
+            "      \"p50_ns\": {bfp50}, \"p95_ns\": {bfp95}, \"p99_ns\": {bfp99}, ",
+            "\"mean_ns\": {bfmean:.1} }},\n",
+            "    \"observed\": {{ \"queries\": {oq}, \"ta_scored\": {oscored}, ",
+            "\"ta_sorted_accesses\": {osorted}, \"invalid_users\": {oinvalid} }}\n",
             "  }},\n",
             "  \"kernels\": {{\n",
             "    \"dim\": {kdim},\n",
@@ -249,8 +399,20 @@ fn main() {
         top_n = top_n,
         ta1 = ta.single_thread_qps,
         tam = ta.batch_qps,
+        tap50 = hist_ta.p50(),
+        tap95 = hist_ta.p95(),
+        tap99 = hist_ta.p99(),
+        tamean = hist_ta.mean(),
         bf1 = bf.single_thread_qps,
         bfm = bf.batch_qps,
+        bfp50 = hist_bf.p50(),
+        bfp95 = hist_bf.p95(),
+        bfp99 = hist_bf.p99(),
+        bfmean = hist_bf.mean(),
+        oq = total_queries,
+        oscored = snap.counter("serve.ta_scored"),
+        osorted = snap.counter("serve.ta_sorted_accesses"),
+        oinvalid = snap.counter("serve.invalid_users"),
         kdim = kernels.dim,
         kn = kernels.dot_naive_ns,
         ku = kernels.dot_unrolled_ns,

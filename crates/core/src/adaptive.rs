@@ -105,10 +105,11 @@ impl AdaptiveState {
             sigma.push(crate::math::variance(&column));
             order.clear();
             order.extend(0..n as u32);
+            // `total_cmp`: a NaN that slips into a live Hogwild matrix must
+            // not panic the refresh (it sorts deterministically instead).
             order.sort_unstable_by(|&a, &b| {
                 column[b as usize]
-                    .partial_cmp(&column[a as usize])
-                    .expect("embedding values are finite")
+                    .total_cmp(&column[a as usize])
                     .then(candidates[a as usize].cmp(&candidates[b as usize]))
             });
             by_dim.extend(order.iter().map(|&i| candidates[i as usize]));
@@ -242,9 +243,7 @@ impl ExactAdaptiveSampler {
             matrix.read_row(c as usize, &mut scratch.row);
             (crate::math::dot(context, &scratch.row), c)
         }));
-        scratch.scored.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1))
-        });
+        scratch.scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let s = self.geometric.sample(rng);
         scratch.scored[s].1
     }

@@ -31,6 +31,7 @@ pub mod adaptive;
 pub mod config;
 pub mod math;
 pub mod matrix;
+pub mod metrics;
 pub mod model;
 pub mod persist;
 pub mod trainer;
@@ -38,6 +39,7 @@ pub mod trainer;
 pub use adaptive::{AdaptiveState, ExactAdaptiveSampler, ExactScratch};
 pub use config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
 pub use matrix::AtomicMatrix;
+pub use metrics::TrainerMetrics;
 pub use model::{EventScorer, GemModel};
 pub use persist::{load_model, save_model, PersistError};
 pub use trainer::{GemTrainer, TrainProgress};

@@ -1,0 +1,110 @@
+//! Pre-registered gem-obs handles for the trainer hot loop.
+//!
+//! The SGD step loop runs millions of iterations per second, so workers
+//! never touch the registry directly: [`TrainerMetrics`] is a bundle of
+//! cloneable atomic handles resolved once up front, and the trainer batches
+//! per-worker tallies locally, flushing them into the shared counters every
+//! few thousand steps (see `TALLY_FLUSH` in `trainer.rs`). A disabled
+//! bundle (the default) makes every flush a no-op.
+
+use gem_obs::{Counter, Gauge, MetricsRegistry};
+
+/// Names of the five training graphs, in [`gem_ebsn::TrainingGraphs::all`]
+/// order. Used as metric-name suffixes: `train.samples.user_event`, ...
+pub const GRAPH_NAMES: [&str; 5] =
+    ["user_event", "event_time", "event_word", "event_region", "user_user"];
+
+/// Cloneable bundle of trainer metric handles.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `train.steps` | counter | gradient steps performed |
+/// | `train.samples.<graph>` | counter | positive edges drawn per graph |
+/// | `train.loss_proxy_milli` | counter | Σ ⌊1000·(1−σ(vᵢ·vⱼ))⌋ over positive edges |
+/// | `train.steps_per_sec` | gauge | throughput of the last `run` call |
+/// | `train.workers` | gauge | Hogwild worker count of the last `run` call |
+///
+/// The loss proxy is the positive-edge gradient coefficient `1 − σ(vᵢ·vⱼ)`:
+/// it is already computed by every step, lies in `(0, 1)`, and decays toward
+/// zero as the model fits the data — divide by `1000 · train.steps` for the
+/// mean. It is a *proxy* for `−log σ(vᵢ·vⱼ)`, not the objective itself.
+#[derive(Clone)]
+pub struct TrainerMetrics {
+    pub(crate) enabled: bool,
+    pub(crate) steps: Counter,
+    pub(crate) samples: [Counter; 5],
+    pub(crate) loss_proxy_milli: Counter,
+    pub(crate) steps_per_sec: Gauge,
+    pub(crate) workers: Gauge,
+}
+
+impl TrainerMetrics {
+    /// Resolve all handles against `registry` (idempotent: re-registering
+    /// returns the same underlying atomics).
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            enabled: registry.is_enabled(),
+            steps: registry.counter("train.steps"),
+            samples: GRAPH_NAMES.map(|g| registry.counter(&format!("train.samples.{g}"))),
+            loss_proxy_milli: registry.counter("train.loss_proxy_milli"),
+            steps_per_sec: registry.gauge("train.steps_per_sec"),
+            workers: registry.gauge("train.workers"),
+        }
+    }
+
+    /// A bundle whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self::register(&MetricsRegistry::disabled())
+    }
+
+    /// Whether the handles point at a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for TrainerMetrics {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for TrainerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TrainerMetrics(enabled={})", self.enabled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_resolves_shared_handles() {
+        let reg = MetricsRegistry::new();
+        let a = TrainerMetrics::register(&reg);
+        let b = TrainerMetrics::register(&reg);
+        a.steps.add(3);
+        b.steps.add(4);
+        assert_eq!(reg.snapshot().counter("train.steps"), 7);
+        assert!(a.is_enabled());
+    }
+
+    #[test]
+    fn disabled_bundle_records_nothing() {
+        let m = TrainerMetrics::disabled();
+        m.steps.add(10);
+        m.samples[0].add(10);
+        m.steps_per_sec.set(123.0);
+        assert!(!m.is_enabled());
+    }
+
+    #[test]
+    fn graph_names_match_training_graph_order() {
+        // TrainingGraphs::all() returns [user_event, event_time, event_word,
+        // event_region, user_user]; the suffixes must track that order so
+        // per-graph sample counts land under the right name.
+        assert_eq!(GRAPH_NAMES[0], "user_event");
+        assert_eq!(GRAPH_NAMES[4], "user_user");
+    }
+}

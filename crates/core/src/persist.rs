@@ -13,6 +13,7 @@
 use crate::model::GemModel;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 4] = b"GEMM";
 const VERSION: u32 = 1;
@@ -52,29 +53,72 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Save a model to a file (atomic-ish: written to a temp sibling and
-/// renamed).
+/// Save a model to a file, atomically.
+///
+/// The snapshot is written to a unique temp sibling (`<file>.<pid>.<seq>.tmp`
+/// — the *full* filename is the prefix, so concurrent saves of sibling
+/// snapshots sharing a stem like `model.v1` / `model.v2` can never clobber
+/// each other's temp file), fsynced, and renamed over `path`. On any write
+/// error the temp file is removed. A matrix whose length is not a multiple
+/// of `dim` is rejected as [`PersistError::Corrupt`] up front rather than
+/// silently truncated to whole rows.
 pub fn save_model(model: &GemModel, path: &Path) -> Result<(), PersistError> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(model.dim as u32).to_le_bytes())?;
-        let matrices =
-            [&model.users, &model.events, &model.regions, &model.time_slots, &model.words];
-        for m in matrices {
-            let rows = (m.len() / model.dim) as u32;
-            w.write_all(&rows.to_le_bytes())?;
-        }
-        for m in matrices {
-            for &v in m.iter() {
-                w.write_all(&v.to_le_bytes())?;
-            }
-        }
-        w.flush()?;
+    let matrices = [&model.users, &model.events, &model.regions, &model.time_slots, &model.words];
+    if model.dim == 0 {
+        return Err(PersistError::Corrupt("zero dimension"));
     }
-    std::fs::rename(&tmp, path)?;
+    for m in matrices {
+        if m.len() % model.dim != 0 {
+            return Err(PersistError::Corrupt("ragged matrix: length not a multiple of dim"));
+        }
+    }
+
+    // Unique temp name per (process, call): concurrent savers of the same
+    // or sibling paths each write their own file.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path.file_name().ok_or_else(|| {
+        PersistError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "snapshot path has no file name",
+        ))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".{}.{}.tmp", std::process::id(), SEQ.fetch_add(1, Ordering::Relaxed)));
+    let tmp = path.with_file_name(tmp_name);
+
+    let result = write_snapshot(model, &matrices, &tmp)
+        .and_then(|()| std::fs::rename(&tmp, path).map_err(PersistError::from));
+    if result.is_err() {
+        // Never leak a temp file: on any failure remove what we created.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Write the snapshot bytes to `tmp` and fsync them: after the subsequent
+/// rename the new file's *contents* must be durable, or a crash could leave
+/// a valid name pointing at a truncated payload.
+fn write_snapshot(
+    model: &GemModel,
+    matrices: &[&Vec<f32>; 5],
+    tmp: &Path,
+) -> Result<(), PersistError> {
+    let file = std::fs::File::create(tmp)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(model.dim as u32).to_le_bytes())?;
+    for m in matrices {
+        let rows = (m.len() / model.dim) as u32;
+        w.write_all(&rows.to_le_bytes())?;
+    }
+    for m in matrices {
+        for &v in m.iter() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    w.get_ref().sync_all()?;
     Ok(())
 }
 
@@ -209,6 +253,90 @@ mod tests {
         let err = load_model(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(matches!(err, PersistError::BadVersion(99)));
+    }
+
+    /// Regression: `model.v1` and `model.v2` share the stem `model`, and
+    /// the old `path.with_extension("tmp")` scheme sent both savers through
+    /// the *same* `model.tmp`, corrupting one or both snapshots. Temp names
+    /// now append to the full filename, so concurrent sibling saves are
+    /// independent.
+    #[test]
+    fn concurrent_sibling_stems_do_not_clobber() {
+        let dir = tmp("siblings");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = toy();
+        let mut m2 = toy();
+        m2.users[0] = 42.0;
+        let p1 = dir.join("model.v1");
+        let p2 = dir.join("model.v2");
+        std::thread::scope(|s| {
+            let (m1, m2, p1, p2) = (&m1, &m2, &p1, &p2);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    save_model(m1, p1).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..50 {
+                    save_model(m2, p2).unwrap();
+                }
+            });
+        });
+        assert_eq!(load_model(&p1).unwrap(), m1);
+        assert_eq!(load_model(&p2).unwrap(), m2);
+        // No temp files leaked.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a matrix whose length is not a multiple of `dim` used to
+    /// be silently truncated to whole rows (`rows = len / dim`); it is now
+    /// rejected before any file is touched.
+    #[test]
+    fn rejects_ragged_matrix_without_leaving_files() {
+        let mut model = toy();
+        model.events.push(1.5); // 4 floats, dim 3 → ragged
+        let dir = tmp("ragged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let err = save_model(&model, &path).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "ragged save must not create files"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_removes_temp_file() {
+        let dir = tmp("errclean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = toy();
+        // The destination is a directory: the final rename fails after the
+        // temp file was fully written — it must be cleaned up.
+        let dest = dir.join("occupied");
+        std::fs::create_dir_all(dest.join("x")).unwrap();
+        let err = save_model(&model, &dest).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "got {err:?}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_to_pathless_name_errors() {
+        let model = toy();
+        assert!(matches!(save_model(&model, Path::new("/")).unwrap_err(), PersistError::Io(_)));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::adaptive::AdaptiveState;
 use crate::config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
 use crate::math::{axpy, dot, sigmoid};
 use crate::matrix::AtomicMatrix;
+use crate::metrics::TrainerMetrics;
 use crate::model::GemModel;
 use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
 use gem_sampling::{
@@ -95,6 +96,42 @@ pub struct GemTrainer<'g> {
     /// non-zero-degree nodes.
     adaptive: [[Option<AdaptiveState>; 2]; 5],
     steps_done: AtomicU64,
+    metrics: TrainerMetrics,
+}
+
+/// Steps between flushes of a worker-local tally into the shared counters.
+/// Large enough that the shared atomics see no contention, small enough
+/// that `train.steps` tracks Hogwild progress while a run is in flight.
+const TALLY_FLUSH: u64 = 4096;
+
+/// Worker-local accumulator, flushed into [`TrainerMetrics`] periodically
+/// so the step loop never touches shared cache lines.
+#[derive(Default)]
+struct StepTally {
+    steps: u64,
+    samples: [u64; 5],
+    loss_proxy_milli: u64,
+}
+
+impl StepTally {
+    #[inline]
+    fn observe(&mut self, outcome: Option<(usize, f32)>) {
+        self.steps += 1;
+        if let Some((gi, g)) = outcome {
+            self.samples[gi] += 1;
+            // g ∈ (0, 1); clamp guards NaN/∞ from a diverged model.
+            self.loss_proxy_milli += (g.clamp(0.0, 1.0) * 1000.0) as u64;
+        }
+    }
+
+    fn flush_into(&mut self, metrics: &TrainerMetrics) {
+        metrics.steps.add(self.steps);
+        for (counter, &n) in metrics.samples.iter().zip(&self.samples) {
+            counter.add(n);
+        }
+        metrics.loss_proxy_milli.add(self.loss_proxy_milli);
+        *self = Self::default();
+    }
 }
 
 /// Reusable per-worker scratch space (avoids per-step allocation).
@@ -195,7 +232,21 @@ impl<'g> GemTrainer<'g> {
             noise_tables,
             adaptive,
             steps_done: AtomicU64::new(0),
+            metrics: TrainerMetrics::disabled(),
         })
+    }
+
+    /// Attach pre-registered gem-obs handles; subsequent [`GemTrainer::run`]
+    /// calls report steps, per-graph sample counts, a loss proxy and
+    /// throughput through them. Builder-style:
+    ///
+    /// ```ignore
+    /// let trainer = GemTrainer::new(&graphs, cfg)?
+    ///     .with_metrics(TrainerMetrics::register(&registry));
+    /// ```
+    pub fn with_metrics(mut self, metrics: TrainerMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// The training configuration.
@@ -219,15 +270,22 @@ impl<'g> GemTrainer<'g> {
     /// (each call continues the stream from a per-chunk derived seed).
     pub fn run(&self, steps: u64, threads: usize) {
         let threads = threads.max(1);
+        let started = std::time::Instant::now();
+        self.metrics.workers.set(threads as f64);
         // Per-chunk base seed: chunks continue deterministically.
         let chunk = self.steps_done.load(Ordering::Relaxed);
         let base = split_seed(self.config.seed, 0x5EED ^ chunk);
         if threads == 1 {
             let mut rng = rng_from_seed(base);
             let mut bufs = StepBuffers::new(self.config.dim);
+            let mut tally = StepTally::default();
             for i in 0..steps {
-                self.step(&mut rng, &mut bufs, chunk + i);
+                tally.observe(self.step(&mut rng, &mut bufs, chunk + i));
+                if tally.steps == TALLY_FLUSH {
+                    tally.flush_into(&self.metrics);
+                }
             }
+            tally.flush_into(&self.metrics);
         } else {
             std::thread::scope(|scope| {
                 for t in 0..threads {
@@ -237,6 +295,7 @@ impl<'g> GemTrainer<'g> {
                     scope.spawn(move || {
                         let mut rng = rng_from_seed(seed);
                         let mut bufs = StepBuffers::new(self.config.dim);
+                        let mut tally = StepTally::default();
                         for i in 0..quota {
                             // Workers share the global decay clock
                             // approximately: worker `t` takes step indices
@@ -245,18 +304,30 @@ impl<'g> GemTrainer<'g> {
                             // and every index drives the learning-rate
                             // schedule exactly once.
                             let step_idx = chunk + t as u64 + i * threads as u64;
-                            self.step(&mut rng, &mut bufs, step_idx);
+                            tally.observe(self.step(&mut rng, &mut bufs, step_idx));
+                            if tally.steps == TALLY_FLUSH {
+                                tally.flush_into(&self.metrics);
+                            }
                         }
+                        tally.flush_into(&self.metrics);
                     });
                 }
             });
         }
         self.steps_done.fetch_add(steps, Ordering::Relaxed);
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            self.metrics.steps_per_sec.set(steps as f64 / elapsed);
+        }
     }
 
     /// One SGD step (Algorithm 2 lines 3–6). `t` is the global step index
     /// used by the learning-rate schedule.
-    fn step(&self, rng: &mut SeededRng, bufs: &mut StepBuffers, t: u64) {
+    ///
+    /// Returns `(graph index, positive-edge gradient coefficient)` for the
+    /// metrics tally, or `None` when the step was skipped (uniform graph
+    /// choice landing on an empty graph).
+    fn step(&self, rng: &mut SeededRng, bufs: &mut StepBuffers, t: u64) -> Option<(usize, f32)> {
         // Line 3: pick a graph. Uniform choice may land on an empty graph;
         // skip it (proportional choice cannot, by construction).
         let gi = match self.config.graph_choice {
@@ -269,7 +340,7 @@ impl<'g> GemTrainer<'g> {
                     guard += 1;
                 }
                 if self.graphs[gi].num_edges() == 0 {
-                    return;
+                    return None;
                 }
                 gi
             }
@@ -328,6 +399,7 @@ impl<'g> GemTrainer<'g> {
         // rows just written are not re-read this step, matching Eq. 5's
         // simultaneous update semantics.
         let _ = edge;
+        Some((gi, g))
     }
 
     /// Apply one row update, rectifying per the configured policy.
@@ -535,6 +607,46 @@ mod tests {
         t.run(1_000, 1);
         t.run(2_000, 1);
         assert_eq!(t.progress().steps, 3_000);
+    }
+
+    #[test]
+    fn trainer_metrics_count_steps_and_samples() {
+        let (_, _, graphs) = small_graphs();
+        let reg = gem_obs::MetricsRegistry::new();
+        let t = GemTrainer::new(&graphs, TrainConfig::gem_p(7))
+            .unwrap()
+            .with_metrics(TrainerMetrics::register(&reg));
+        t.run(10_000, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("train.steps"), 10_000);
+        let per_graph: u64 = crate::metrics::GRAPH_NAMES
+            .iter()
+            .map(|g| snap.counter(&format!("train.samples.{g}")))
+            .sum();
+        // Edge-count-proportional choice never skips, so every step samples
+        // exactly one graph.
+        assert_eq!(per_graph, 10_000);
+        // The loss proxy is a mean over (0,1): its milli-sum is positive and
+        // bounded by 1000 per step.
+        let proxy = snap.counter("train.loss_proxy_milli");
+        assert!(proxy > 0 && proxy < 1000 * 10_000, "proxy sum {proxy}");
+        assert_eq!(snap.gauge("train.workers"), 2.0);
+        assert!(snap.gauge("train.steps_per_sec") > 0.0);
+    }
+
+    #[test]
+    fn metrics_free_training_is_unchanged() {
+        // Attaching a registry must not perturb the RNG stream or updates:
+        // instrumented and plain single-thread runs produce identical models.
+        let (_, _, graphs) = small_graphs();
+        let reg = gem_obs::MetricsRegistry::new();
+        let t1 = GemTrainer::new(&graphs, TrainConfig::gem_p(7))
+            .unwrap()
+            .with_metrics(TrainerMetrics::register(&reg));
+        t1.run(5_000, 1);
+        let t2 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        t2.run(5_000, 1);
+        assert_eq!(t1.model().users, t2.model().users);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Named metric registry with deterministic snapshots.
+//!
+//! Registration (name → handle) takes a lock once, up front; the returned
+//! handles are lock-free and allocation-free to update, which is what lets
+//! them sit on the query hot path. A registry created with
+//! [`MetricsRegistry::disabled`] hands out no-op handles, so instrumented
+//! code pays only a predictable branch when observability is off.
+
+use crate::histogram::{Histogram, HistogramCore, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Counter {
+    /// A detached, disabled counter (every update is a no-op).
+    pub fn disabled() -> Self {
+        Self { cell: Arc::new(AtomicU64::new(0)), enabled: false }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (relaxed; counters are for aggregation, not synchronisation).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Gauge {
+    /// A detached, disabled gauge (every update is a no-op).
+    pub fn disabled() -> Self {
+        Self { cell: Arc::new(AtomicU64::new(0)), enabled: false }
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if self.enabled {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics.
+///
+/// Handles are registered once by name (get-or-create; re-registering a
+/// name returns a handle to the same cell) and then updated without
+/// touching the registry again. Names are free-form but the convention is
+/// dotted lowercase (`serve.query_ns.ta`), which the Prometheus exporter
+/// rewrites to underscores.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    enabled: bool,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An active registry: handles record, snapshots see the data.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RegistryInner { enabled: true, metrics: Mutex::new(BTreeMap::new()) }),
+        }
+    }
+
+    /// A disabled registry: handles are no-ops, snapshots are empty. Used
+    /// to measure (and pay) the uninstrumented baseline.
+    pub fn disabled() -> Self {
+        Self {
+            inner: Arc::new(RegistryInner { enabled: false, metrics: Mutex::new(BTreeMap::new()) }),
+        }
+    }
+
+    /// True if this registry keeps data.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Get or register a counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.inner.enabled {
+            return Counter::disabled();
+        }
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
+        let m = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match m {
+            Metric::Counter(cell) => Counter { cell: Arc::clone(cell), enabled: true },
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or register a gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.inner.enabled {
+            return Gauge::disabled();
+        }
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
+        let m = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0))));
+        match m {
+            Metric::Gauge(cell) => Gauge { cell: Arc::clone(cell), enabled: true },
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or register a histogram.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.inner.enabled {
+            return Histogram::disabled();
+        }
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
+        let m = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCore::new())));
+        match m {
+            Metric::Histogram(core) => Histogram { core: Arc::clone(core), enabled: true },
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A deterministic point-in-time copy of every metric, sorted by name.
+    ///
+    /// Determinism: same registration + same recorded values → byte-equal
+    /// exporter output, regardless of registration order or thread count
+    /// (the map is ordered and values are plain sums).
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.inner.metrics.lock().expect("registry lock");
+        let entries = metrics
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => {
+                        MetricSnapshot::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a registry, ordered by metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub entries: Vec<(String, MetricSnapshot)>,
+}
+
+impl Snapshot {
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name (0 if absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricSnapshot::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name (0.0 if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(MetricSnapshot::Gauge(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// Histogram snapshot by name (None if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricSnapshot::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_cells() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.snapshot().counter("x.hits"), 5);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("qps");
+        g.set(123.5);
+        g.set(99.25);
+        assert_eq!(reg.snapshot().gauge("qps"), 99.25);
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let reg = MetricsRegistry::disabled();
+        let c = reg.counter("n");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.add(10);
+        g.set(1.0);
+        h.record(5);
+        assert_eq!(c.get(), 0);
+        assert!(reg.snapshot().entries.is_empty());
+        assert!(!reg.is_enabled());
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m");
+        reg.gauge("m");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_searchable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zz");
+        reg.counter("aa");
+        reg.histogram("mm").record(7);
+        let s = reg.snapshot();
+        let names: Vec<&str> = s.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["aa", "mm", "zz"]);
+        assert_eq!(s.histogram("mm").unwrap().count, 1);
+        assert!(s.get("absent").is_none());
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("n"), 80_000);
+    }
+}

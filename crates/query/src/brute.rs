@@ -82,15 +82,15 @@ impl<'s> BruteForce<'s> {
         if take == 0 {
             return Vec::new();
         }
+        // `total_cmp`: NaN scores rank deterministically (+NaN above +∞,
+        // -NaN below -∞) instead of panicking the selection.
         if take < scored.len() {
             scored.select_nth_unstable_by(take - 1, |a, b| {
-                b.0.partial_cmp(&a.0).expect("scores are finite").then((a.1, a.2).cmp(&(b.1, b.2)))
+                b.0.total_cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2)))
             });
         }
         let top = &mut scored[..take];
-        top.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("scores are finite").then((a.1, a.2).cmp(&(b.1, b.2)))
-        });
+        top.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2))));
         top.to_vec()
     }
 }

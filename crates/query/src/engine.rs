@@ -6,12 +6,42 @@
 //! GEM-TA or GEM-BF.
 
 use crate::brute::{BruteForce, BruteScratch};
+use crate::metrics::EngineMetrics;
 use crate::prune::top_k_events_per_partner;
 use crate::ta::{TaIndex, TaScratch, TaStats};
 use crate::transform::TransformedSpace;
 use gem_core::GemModel;
 use gem_ebsn::{EventId, UserId};
 use rayon::prelude::*;
+use std::time::Instant;
+
+/// A serving-path error. Serving errors are *per-query*: one bad request
+/// must never take down the process (or poison a whole
+/// [`RecommendationEngine::recommend_batch`] fan-out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The queried user id is outside the model's user matrix. Real EBSN
+    /// traffic produces these constantly (new signups, stale clients
+    /// holding ids from a newer snapshot than the one serving).
+    UnknownUser {
+        /// The offending user id.
+        user: UserId,
+        /// Number of users the serving model knows about.
+        num_users: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownUser { user, num_users } => {
+                write!(f, "unknown user {user:?}: model has {num_users} users")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Retrieval method for [`RecommendationEngine::recommend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,21 +89,43 @@ pub struct RecommendationEngine {
     model: GemModel,
     space: TransformedSpace,
     index: TaIndex,
+    metrics: EngineMetrics,
 }
 
 impl RecommendationEngine {
-    /// Build the engine: prune, transform, index.
+    /// Build the engine: prune, transform, index. No instrumentation; see
+    /// [`Self::build_with_metrics`] for the observable variant.
     pub fn build(
         model: GemModel,
         partners: &[UserId],
         events: &[EventId],
         top_k_events: usize,
     ) -> Self {
+        Self::build_with_metrics(model, partners, events, top_k_events, EngineMetrics::disabled())
+    }
+
+    /// [`Self::build`] with gem-obs instrumentation: the three build phases
+    /// record their wall-clock into the `build.*` gauges, and every query
+    /// served through the engine records into the `serve.*` metrics.
+    pub fn build_with_metrics(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k_events: usize,
+        metrics: EngineMetrics,
+    ) -> Self {
+        let t0 = Instant::now();
         let candidates = top_k_events_per_partner(&model, partners, events, top_k_events);
+        metrics.build_prune_ns.set(t0.elapsed().as_nanos() as f64);
+        let t1 = Instant::now();
         let space = TransformedSpace::build(&model, &candidates);
+        metrics.build_transform_ns.set(t1.elapsed().as_nanos() as f64);
         // Build the TA index eagerly: an engine exists to be queried.
+        let t2 = Instant::now();
         let index = TaIndex::build(&space);
-        Self { model, space, index }
+        metrics.build_index_ns.set(t2.elapsed().as_nanos() as f64);
+        metrics.build_candidate_pairs.set(space.len() as f64);
+        Self { model, space, index, metrics }
     }
 
     /// The number of candidate pairs after pruning.
@@ -98,6 +150,10 @@ impl RecommendationEngine {
     /// Allocates fresh working memory per call; serving loops should hold a
     /// [`ServeScratch`] and call [`Self::recommend_with`], or use
     /// [`Self::recommend_batch`] which does so per thread.
+    ///
+    /// # Panics
+    /// Panics if `user` is outside the model's user matrix; request paths
+    /// that cannot guarantee validity should use [`Self::try_recommend`].
     pub fn recommend(
         &self,
         user: UserId,
@@ -108,8 +164,24 @@ impl RecommendationEngine {
         self.recommend_with(user, n, method, &mut scratch)
     }
 
+    /// Fallible [`Self::recommend`]: an out-of-range user id is an
+    /// [`Err`], not a panic.
+    pub fn try_recommend(
+        &self,
+        user: UserId,
+        n: usize,
+        method: Method,
+    ) -> Result<(Vec<Recommendation>, TaStats), ServeError> {
+        let mut scratch = ServeScratch::new();
+        self.try_recommend_with(user, n, method, &mut scratch)
+    }
+
     /// [`Self::recommend`] with caller-owned scratch: no per-query
     /// allocation beyond the returned recommendations once warm.
+    ///
+    /// # Panics
+    /// Panics if `user` is outside the model's user matrix; use
+    /// [`Self::try_recommend_with`] on untrusted request paths.
     pub fn recommend_with(
         &self,
         user: UserId,
@@ -117,8 +189,30 @@ impl RecommendationEngine {
         method: Method,
         scratch: &mut ServeScratch,
     ) -> (Vec<Recommendation>, TaStats) {
+        self.try_recommend_with(user, n, method, scratch)
+            .unwrap_or_else(|e| panic!("recommend({user:?}): {e}"))
+    }
+
+    /// Fallible [`Self::recommend_with`]: validates the user id, serves the
+    /// query, and records latency and TA work into the engine's metrics.
+    /// Allocation-free beyond the returned recommendations once `scratch`
+    /// is warm.
+    pub fn try_recommend_with(
+        &self,
+        user: UserId,
+        n: usize,
+        method: Method,
+        scratch: &mut ServeScratch,
+    ) -> Result<(Vec<Recommendation>, TaStats), ServeError> {
+        if user.index() >= self.model.num_users() {
+            self.metrics.invalid_users.inc();
+            return Err(ServeError::UnknownUser { user, num_users: self.model.num_users() });
+        }
+        // Clock reads only when observability is on: the disabled path pays
+        // one predictable branch.
+        let started = if self.metrics.enabled { Some(Instant::now()) } else { None };
         TransformedSpace::query_vector_into(&self.model, user, &mut scratch.q);
-        match method {
+        let (recs, stats) = match method {
             Method::Ta => {
                 let (results, stats) = self.index.top_n_with(
                     &self.space,
@@ -150,26 +244,42 @@ impl RecommendationEngine {
                     TaStats::default(),
                 )
             }
+        };
+        if let Some(t0) = started {
+            let elapsed = t0.elapsed();
+            match method {
+                Method::Ta => self.metrics.query_ns_ta.record_duration(elapsed),
+                Method::BruteForce => self.metrics.query_ns_bf.record_duration(elapsed),
+            }
+            self.metrics.queries.inc();
+            self.metrics.ta_scored.add(stats.scored as u64);
+            self.metrics.ta_sorted_accesses.add(stats.sorted_accesses as u64);
         }
+        Ok((recs, stats))
     }
 
     /// Serve many users at once, fanning the queries out across threads.
     ///
+    /// Invalid users are *skipped and reported*: entry `i` of the output is
+    /// `Err` exactly when `users[i]` is outside the model (also counted in
+    /// the `serve.invalid_users` metric); one malformed id never poisons
+    /// the rest of the batch.
+    ///
     /// Each thread reuses one [`ServeScratch`] across the queries it owns,
     /// and users are assigned to threads as contiguous runs, so the output
-    /// is exactly `users.iter().map(|&u| self.recommend(u, n, method))` —
-    /// bit-identical at any thread count, including one.
+    /// is exactly `users.iter().map(|&u| self.try_recommend(u, n, method))`
+    /// — bit-identical at any thread count, including one.
     pub fn recommend_batch(
         &self,
         users: &[UserId],
         n: usize,
         method: Method,
-    ) -> Vec<(Vec<Recommendation>, TaStats)> {
+    ) -> Vec<Result<(Vec<Recommendation>, TaStats), ServeError>> {
         users
             .par_iter()
             .with_min_len(8)
             .map_init(ServeScratch::new, |scratch, &user| {
-                self.recommend_with(user, n, method, scratch)
+                self.try_recommend_with(user, n, method, scratch)
             })
             .collect()
     }
@@ -246,7 +356,7 @@ mod tests {
             assert_eq!(batch.len(), users.len());
             for (&u, got) in users.iter().zip(&batch) {
                 let want = e.recommend(u, 3, method);
-                assert_eq!(*got, want, "user {u:?}");
+                assert_eq!(*got, Ok(want), "user {u:?}");
             }
         }
     }
@@ -255,6 +365,133 @@ mod tests {
     fn batch_on_empty_user_list() {
         let e = engine(2);
         assert!(e.recommend_batch(&[], 3, Method::Ta).is_empty());
+    }
+
+    // --- regression: out-of-range users must not crash the serving path ---
+
+    #[test]
+    fn try_recommend_rejects_out_of_range_user() {
+        let e = engine(2); // model has users 0..3
+        for method in [Method::Ta, Method::BruteForce] {
+            let err = e.try_recommend(UserId(3), 5, method).unwrap_err();
+            assert_eq!(err, ServeError::UnknownUser { user: UserId(3), num_users: 3 });
+            let err = e.try_recommend(UserId(u32::MAX), 5, method).unwrap_err();
+            assert!(matches!(err, ServeError::UnknownUser { .. }));
+            assert!(err.to_string().contains("unknown user"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown user")]
+    fn infallible_recommend_panics_with_context() {
+        let e = engine(2);
+        e.recommend(UserId(99), 5, Method::Ta);
+    }
+
+    #[test]
+    fn batch_skips_and_reports_invalid_users() {
+        let e = engine(2);
+        // One bad id in the middle must not poison the batch.
+        let users = [UserId(0), UserId(77), UserId(2), UserId(3)];
+        for method in [Method::Ta, Method::BruteForce] {
+            let batch = e.recommend_batch(&users, 3, method);
+            assert_eq!(batch.len(), 4);
+            assert_eq!(batch[0], Ok(e.recommend(UserId(0), 3, method)));
+            assert_eq!(batch[1], Err(ServeError::UnknownUser { user: UserId(77), num_users: 3 }));
+            assert_eq!(batch[2], Ok(e.recommend(UserId(2), 3, method)));
+            assert_eq!(batch[3], Err(ServeError::UnknownUser { user: UserId(3), num_users: 3 }));
+        }
+    }
+
+    #[test]
+    fn invalid_users_are_counted_in_metrics() {
+        let reg = gem_obs::MetricsRegistry::new();
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let e = RecommendationEngine::build_with_metrics(
+            model,
+            &partners,
+            &events,
+            2,
+            crate::EngineMetrics::register(&reg),
+        );
+        let users = [UserId(0), UserId(50), UserId(1), UserId(60)];
+        let batch = e.recommend_batch(&users, 3, Method::Ta);
+        assert_eq!(batch.iter().filter(|r| r.is_err()).count(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.invalid_users"), 2);
+        assert_eq!(snap.counter("serve.queries"), 2);
+        assert_eq!(snap.histogram("serve.query_ns.ta").unwrap().count, 2);
+        assert!(snap.counter("serve.ta_scored") > 0);
+        assert!(snap.gauge("build.candidate_pairs") > 0.0);
+    }
+
+    /// A valid user whose id equals the partner-pool size: every candidate
+    /// survives the self-filter, the query must serve (not index into the
+    /// partner pool).
+    #[test]
+    fn user_id_equal_to_partner_pool_size_serves() {
+        let model = toy_model(); // 3 users
+        let partners = [UserId(0), UserId(1)]; // pool size 2
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let e = RecommendationEngine::build(model, &partners, &events, 2);
+        // UserId(2) == partner pool len, still a valid model user.
+        let (recs, _) = e.try_recommend(UserId(2), 10, Method::Ta).unwrap();
+        assert_eq!(recs.len(), 4); // 2 partners × 2 events, none filtered
+        assert!(recs.iter().all(|r| r.partner != UserId(2)));
+    }
+
+    /// The target user is the *only* partner in the pool: the self-filter
+    /// removes every candidate — empty result, not a crash.
+    #[test]
+    fn sole_partner_user_gets_empty_results() {
+        let model = toy_model();
+        let partners = [UserId(1)];
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let e = RecommendationEngine::build(model, &partners, &events, 2);
+        for method in [Method::Ta, Method::BruteForce] {
+            let (recs, _) = e.try_recommend(UserId(1), 10, method).unwrap();
+            assert!(recs.is_empty(), "{method:?}");
+        }
+    }
+
+    // --- regression: NaN/∞ model rows must not panic engine build or TA ---
+
+    /// Engine built from a model containing NaN and ∞ rows: builds, serves
+    /// both methods, never panics. NaN placement is deterministic
+    /// (`f32::total_cmp`: +NaN above +∞, -NaN below -∞), so corrupted rows
+    /// float to the top or sink to the bottom instead of aborting.
+    #[test]
+    fn nan_and_inf_rows_serve_without_panicking() {
+        let dim = 2;
+        let mut users = vec![0.5f32; 6 * dim];
+        let mut events = vec![0.25f32; 3 * dim];
+        users[2] = f32::NAN; // user 1 row poisoned
+        users[3] = f32::NAN;
+        users[4] = f32::INFINITY; // user 2 row diverged
+        events[2] = f32::NEG_INFINITY; // event 1 diverged
+        events[4] = f32::NAN; // event 2 poisoned
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let partners: Vec<UserId> = (0..6).map(UserId).collect();
+        let ev: Vec<EventId> = (0..3).map(EventId).collect();
+        // Build runs prune + transform + index over NaN/∞ scores.
+        let e = RecommendationEngine::build(model, &partners, &ev, 3);
+        for u in 0..6u32 {
+            for method in [Method::Ta, Method::BruteForce] {
+                let (recs, _) = e.try_recommend(UserId(u), 5, method).unwrap();
+                assert!(recs.len() <= 5);
+                assert!(recs.iter().all(|r| r.partner != UserId(u)));
+            }
+        }
+        // Querying from a NaN user row: every score is NaN; still no panic,
+        // and results are deterministic across repeated queries.
+        let (a, _) = e.try_recommend(UserId(1), 5, Method::Ta).unwrap();
+        let (b, _) = e.try_recommend(UserId(1), 5, Method::Ta).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.partner, x.event), (y.partner, y.event));
+        }
     }
 }
 
@@ -292,7 +529,7 @@ mod proptests {
                 let batch = e.recommend_batch(&targets, n, method);
                 prop_assert_eq!(batch.len(), targets.len());
                 for (&u, got) in targets.iter().zip(&batch) {
-                    let want = e.recommend(u, n, method);
+                    let want = Ok(e.recommend(u, n, method));
                     prop_assert_eq!(got, &want, "user {:?} method {:?}", u, method);
                 }
             }

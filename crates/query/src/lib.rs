@@ -17,18 +17,31 @@
 //!    dimension, which is TA's correctness requirement).
 //! 4. [`brute`] — the exhaustive scorer, used as the GEM-BF baseline and as
 //!    the correctness oracle for TA.
-//! 5. [`engine`] — the end-to-end [`RecommendationEngine`] facade.
+//! 5. [`engine`] — the end-to-end [`RecommendationEngine`] facade, with a
+//!    fallible [`RecommendationEngine::try_recommend`] path for untrusted
+//!    request traffic.
+//! 6. [`metrics`] — pre-registered gem-obs handles ([`EngineMetrics`]) for
+//!    per-query latency, TA work counters and build-phase timings.
+//!
+//! # Degenerate scores
+//!
+//! All score orderings use [`f32::total_cmp`], so an engine built from a
+//! model containing NaN or ±∞ rows (diverged training, corrupted snapshot)
+//! builds and serves deterministically instead of panicking: in every
+//! descending ranking +NaN sorts above +∞ and -NaN below -∞.
 
 #![warn(missing_docs)]
 
 pub mod brute;
 pub mod engine;
+pub mod metrics;
 pub mod prune;
 pub mod ta;
 pub mod transform;
 
 pub use brute::{BruteForce, BruteScratch};
-pub use engine::{Method, Recommendation, RecommendationEngine, ServeScratch};
+pub use engine::{Method, Recommendation, RecommendationEngine, ServeError, ServeScratch};
+pub use metrics::EngineMetrics;
 pub use prune::top_k_events_per_partner;
 pub use ta::{TaIndex, TaScratch, TaStats};
 pub use transform::TransformedSpace;

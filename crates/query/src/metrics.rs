@@ -1,0 +1,136 @@
+//! Pre-registered gem-obs handles for the serving path.
+//!
+//! All handles are resolved once at engine build; the query hot path only
+//! touches relaxed atomics (and one `Instant` pair when enabled), never the
+//! registry lock — see DESIGN.md §Observability for the overhead budget.
+
+use gem_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Metric handles used by [`crate::RecommendationEngine`].
+///
+/// Built from a registry with [`EngineMetrics::register`] (fixed metric
+/// names, documented below) or as a no-op with [`EngineMetrics::disabled`],
+/// which is the default for engines built without observability.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// False for the no-op instance: lets the hot path skip clock reads.
+    pub(crate) enabled: bool,
+    /// `serve.queries` — queries answered (both methods, successes only).
+    pub(crate) queries: Counter,
+    /// `serve.query_ns.ta` — per-query latency of GEM-TA, nanoseconds.
+    pub(crate) query_ns_ta: Histogram,
+    /// `serve.query_ns.bf` — per-query latency of GEM-BF, nanoseconds.
+    pub(crate) query_ns_bf: Histogram,
+    /// `serve.ta_scored` — total TA random accesses (Table VI's work).
+    pub(crate) ta_scored: Counter,
+    /// `serve.ta_sorted_accesses` — total TA sorted-access pops.
+    pub(crate) ta_sorted_accesses: Counter,
+    /// `serve.invalid_users` — queries skipped for an out-of-range user.
+    pub(crate) invalid_users: Counter,
+    /// `build.prune_ns` — wall-clock of the pruning phase, last build.
+    pub(crate) build_prune_ns: Gauge,
+    /// `build.transform_ns` — wall-clock of the space transformation.
+    pub(crate) build_transform_ns: Gauge,
+    /// `build.index_ns` — wall-clock of the TA index build.
+    pub(crate) build_index_ns: Gauge,
+    /// `build.candidate_pairs` — candidate pairs after pruning, last build.
+    pub(crate) build_candidate_pairs: Gauge,
+}
+
+impl EngineMetrics {
+    /// Resolve all handles against `registry` under the fixed names above.
+    /// A disabled registry yields no-op handles (same as
+    /// [`Self::disabled`]).
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            enabled: registry.is_enabled(),
+            queries: registry.counter("serve.queries"),
+            query_ns_ta: registry.histogram("serve.query_ns.ta"),
+            query_ns_bf: registry.histogram("serve.query_ns.bf"),
+            ta_scored: registry.counter("serve.ta_scored"),
+            ta_sorted_accesses: registry.counter("serve.ta_sorted_accesses"),
+            invalid_users: registry.counter("serve.invalid_users"),
+            build_prune_ns: registry.gauge("build.prune_ns"),
+            build_transform_ns: registry.gauge("build.transform_ns"),
+            build_index_ns: registry.gauge("build.index_ns"),
+            build_candidate_pairs: registry.gauge("build.candidate_pairs"),
+        }
+    }
+
+    /// No-op handles: every record is a branch and nothing else.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            queries: Counter::disabled(),
+            query_ns_ta: Histogram::disabled(),
+            query_ns_bf: Histogram::disabled(),
+            ta_scored: Counter::disabled(),
+            ta_sorted_accesses: Counter::disabled(),
+            invalid_users: Counter::disabled(),
+            build_prune_ns: Gauge::disabled(),
+            build_transform_ns: Gauge::disabled(),
+            build_index_ns: Gauge::disabled(),
+            build_candidate_pairs: Gauge::disabled(),
+        }
+    }
+
+    /// True when handles record somewhere.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_resolves_all_fixed_names() {
+        let reg = MetricsRegistry::new();
+        let m = EngineMetrics::register(&reg);
+        assert!(m.is_enabled());
+        m.queries.inc();
+        m.query_ns_ta.record(1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.queries"), 1);
+        assert_eq!(snap.histogram("serve.query_ns.ta").unwrap().count, 1);
+        // Every documented name is registered up front, even if untouched.
+        for name in [
+            "serve.queries",
+            "serve.query_ns.ta",
+            "serve.query_ns.bf",
+            "serve.ta_scored",
+            "serve.ta_sorted_accesses",
+            "serve.invalid_users",
+            "build.prune_ns",
+            "build.transform_ns",
+            "build.index_ns",
+            "build.candidate_pairs",
+        ] {
+            assert!(snap.get(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = EngineMetrics::disabled();
+        assert!(!m.is_enabled());
+        m.queries.inc();
+        assert_eq!(m.queries.get(), 0);
+    }
+
+    #[test]
+    fn registering_against_disabled_registry_is_noop() {
+        let reg = MetricsRegistry::disabled();
+        let m = EngineMetrics::register(&reg);
+        assert!(!m.is_enabled());
+        m.ta_scored.add(50);
+        assert!(reg.snapshot().entries.is_empty());
+    }
+}

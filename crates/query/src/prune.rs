@@ -38,15 +38,18 @@ pub fn top_k_events_per_partner(
             |scored: &mut Vec<(f32, EventId)>, &p| {
                 scored.clear();
                 scored.extend(events.iter().map(|&x| (model.score_event(p, x) as f32, x)));
+                // `total_cmp`, not `partial_cmp().expect(..)`: a NaN score
+                // (diverged training, corrupted snapshot) must degrade one
+                // partner's ranking, not panic the whole engine build. In
+                // the descending order used here +NaN sorts above +∞ and
+                // -NaN below -∞, deterministically.
                 if take < scored.len() {
                     scored.select_nth_unstable_by(take - 1, |a, b| {
-                        b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
+                        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
                     });
                     scored.truncate(take);
                 }
-                scored.sort_unstable_by(|a, b| {
-                    b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.cmp(&b.1))
-                });
+                scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 scored.iter().map(|&(_, x)| (p, x)).collect()
             },
         )

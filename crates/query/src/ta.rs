@@ -126,11 +126,10 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .score
-            .partial_cmp(&self.score)
-            .expect("scores are finite")
-            .then(other.idx.cmp(&self.idx))
+        // `total_cmp` keeps the heap total even when a corrupted model
+        // yields NaN scores (+NaN above +∞, -NaN below -∞): one bad
+        // candidate must not panic the query.
+        other.score.total_cmp(&self.score).then(other.idx.cmp(&self.idx))
     }
 }
 
@@ -185,13 +184,11 @@ impl<'a> GroupCursor<'a> {
 }
 
 /// Fill `order` with `0..keys.len()` sorted by descending key (ties by
-/// ascending index — deterministic).
+/// ascending index; NaN keys order via `total_cmp` — deterministic).
 fn fill_order(order: &mut Vec<u32>, keys: &[f32]) {
     order.clear();
     order.extend(0..keys.len() as u32);
-    order.sort_unstable_by(|&a, &b| {
-        keys[b as usize].partial_cmp(&keys[a as usize]).expect("keys are finite").then(a.cmp(&b))
-    });
+    order.sort_unstable_by(|&a, &b| keys[b as usize].total_cmp(&keys[a as usize]).then(a.cmp(&b)));
 }
 
 /// First-seen-order group assignment plus CSR membership tables for both
@@ -272,12 +269,7 @@ fn interaction_order(space: &TransformedSpace) -> Vec<u32> {
     let mut order: Vec<u32> = (0..n as u32).collect();
     let keys: Vec<f32> =
         order.par_iter().with_min_len(4096).map(|&i| space.point(i as usize)[2 * k]).collect();
-    order.sort_unstable_by(|&a, &b| {
-        keys[b as usize]
-            .partial_cmp(&keys[a as usize])
-            .expect("finite interaction values")
-            .then(a.cmp(&b))
-    });
+    order.sort_unstable_by(|&a, &b| keys[b as usize].total_cmp(&keys[a as usize]).then(a.cmp(&b)));
     order
 }
 
@@ -463,9 +455,7 @@ impl TaIndex {
                 (e.score, p, x)
             })
             .collect();
-        results.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("scores are finite").then((a.1, a.2).cmp(&(b.1, b.2)))
-        });
+        results.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2))));
         (results, stats)
     }
 }

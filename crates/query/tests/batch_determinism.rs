@@ -1,0 +1,100 @@
+//! `recommend_batch` must produce byte-identical output — including the
+//! position of skipped (invalid-user) entries — at every worker count.
+//!
+//! The rayon substrate caches its thread count per process, so the test
+//! re-executes itself as a subprocess once per `RAYON_NUM_THREADS` value
+//! and compares digests of the full batch output across runs.
+
+use gem_core::GemModel;
+use gem_ebsn::{EventId, UserId};
+use gem_query::{Method, RecommendationEngine};
+use std::process::Command;
+
+const CHILD_ENV: &str = "GEM_BATCH_DETERMINISM_CHILD";
+
+/// Deterministic pseudo-random non-negative model (xorshift32).
+fn synthetic_model(num_users: usize, num_events: usize, dim: usize) -> GemModel {
+    let mut state = 0x9E37_79B9u32;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        state as f32 / u32::MAX as f32
+    };
+    let users = (0..num_users * dim).map(|_| next()).collect();
+    let events = (0..num_events * dim).map(|_| next()).collect();
+    GemModel::from_raw(dim, users, events, vec![], vec![], vec![])
+}
+
+/// FNV-1a over the debug rendering of the batch results.
+fn digest(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Child mode: serve one batch (valid and invalid users interleaved) with
+/// both methods and print a digest of everything.
+#[test]
+fn child_emit_batch_digest() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return; // Only meaningful when spawned by the driver test below.
+    }
+    let (num_users, num_events) = (60, 24);
+    let model = synthetic_model(num_users, num_events, 8);
+    let partners: Vec<UserId> = (0..num_users).map(|u| UserId(u as u32)).collect();
+    let events: Vec<EventId> = (0..num_events).map(|x| EventId(x as u32)).collect();
+    let engine = RecommendationEngine::build(model, &partners, &events, 6);
+
+    // Every 7th user is out of range: the skip must stay in position.
+    let users: Vec<UserId> = (0..200usize)
+        .map(|i| {
+            if i % 7 == 3 {
+                UserId((num_users + i) as u32)
+            } else {
+                UserId((i % num_users) as u32)
+            }
+        })
+        .collect();
+    let mut rendered = String::new();
+    for method in [Method::Ta, Method::BruteForce] {
+        rendered.push_str(&format!("{:?}", engine.recommend_batch(&users, 5, method)));
+    }
+    println!("DIGEST:{:016x}", digest(&rendered));
+}
+
+#[test]
+fn batch_output_is_identical_across_thread_counts() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut digests = Vec::new();
+    for threads in ["1", "2", "4"] {
+        let out = Command::new(&exe)
+            .args(["child_emit_batch_digest", "--exact", "--nocapture"])
+            .env(CHILD_ENV, "1")
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawn child test");
+        assert!(
+            out.status.success(),
+            "child with {threads} threads failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // `--nocapture` interleaves the digest with harness chatter, so
+        // locate it by substring rather than line prefix.
+        let pos = stdout
+            .find("DIGEST:")
+            .unwrap_or_else(|| panic!("no digest from child ({threads} threads):\n{stdout}"));
+        digests.push((threads, stdout[pos..pos + "DIGEST:".len() + 16].to_string()));
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0].1 == w[1].1),
+        "batch output varies with thread count: {digests:?}"
+    );
+}

@@ -63,6 +63,12 @@ pub mod online {
     pub use gem_query::*;
 }
 
+/// Zero-dependency observability: counters, gauges, latency histograms,
+/// a named registry and JSON/Prometheus exporters (gem-obs).
+pub mod obs {
+    pub use gem_obs::*;
+}
+
 /// Baseline recommenders (PCMF, CBPF, PER, CFAPR-E).
 pub mod baselines {
     pub use gem_baselines::*;
@@ -98,14 +104,15 @@ pub mod prelude {
     pub use gem_baselines::{Cbpf, CbpfConfig, CfaprE, Pcmf, PcmfConfig, PerConfig, PerModel};
     pub use gem_core::{
         EventScorer, GemModel, GemTrainer, GraphChoice, NoiseKind, RectifyMode, SamplingDirection,
-        TrainConfig,
+        TrainConfig, TrainerMetrics,
     };
     pub use gem_ebsn::{
         ChronoSplit, EbsnDataset, Event, EventId, GraphBuildConfig, GroundTruth, PartnerScenario,
         RegionId, SplitRatios, SynthConfig, TrainingGraphs, UserId, VenueId,
     };
     pub use gem_eval::{eval_event_rec, eval_partner_rec, sign_test, EvalConfig};
-    pub use gem_query::{Method, Recommendation, RecommendationEngine};
+    pub use gem_obs::MetricsRegistry;
+    pub use gem_query::{EngineMetrics, Method, Recommendation, RecommendationEngine, ServeError};
 }
 
 #[cfg(test)]
