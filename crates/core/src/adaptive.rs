@@ -21,6 +21,7 @@
 //! which is exactly the approximation the paper makes anyway.
 
 use crate::matrix::AtomicMatrix;
+use gem_obs::CachePadded;
 use gem_sampling::TruncatedGeometric;
 use rand::{Rng, RngExt};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,7 +41,11 @@ pub struct AdaptiveState {
     dim: usize,
     geometric: TruncatedGeometric,
     refresh_interval: u64,
-    draws_since_refresh: AtomicU64,
+    /// Bumped by every worker on every draw — the hottest shared write in
+    /// GEM-A training. Cache-line-padded so those writes never invalidate
+    /// the line holding the read-mostly fields around it (`geometric`,
+    /// `refresh_interval`, the `rankings` lock word).
+    draws_since_refresh: CachePadded<AtomicU64>,
     rankings: RwLock<Rankings>,
 }
 
@@ -79,7 +84,7 @@ impl AdaptiveState {
             dim,
             geometric: TruncatedGeometric::new(n, lambda),
             refresh_interval: (n as u64) * log2n,
-            draws_since_refresh: AtomicU64::new(0),
+            draws_since_refresh: CachePadded::new(AtomicU64::new(0)),
             rankings,
         }
     }

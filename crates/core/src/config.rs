@@ -38,7 +38,8 @@ pub enum GraphChoice {
 /// values but does not spell out whether that includes the noise nodes'
 /// updates. The distinction matters: rectifying *everything* pins
 /// `σ(v·k) ≥ 0.5`, so noise updates never vanish and low-degree nodes are
-/// ground into the zero vector (measured in the `probe` ablation).
+/// ground into the zero vector (measured in a trainer-knob ablation grid
+/// during development).
 /// Rectifying only the positive pair keeps vectors non-negative wherever it
 /// matters (they are re-projected every time they occur positively) while
 /// letting the SGNS noise force anneal naturally — and reproduces the
@@ -82,6 +83,19 @@ pub struct TrainConfig {
     pub lr_decay_t0: u64,
     /// Rectifier projection policy (paper §III-A); see [`RectifyMode`].
     pub rectify: RectifyMode,
+    /// Evaluate `σ(·)` through the precomputed lookup table
+    /// ([`crate::math::SigmoidLut`], within 1e-3 of exact) instead of
+    /// calling `exp` — the word2vec/LINE hot-loop trick. On by default;
+    /// turn off for bit-exact reproduction of the exact-sigmoid path
+    /// (convergence is indistinguishable either way).
+    pub sigmoid_lut: bool,
+    /// Route embedding row traffic through the scalar per-element
+    /// `AtomicMatrix::*_ref` kernels instead of the unrolled/fused ones.
+    /// The two paths are bit-identical in single-thread runs (pinned by the
+    /// golden regression test); this knob exists so the training-throughput
+    /// bench can measure the pre-widening hot path in-repo. Never enable it
+    /// for real training.
+    pub reference_kernels: bool,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -100,6 +114,8 @@ impl TrainConfig {
             init_std: 0.1,
             lr_decay_t0: 20_000,
             rectify: RectifyMode::Off,
+            sigmoid_lut: true,
+            reference_kernels: false,
             seed,
         }
     }
@@ -153,6 +169,9 @@ mod tests {
         assert_eq!(a.dim, 60);
         assert_eq!(a.negatives, 2);
         assert_eq!(a.lambda, 200.0);
+        // The fast hot path is the default for every preset.
+        assert!(a.sigmoid_lut);
+        assert!(!a.reference_kernels);
 
         let p = TrainConfig::gem_p(1);
         assert_eq!(p.noise, NoiseKind::Degree);

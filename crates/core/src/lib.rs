@@ -38,8 +38,9 @@ pub mod trainer;
 
 pub use adaptive::{AdaptiveState, ExactAdaptiveSampler, ExactScratch};
 pub use config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
+pub use math::SigmoidLut;
 pub use matrix::AtomicMatrix;
 pub use metrics::TrainerMetrics;
 pub use model::{EventScorer, GemModel};
 pub use persist::{load_model, save_model, PersistError};
-pub use trainer::{GemTrainer, TrainProgress};
+pub use trainer::{GemTrainer, PhaseBreakdown, TrainProgress};

@@ -14,6 +14,14 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+/// Unroll width of the row kernels, matching `math::LANES`: eight f32
+/// lanes is one AVX2 register (two NEON registers). On x86-64 each relaxed
+/// atomic access still compiles to a scalar `mov`, but the fixed-width
+/// blocks erase the per-element bounds check and index arithmetic of the
+/// scalar loops and keep eight independent operations in flight per
+/// iteration, which is where the row-traffic win comes from.
+const LANES: usize = 8;
+
 /// A `rows × dim` matrix of `f32` shareable across Hogwild workers.
 pub struct AtomicMatrix {
     rows: usize,
@@ -52,9 +60,139 @@ impl AtomicMatrix {
         self.data[row * self.dim + k].store(v.to_bits(), Ordering::Relaxed);
     }
 
-    /// Copy a row into `buf`.
+    /// The `dim` atomic slots of one row, bounds-checked once.
+    #[inline]
+    fn row_slots(&self, row: usize) -> &[AtomicU32] {
+        let base = row * self.dim;
+        &self.data[base..base + self.dim]
+    }
+
+    /// Copy a row into `buf`, in [`LANES`]-wide unrolled blocks.
     #[inline]
     pub fn read_row(&self, row: usize, buf: &mut [f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        let src = self.row_slots(row);
+        let mut blocks_s = src.chunks_exact(LANES);
+        let mut blocks_b = buf.chunks_exact_mut(LANES);
+        for (s, b) in blocks_s.by_ref().zip(blocks_b.by_ref()) {
+            for lane in 0..LANES {
+                b[lane] = f32::from_bits(s[lane].load(Ordering::Relaxed));
+            }
+        }
+        for (s, b) in blocks_s.remainder().iter().zip(blocks_b.into_remainder()) {
+            *b = f32::from_bits(s.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrite a row from `buf`, in [`LANES`]-wide unrolled blocks.
+    #[inline]
+    pub fn write_row(&self, row: usize, buf: &[f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        let dst = self.row_slots(row);
+        let mut blocks_d = dst.chunks_exact(LANES);
+        let mut blocks_b = buf.chunks_exact(LANES);
+        for (d, b) in blocks_d.by_ref().zip(blocks_b.by_ref()) {
+            for lane in 0..LANES {
+                d[lane].store(b[lane].to_bits(), Ordering::Relaxed);
+            }
+        }
+        for (d, &v) in blocks_d.remainder().iter().zip(blocks_b.remainder()) {
+            d.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Copy a row into `buf` *and* return its dot product with `other`, in
+    /// one pass over the row — the fused fetch of the trainer's negative
+    /// loop (`read_row` + `math::dot` touched every element twice).
+    ///
+    /// The accumulation order (eight lane accumulators, pairwise tree
+    /// reduction, scalar tail) replicates [`crate::math::dot`] exactly, so
+    /// `read_row_dot(r, o, buf)` is bit-identical to
+    /// `read_row(r, buf); dot(o, buf)` — the property the single-thread
+    /// golden regression test pins down.
+    #[inline]
+    pub fn read_row_dot(&self, row: usize, other: &[f32], buf: &mut [f32]) -> f32 {
+        debug_assert_eq!(buf.len(), self.dim);
+        debug_assert_eq!(other.len(), self.dim);
+        let src = self.row_slots(row);
+        let mut acc = [0.0f32; LANES];
+        let mut blocks_s = src.chunks_exact(LANES);
+        let mut blocks_o = other.chunks_exact(LANES);
+        let mut blocks_b = buf.chunks_exact_mut(LANES);
+        for ((s, o), b) in blocks_s.by_ref().zip(blocks_o.by_ref()).zip(blocks_b.by_ref()) {
+            for lane in 0..LANES {
+                let v = f32::from_bits(s[lane].load(Ordering::Relaxed));
+                b[lane] = v;
+                acc[lane] += o[lane] * v;
+            }
+        }
+        let mut tail = 0.0f32;
+        for ((s, o), b) in
+            blocks_s.remainder().iter().zip(blocks_o.remainder()).zip(blocks_b.into_remainder())
+        {
+            let v = f32::from_bits(s.load(Ordering::Relaxed));
+            *b = v;
+            tail += o * v;
+        }
+        let mut width = LANES / 2;
+        while width > 0 {
+            for lane in 0..width {
+                acc[lane] += acc[lane + width];
+            }
+            width /= 2;
+        }
+        acc[0] + tail
+    }
+
+    /// `row += scale · delta`, then rectify (clamp at 0) — the fused
+    /// update-and-ReLU projection of Eq. 5, in [`LANES`]-wide unrolled
+    /// blocks. Racy read-modify-write by design.
+    #[inline]
+    pub fn add_scaled_relu(&self, row: usize, delta: &[f32], scale: f32) {
+        debug_assert_eq!(delta.len(), self.dim);
+        let dst = self.row_slots(row);
+        let mut blocks_d = dst.chunks_exact(LANES);
+        let mut blocks_v = delta.chunks_exact(LANES);
+        for (d, v) in blocks_d.by_ref().zip(blocks_v.by_ref()) {
+            for lane in 0..LANES {
+                let old = f32::from_bits(d[lane].load(Ordering::Relaxed));
+                d[lane].store((old + scale * v[lane]).max(0.0).to_bits(), Ordering::Relaxed);
+            }
+        }
+        for (d, &v) in blocks_d.remainder().iter().zip(blocks_v.remainder()) {
+            let old = f32::from_bits(d.load(Ordering::Relaxed));
+            d.store((old + scale * v).max(0.0).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `row += scale · delta` without the rectifier (ablation path), in
+    /// [`LANES`]-wide unrolled blocks.
+    #[inline]
+    pub fn add_scaled(&self, row: usize, delta: &[f32], scale: f32) {
+        debug_assert_eq!(delta.len(), self.dim);
+        let dst = self.row_slots(row);
+        let mut blocks_d = dst.chunks_exact(LANES);
+        let mut blocks_v = delta.chunks_exact(LANES);
+        for (d, v) in blocks_d.by_ref().zip(blocks_v.by_ref()) {
+            for lane in 0..LANES {
+                let old = f32::from_bits(d[lane].load(Ordering::Relaxed));
+                d[lane].store((old + scale * v[lane]).to_bits(), Ordering::Relaxed);
+            }
+        }
+        for (d, &v) in blocks_d.remainder().iter().zip(blocks_v.remainder()) {
+            let old = f32::from_bits(d.load(Ordering::Relaxed));
+            d.store((old + scale * v).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Scalar reference `read_row` — the pre-widening per-element loop.
+    ///
+    /// Kept (with the other `*_ref` kernels) as the bit-exactness oracle
+    /// for the unrolled kernels and as the trainer's
+    /// `TrainConfig::reference_kernels` path, which the training-throughput
+    /// bench uses to measure the widening win in-repo.
+    #[inline]
+    pub fn read_row_ref(&self, row: usize, buf: &mut [f32]) {
         debug_assert_eq!(buf.len(), self.dim);
         let base = row * self.dim;
         for (k, slot) in buf.iter_mut().enumerate() {
@@ -62,9 +200,9 @@ impl AtomicMatrix {
         }
     }
 
-    /// Overwrite a row from `buf`.
+    /// Scalar reference `write_row` (see [`AtomicMatrix::read_row_ref`]).
     #[inline]
-    pub fn write_row(&self, row: usize, buf: &[f32]) {
+    pub fn write_row_ref(&self, row: usize, buf: &[f32]) {
         debug_assert_eq!(buf.len(), self.dim);
         let base = row * self.dim;
         for (k, &v) in buf.iter().enumerate() {
@@ -72,10 +210,9 @@ impl AtomicMatrix {
         }
     }
 
-    /// `row += scale · delta`, then rectify (clamp at 0) — the fused update
-    /// + ReLU projection of Eq. 5. Racy read-modify-write by design.
+    /// Scalar reference `add_scaled_relu` (see [`AtomicMatrix::read_row_ref`]).
     #[inline]
-    pub fn add_scaled_relu(&self, row: usize, delta: &[f32], scale: f32) {
+    pub fn add_scaled_relu_ref(&self, row: usize, delta: &[f32], scale: f32) {
         debug_assert_eq!(delta.len(), self.dim);
         let base = row * self.dim;
         for (k, &d) in delta.iter().enumerate() {
@@ -86,9 +223,9 @@ impl AtomicMatrix {
         }
     }
 
-    /// `row += scale · delta` without the rectifier (ablation path).
+    /// Scalar reference `add_scaled` (see [`AtomicMatrix::read_row_ref`]).
     #[inline]
-    pub fn add_scaled(&self, row: usize, delta: &[f32], scale: f32) {
+    pub fn add_scaled_ref(&self, row: usize, delta: &[f32], scale: f32) {
         debug_assert_eq!(delta.len(), self.dim);
         let base = row * self.dim;
         for (k, &d) in delta.iter().enumerate() {
@@ -190,5 +327,125 @@ mod tests {
     #[should_panic(expected = "dimension")]
     fn zero_dim_panics() {
         AtomicMatrix::zeros(1, 0);
+    }
+
+    #[test]
+    fn read_row_dot_matches_read_then_dot() {
+        // Including dims straddling the LANES remainder boundary.
+        for dim in [1usize, 7, 8, 9, 16, 17, 60] {
+            let m = AtomicMatrix::zeros(2, dim);
+            let vals: Vec<f32> = (0..dim).map(|k| (k as f32 - 3.5) * 0.25).collect();
+            m.write_row(1, &vals);
+            let other: Vec<f32> = (0..dim).map(|k| 1.0 - k as f32 * 0.125).collect();
+            let mut buf_a = vec![0.0f32; dim];
+            let mut buf_b = vec![0.0f32; dim];
+            let fused = m.read_row_dot(1, &other, &mut buf_a);
+            m.read_row(1, &mut buf_b);
+            assert_eq!(buf_a, buf_b, "dim {dim}: fused read diverged");
+            let split = crate::math::dot(&other, &buf_b);
+            assert_eq!(fused.to_bits(), split.to_bits(), "dim {dim}: fused dot not bit-identical");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A matrix row filled from `vals`, plus a second untouched guard row
+    /// before and after to catch out-of-bounds lane writes.
+    fn three_row_matrix(vals: &[f32]) -> AtomicMatrix {
+        let dim = vals.len();
+        let m = AtomicMatrix::zeros(3, dim);
+        let guard: Vec<f32> = (0..dim).map(|k| 100.0 + k as f32).collect();
+        m.write_row_ref(0, &guard);
+        m.write_row_ref(1, vals);
+        m.write_row_ref(2, &guard);
+        m
+    }
+
+    fn guards_intact(m: &AtomicMatrix) -> bool {
+        let dim = m.dim();
+        (0..dim).all(|k| m.get(0, k) == 100.0 + k as f32 && m.get(2, k) == 100.0 + k as f32)
+    }
+
+    /// Finite f32s in a range wide enough to exercise rounding but safe
+    /// from overflow, at lengths straddling every LANES tail case.
+    fn row_and_delta() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, f32)> {
+        (1usize..40).prop_flat_map(|dim| {
+            (
+                prop::collection::vec(-1e3f32..1e3, dim..dim + 1),
+                prop::collection::vec(-1e3f32..1e3, dim..dim + 1),
+                -8.0f32..8.0,
+            )
+        })
+    }
+
+    proptest! {
+        /// Each unrolled row op must be bit-identical to its scalar
+        /// reference, including the `dim % LANES` tail, and must never
+        /// touch neighbouring rows.
+        #[test]
+        fn unrolled_row_ops_match_scalar_reference(case in row_and_delta()) {
+            let (vals, delta, scale) = case;
+            let dim = vals.len();
+
+            // read_row ≡ read_row_ref.
+            let m = three_row_matrix(&vals);
+            let mut fast = vec![0.0f32; dim];
+            let mut reference = vec![0.0f32; dim];
+            m.read_row(1, &mut fast);
+            m.read_row_ref(1, &mut reference);
+            prop_assert_eq!(&fast, &reference);
+
+            // write_row ≡ write_row_ref.
+            let m_fast = three_row_matrix(&vals);
+            let m_ref = three_row_matrix(&vals);
+            m_fast.write_row(1, &delta);
+            m_ref.write_row_ref(1, &delta);
+            prop_assert_eq!(m_fast.snapshot(), m_ref.snapshot());
+            prop_assert!(guards_intact(&m_fast));
+
+            // add_scaled ≡ add_scaled_ref (bitwise).
+            let m_fast = three_row_matrix(&vals);
+            let m_ref = three_row_matrix(&vals);
+            m_fast.add_scaled(1, &delta, scale);
+            m_ref.add_scaled_ref(1, &delta, scale);
+            let (a, b) = (m_fast.snapshot(), m_ref.snapshot());
+            prop_assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert!(guards_intact(&m_fast));
+
+            // add_scaled_relu ≡ add_scaled_relu_ref (bitwise).
+            let m_fast = three_row_matrix(&vals);
+            let m_ref = three_row_matrix(&vals);
+            m_fast.add_scaled_relu(1, &delta, scale);
+            m_ref.add_scaled_relu_ref(1, &delta, scale);
+            let (a, b) = (m_fast.snapshot(), m_ref.snapshot());
+            prop_assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert!(guards_intact(&m_fast));
+        }
+
+        /// The fused fetch must equal read-then-dot bit-for-bit (same lane
+        /// accumulators and reduction order as `math::dot`).
+        #[test]
+        fn read_row_dot_is_bitwise_fused(case in row_and_delta()) {
+            let (vals, other, _scale) = case;
+            let dim = vals.len();
+            let m = three_row_matrix(&vals);
+            let mut fused_buf = vec![0.0f32; dim];
+            let mut split_buf = vec![0.0f32; dim];
+            let fused = m.read_row_dot(1, &other, &mut fused_buf);
+            m.read_row_ref(1, &mut split_buf);
+            let split = crate::math::dot(&other, &split_buf);
+            prop_assert_eq!(&fused_buf, &split_buf);
+            prop_assert_eq!(fused.to_bits(), split.to_bits());
+        }
     }
 }

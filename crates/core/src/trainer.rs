@@ -16,11 +16,12 @@
 
 use crate::adaptive::AdaptiveState;
 use crate::config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
-use crate::math::{axpy, dot, sigmoid};
+use crate::math::{axpy, dot, sigmoid, SigmoidLut};
 use crate::matrix::AtomicMatrix;
 use crate::metrics::TrainerMetrics;
 use crate::model::GemModel;
 use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
+use gem_obs::CachePadded;
 use gem_sampling::{
     rng_from_seed, split_seed, AliasTable, DegreeNoise, GaussianSampler, SeededRng,
 };
@@ -95,8 +96,26 @@ pub struct GemTrainer<'g> {
     /// Adaptive sampler state per (graph, side) over that side's
     /// non-zero-degree nodes.
     adaptive: [[Option<AdaptiveState>; 2]; 5],
-    steps_done: AtomicU64,
+    /// Precomputed sigmoid table (used when `config.sigmoid_lut`);
+    /// read-only, shared by all workers.
+    lut: SigmoidLut,
+    /// Padded: bumped at the end of every `run`, and sharing a line with
+    /// the read-mostly fields above would drag them along on every bump.
+    steps_done: CachePadded<AtomicU64>,
     metrics: TrainerMetrics,
+}
+
+/// Per-worker private copies of the positive-edge sampling tables.
+///
+/// The graph- and edge-alias probability arrays are read on *every* step by
+/// *every* worker. They are never written after construction, but on most
+/// CPUs a shared read-mostly line still costs cross-core traffic whenever
+/// it is evicted by the (heavily written) embedding rows around it; cloning
+/// the small arrays per worker makes positive-edge sampling entirely
+/// core-local. Built via [`AliasTable::view`]`.to_table()` deep copies.
+struct WorkerTables {
+    graph: AliasTable,
+    edges: [Option<AliasTable>; 5],
 }
 
 /// Steps between flushes of a worker-local tally into the shared counters.
@@ -152,6 +171,101 @@ impl StepBuffers {
             grad_i: vec![0.0; dim],
             grad_j: vec![0.0; dim],
         }
+    }
+}
+
+/// Per-phase wall-clock attribution of the SGD step loop, as measured by
+/// [`GemTrainer::run_profiled`].
+///
+/// Phases: **sample** (graph/edge/noise draws, including the reject test),
+/// **fetch** (row reads, dot products, sigmoid, gradient accumulation) and
+/// **update** (the row writes of Eq. 5). Timer reads add a few percent of
+/// overhead, so the breakdown is for *attribution*; headline steps/sec
+/// comes from the unprofiled [`GemTrainer::run`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Steps measured.
+    pub steps: u64,
+    /// Nanoseconds spent drawing the graph, edge and noise nodes.
+    pub sample_ns: u64,
+    /// Nanoseconds spent reading rows and computing gradients.
+    pub fetch_ns: u64,
+    /// Nanoseconds spent applying row updates.
+    pub update_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Total attributed nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.sample_ns + self.fetch_ns + self.update_ns
+    }
+}
+
+/// Compile-time switch between the unprofiled step (every hook a no-op the
+/// optimizer erases) and the phase-attributing one, so the hot loop is
+/// written once and [`GemTrainer::run`] pays nothing for the profiler.
+trait StepProf {
+    /// Called when a step begins.
+    #[inline]
+    fn begin(&mut self) {}
+    /// Attribute the time since the last mark to the *sample* phase.
+    #[inline]
+    fn sample(&mut self) {}
+    /// Attribute the time since the last mark to the *fetch* phase.
+    #[inline]
+    fn fetch(&mut self) {}
+    /// Attribute the time since the last mark to the *update* phase.
+    #[inline]
+    fn update(&mut self) {}
+}
+
+/// The zero-cost profiler used by the production step loop.
+struct NoProf;
+
+impl StepProf for NoProf {}
+
+/// The real profiler behind [`GemTrainer::run_profiled`].
+struct PhaseProf {
+    last: std::time::Instant,
+    breakdown: PhaseBreakdown,
+}
+
+impl PhaseProf {
+    fn new() -> Self {
+        Self { last: std::time::Instant::now(), breakdown: PhaseBreakdown::default() }
+    }
+
+    #[inline]
+    fn lap(&mut self) -> u64 {
+        let now = std::time::Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        ns
+    }
+}
+
+impl StepProf for PhaseProf {
+    #[inline]
+    fn begin(&mut self) {
+        self.last = std::time::Instant::now();
+    }
+
+    #[inline]
+    fn sample(&mut self) {
+        let ns = self.lap();
+        self.breakdown.sample_ns += ns;
+    }
+
+    #[inline]
+    fn fetch(&mut self) {
+        let ns = self.lap();
+        self.breakdown.fetch_ns += ns;
+    }
+
+    #[inline]
+    fn update(&mut self) {
+        let ns = self.lap();
+        self.breakdown.update_ns += ns;
     }
 }
 
@@ -231,9 +345,21 @@ impl<'g> GemTrainer<'g> {
             edge_tables,
             noise_tables,
             adaptive,
-            steps_done: AtomicU64::new(0),
+            lut: SigmoidLut::new(),
+            steps_done: CachePadded::new(AtomicU64::new(0)),
             metrics: TrainerMetrics::disabled(),
         })
+    }
+
+    /// Deep-copy the positive-edge sampling tables for one worker (see
+    /// [`WorkerTables`]).
+    fn worker_tables(&self) -> WorkerTables {
+        WorkerTables {
+            graph: self.graph_table.view().to_table(),
+            edges: std::array::from_fn(|i| {
+                self.edge_tables[i].as_ref().map(|t| t.view().to_table())
+            }),
+        }
     }
 
     /// Attach pre-registered gem-obs handles; subsequent [`GemTrainer::run`]
@@ -278,9 +404,10 @@ impl<'g> GemTrainer<'g> {
         if threads == 1 {
             let mut rng = rng_from_seed(base);
             let mut bufs = StepBuffers::new(self.config.dim);
+            let tables = self.worker_tables();
             let mut tally = StepTally::default();
             for i in 0..steps {
-                tally.observe(self.step(&mut rng, &mut bufs, chunk + i));
+                tally.observe(self.step_impl(&mut rng, &mut bufs, &tables, chunk + i, &mut NoProf));
                 if tally.steps == TALLY_FLUSH {
                     tally.flush_into(&self.metrics);
                 }
@@ -295,6 +422,9 @@ impl<'g> GemTrainer<'g> {
                     scope.spawn(move || {
                         let mut rng = rng_from_seed(seed);
                         let mut bufs = StepBuffers::new(self.config.dim);
+                        // Private sampling tables: positive-edge draws touch
+                        // only this worker's memory (see [`WorkerTables`]).
+                        let tables = self.worker_tables();
                         let mut tally = StepTally::default();
                         for i in 0..quota {
                             // Workers share the global decay clock
@@ -304,7 +434,13 @@ impl<'g> GemTrainer<'g> {
                             // and every index drives the learning-rate
                             // schedule exactly once.
                             let step_idx = chunk + t as u64 + i * threads as u64;
-                            tally.observe(self.step(&mut rng, &mut bufs, step_idx));
+                            tally.observe(self.step_impl(
+                                &mut rng,
+                                &mut bufs,
+                                &tables,
+                                step_idx,
+                                &mut NoProf,
+                            ));
                             if tally.steps == TALLY_FLUSH {
                                 tally.flush_into(&self.metrics);
                             }
@@ -321,17 +457,64 @@ impl<'g> GemTrainer<'g> {
         }
     }
 
+    /// Run `steps` single-thread gradient steps with per-phase timing.
+    ///
+    /// Consumes the same seed stream as a single-thread [`GemTrainer::run`]
+    /// over the same chunk, so profiling does not perturb determinism —
+    /// only wall-clock (timer reads are interleaved with the work).
+    pub fn run_profiled(&self, steps: u64) -> PhaseBreakdown {
+        self.metrics.workers.set(1.0);
+        let chunk = self.steps_done.load(Ordering::Relaxed);
+        let base = split_seed(self.config.seed, 0x5EED ^ chunk);
+        let mut rng = rng_from_seed(base);
+        let mut bufs = StepBuffers::new(self.config.dim);
+        let tables = self.worker_tables();
+        let mut prof = PhaseProf::new();
+        let mut tally = StepTally::default();
+        for i in 0..steps {
+            prof.begin();
+            tally.observe(self.step_impl(&mut rng, &mut bufs, &tables, chunk + i, &mut prof));
+            if tally.steps == TALLY_FLUSH {
+                tally.flush_into(&self.metrics);
+            }
+        }
+        tally.flush_into(&self.metrics);
+        self.steps_done.fetch_add(steps, Ordering::Relaxed);
+        prof.breakdown.steps = steps;
+        prof.breakdown
+    }
+
+    /// `σ(x)` through the configured evaluator (LUT by default, exact when
+    /// `config.sigmoid_lut` is off).
+    #[inline]
+    fn sig(&self, x: f32) -> f32 {
+        if self.config.sigmoid_lut {
+            self.lut.value(x)
+        } else {
+            sigmoid(x)
+        }
+    }
+
     /// One SGD step (Algorithm 2 lines 3–6). `t` is the global step index
-    /// used by the learning-rate schedule.
+    /// used by the learning-rate schedule; `tables` is this worker's private
+    /// copy of the positive-edge sampling tables. Generic over the profiler
+    /// so [`GemTrainer::run`] (with [`NoProf`]) compiles to the bare loop.
     ///
     /// Returns `(graph index, positive-edge gradient coefficient)` for the
     /// metrics tally, or `None` when the step was skipped (uniform graph
     /// choice landing on an empty graph).
-    fn step(&self, rng: &mut SeededRng, bufs: &mut StepBuffers, t: u64) -> Option<(usize, f32)> {
+    fn step_impl<P: StepProf>(
+        &self,
+        rng: &mut SeededRng,
+        bufs: &mut StepBuffers,
+        tables: &WorkerTables,
+        t: u64,
+        prof: &mut P,
+    ) -> Option<(usize, f32)> {
         // Line 3: pick a graph. Uniform choice may land on an empty graph;
         // skip it (proportional choice cannot, by construction).
         let gi = match self.config.graph_choice {
-            GraphChoice::EdgeCountProportional => self.graph_table.sample(rng),
+            GraphChoice::EdgeCountProportional => tables.graph.sample(rng),
             GraphChoice::Uniform => {
                 let mut gi = rng.random_range(0..5);
                 let mut guard = 0;
@@ -346,20 +529,28 @@ impl<'g> GemTrainer<'g> {
             }
         };
         let graph = self.graphs[gi];
-        let edge_table = self.edge_tables[gi].as_ref().expect("non-empty graph has a table");
+        let edge_table = tables.edges[gi].as_ref().expect("non-empty graph has a table");
 
         // Line 4: positive edge ∝ weight.
         let edge = graph.edges()[edge_table.sample(rng)];
+        prof.sample();
         let (lkind, rkind) = (graph.left_kind(), graph.right_kind());
         let (lmat, rmat) = (self.embeddings.of(lkind), self.embeddings.of(rkind));
 
-        lmat.read_row(edge.left as usize, &mut bufs.vi);
-        rmat.read_row(edge.right as usize, &mut bufs.vj);
-
-        // Positive-edge gradient coefficient: 1 - σ(vi·vj).
-        let g = 1.0 - sigmoid(dot(&bufs.vi, &bufs.vj));
+        // Positive-edge gradient coefficient: 1 - σ(vi·vj). The fast path
+        // fuses the vj read with the dot product (one pass over the row);
+        // both paths are bit-identical (golden regression test).
+        let g = if self.config.reference_kernels {
+            lmat.read_row_ref(edge.left as usize, &mut bufs.vi);
+            rmat.read_row_ref(edge.right as usize, &mut bufs.vj);
+            1.0 - self.sig(dot(&bufs.vi, &bufs.vj))
+        } else {
+            lmat.read_row(edge.left as usize, &mut bufs.vi);
+            1.0 - self.sig(rmat.read_row_dot(edge.right as usize, &bufs.vi, &mut bufs.vj))
+        };
         bufs.grad_i.iter_mut().zip(&bufs.vj).for_each(|(o, &v)| *o = g * v);
         bufs.grad_j.iter_mut().zip(&bufs.vi).for_each(|(o, &v)| *o = g * v);
+        prof.fetch();
 
         let alpha = if self.config.lr_decay_t0 > 0 {
             self.config.learning_rate / (1.0 + t as f32 / self.config.lr_decay_t0 as f32).sqrt()
@@ -371,29 +562,46 @@ impl<'g> GemTrainer<'g> {
         // Right-side negatives (always, Eq. 3 and Eq. 4 share this term).
         for _ in 0..m {
             let k = self.draw_noise(gi, Side::Right, &bufs.vi, (edge.left, edge.right), rng);
+            prof.sample();
             let Some(k) = k else { continue };
-            rmat.read_row(k as usize, &mut bufs.vk);
-            let s = sigmoid(dot(&bufs.vi, &bufs.vk));
+            let s = if self.config.reference_kernels {
+                rmat.read_row_ref(k as usize, &mut bufs.vk);
+                self.sig(dot(&bufs.vi, &bufs.vk))
+            } else {
+                self.sig(rmat.read_row_dot(k as usize, &bufs.vi, &mut bufs.vk))
+            };
             axpy(&mut bufs.grad_i, &bufs.vk, -s);
+            prof.fetch();
             // vk update: vk -= α σ(vi·vk) vi.
             self.apply(rmat, k as usize, &bufs.vi, -alpha * s, false);
+            prof.update();
         }
 
         // Left-side negatives (bidirectional only, the second sum of Eq. 4).
         if self.config.direction == SamplingDirection::Bidirectional {
             for _ in 0..m {
                 let k = self.draw_noise(gi, Side::Left, &bufs.vj, (edge.left, edge.right), rng);
+                prof.sample();
                 let Some(k) = k else { continue };
-                lmat.read_row(k as usize, &mut bufs.vk);
-                let s = sigmoid(dot(&bufs.vk, &bufs.vj));
+                let s = if self.config.reference_kernels {
+                    lmat.read_row_ref(k as usize, &mut bufs.vk);
+                    self.sig(dot(&bufs.vk, &bufs.vj))
+                } else {
+                    // dot(vk, vj) == dot(vj, vk) bitwise: IEEE-754 multiply
+                    // is commutative and the reduction shape is fixed.
+                    self.sig(lmat.read_row_dot(k as usize, &bufs.vj, &mut bufs.vk))
+                };
                 axpy(&mut bufs.grad_j, &bufs.vk, -s);
+                prof.fetch();
                 self.apply(lmat, k as usize, &bufs.vj, -alpha * s, false);
+                prof.update();
             }
         }
 
         // Apply Eq. 5 to the positive pair with the rectifier projection.
         self.apply(lmat, edge.left as usize, &bufs.grad_i, alpha, true);
         self.apply(rmat, edge.right as usize, &bufs.grad_j, alpha, true);
+        prof.update();
 
         // The reject test in draw_noise uses (edge.left, edge.right); the
         // rows just written are not re-read this step, matching Eq. 5's
@@ -410,10 +618,11 @@ impl<'g> GemTrainer<'g> {
             RectifyMode::PositivesOnly => positive,
             RectifyMode::Off => false,
         };
-        if project {
-            m.add_scaled_relu(row, delta, scale);
-        } else {
-            m.add_scaled(row, delta, scale);
+        match (project, self.config.reference_kernels) {
+            (true, false) => m.add_scaled_relu(row, delta, scale),
+            (false, false) => m.add_scaled(row, delta, scale),
+            (true, true) => m.add_scaled_relu_ref(row, delta, scale),
+            (false, true) => m.add_scaled_ref(row, delta, scale),
         }
     }
 
@@ -647,6 +856,72 @@ mod tests {
         let t2 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
         t2.run(5_000, 1);
         assert_eq!(t1.model().users, t2.model().users);
+    }
+
+    #[test]
+    fn run_profiled_is_deterministic_and_attributes_time() {
+        // The profiled runner consumes the same seed stream as a plain
+        // single-thread run, so the models are bit-identical — and the
+        // breakdown accounts for a positive amount of time in every phase.
+        let (_, _, graphs) = small_graphs();
+        let t1 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        t1.run(5_000, 1);
+        let t2 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        let breakdown = t2.run_profiled(5_000);
+        assert_eq!(t1.model().users, t2.model().users);
+        assert_eq!(t1.model().events, t2.model().events);
+        assert_eq!(breakdown.steps, 5_000);
+        assert!(breakdown.sample_ns > 0, "{breakdown:?}");
+        assert!(breakdown.fetch_ns > 0, "{breakdown:?}");
+        assert!(breakdown.update_ns > 0, "{breakdown:?}");
+        assert_eq!(
+            breakdown.total_ns(),
+            breakdown.sample_ns + breakdown.fetch_ns + breakdown.update_ns
+        );
+        assert_eq!(t2.progress().steps, 5_000);
+    }
+
+    #[test]
+    fn reference_and_fast_kernel_paths_are_bit_identical() {
+        // The scalar reference kernels and the unrolled/fused default path
+        // must produce the same model bit-for-bit in a single-thread run
+        // (LUT off so the sigmoid evaluator is identical too). The broader
+        // cross-config golden hash lives in tests/golden_singlethread.rs.
+        let (_, _, graphs) = small_graphs();
+        let mut fast = TrainConfig::gem_p(7);
+        fast.sigmoid_lut = false;
+        let mut reference = fast.clone();
+        reference.reference_kernels = true;
+        let t1 = GemTrainer::new(&graphs, fast).unwrap();
+        t1.run(5_000, 1);
+        let t2 = GemTrainer::new(&graphs, reference).unwrap();
+        t2.run(5_000, 1);
+        assert_eq!(t1.model().users, t2.model().users);
+        assert_eq!(t1.model().events, t2.model().events);
+        assert_eq!(t1.model().words, t2.model().words);
+    }
+
+    #[test]
+    fn four_thread_training_converges() {
+        // Hogwild with 4 workers must still descend: the mean positive-edge
+        // loss proxy (1 - σ(vi·vj), in milli-units) drops between the first
+        // and the last chunk of a run.
+        let (_, _, graphs) = small_graphs();
+        let reg = gem_obs::MetricsRegistry::new();
+        let t = GemTrainer::new(&graphs, TrainConfig::gem_p(23))
+            .unwrap()
+            .with_metrics(TrainerMetrics::register(&reg));
+        t.run(10_000, 4);
+        let first_sum = reg.snapshot().counter("train.loss_proxy_milli");
+        let first = first_sum as f64 / 10_000.0;
+        t.run(70_000, 4);
+        let total = reg.snapshot().counter("train.loss_proxy_milli");
+        let later = (total - first_sum) as f64 / 70_000.0;
+        assert!(
+            later < first * 0.9,
+            "loss proxy did not decrease: first {first:.1}, later {later:.1}"
+        );
+        assert_eq!(t.progress().steps, 80_000);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Golden regression for the single-thread training stream.
+//!
+//! The kernel widening (unrolled `AtomicMatrix` row ops, fused
+//! `read_row_dot`) must not change *what* single-thread training computes,
+//! only how fast. Two locks hold that in place:
+//!
+//! 1. the default kernels and the scalar `*_ref` reference kernels produce
+//!    bit-identical models from the same seed (LUT off, so the sigmoid
+//!    evaluator is identical too);
+//! 2. the resulting model hashes to a hardcoded FNV-1a value, so *any*
+//!    future change to the single-thread stream — kernels, sampling order,
+//!    RNG plumbing — trips this test and must be a deliberate decision.
+
+use gem_core::{GemTrainer, TrainConfig};
+use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+
+/// FNV-1a over the f32 bit patterns of every embedding table.
+fn model_hash(m: &gem_core::GemModel) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for table in [&m.users, &m.events, &m.regions, &m.time_slots, &m.words] {
+        for v in table.iter() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+fn tiny_graphs() -> TrainingGraphs {
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(99));
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[])
+}
+
+/// The config the golden hash is pinned against: GEM-P (degree noise keeps
+/// the stream independent of the adaptive sampler's refresh cadence), small
+/// dim to keep the test fast, LUT off so the exact-sigmoid stream is the
+/// one frozen.
+fn golden_config() -> TrainConfig {
+    let mut cfg = TrainConfig::gem_p(4242);
+    cfg.dim = 24;
+    cfg.sigmoid_lut = false;
+    cfg
+}
+
+const GOLDEN_STEPS: u64 = 20_000;
+
+/// The pinned hash. If an intentional change to the single-thread stream
+/// lands (new sampling order, different RNG split, …), rerun with the
+/// printed value and update this constant *in the same commit*, saying why.
+const GOLDEN_HASH: u64 = 0xefda_8764_c84c_43bb;
+
+#[test]
+fn kernel_paths_are_bit_identical_and_match_golden_hash() {
+    let graphs = tiny_graphs();
+
+    let fast = GemTrainer::new(&graphs, golden_config()).unwrap();
+    fast.run(GOLDEN_STEPS, 1);
+    let fast_model = fast.model();
+
+    let mut ref_cfg = golden_config();
+    ref_cfg.reference_kernels = true;
+    let reference = GemTrainer::new(&graphs, ref_cfg).unwrap();
+    reference.run(GOLDEN_STEPS, 1);
+    let ref_model = reference.model();
+
+    // Lock 1: unrolled/fused kernels ≡ scalar reference, bit for bit.
+    assert_eq!(fast_model.users, ref_model.users);
+    assert_eq!(fast_model.events, ref_model.events);
+    assert_eq!(fast_model.regions, ref_model.regions);
+    assert_eq!(fast_model.time_slots, ref_model.time_slots);
+    assert_eq!(fast_model.words, ref_model.words);
+
+    // Lock 2: the stream itself is frozen.
+    let h = model_hash(&fast_model);
+    assert_eq!(
+        h, GOLDEN_HASH,
+        "single-thread training stream changed: hash {h:#018x} (expected {GOLDEN_HASH:#018x}). \
+         If this is intentional, update GOLDEN_HASH and explain why in the commit."
+    );
+}

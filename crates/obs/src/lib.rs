@@ -42,7 +42,9 @@
 
 mod export;
 pub mod histogram;
+pub mod pad;
 pub mod registry;
 
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use pad::CachePadded;
 pub use registry::{Counter, Gauge, MetricSnapshot, MetricsRegistry, Snapshot};

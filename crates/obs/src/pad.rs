@@ -1,0 +1,82 @@
+//! Cache-line padding for hot shared atomics.
+//!
+//! Hogwild workers flush tallies into [`crate::Counter`] cells from every
+//! core. Each cell is its own small heap allocation, so the allocator is
+//! free to pack several of them — `train.steps` next to
+//! `train.samples.user_event`, say — into one 64-byte cache line. Two
+//! workers then flush *different* counters yet still ping-pong the same
+//! line between cores (false sharing). Aligning every cell allocation to a
+//! cache line guarantees each hot atomic owns its line outright.
+
+/// Wraps a value in a 64-byte-aligned (one x86-64 cache line, half an
+/// Apple-silicon line) allocation slot so that no two padded values can
+/// share a cache line.
+///
+/// [`std::ops::Deref`] passes accesses through, so
+/// `CachePadded<AtomicU64>` is a drop-in replacement for the bare atomic.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self(value)
+    }
+
+    /// Unwrap the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_value_is_line_aligned_and_line_sized() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
+        // Alignment holds on the heap too (what the registry relies on).
+        let boxed = Box::new(CachePadded::new(AtomicU64::new(0)));
+        assert_eq!(&*boxed as *const _ as usize % 64, 0);
+    }
+
+    #[test]
+    fn deref_passes_through() {
+        let cell = CachePadded::new(AtomicU64::new(5));
+        cell.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(cell.load(Ordering::Relaxed), 7);
+        assert_eq!(cell.into_inner().into_inner(), 7);
+    }
+
+    #[test]
+    fn adjacent_array_elements_do_not_share_lines() {
+        let cells: [CachePadded<AtomicU64>; 2] = Default::default();
+        let a = &cells[0] as *const _ as usize;
+        let b = &cells[1] as *const _ as usize;
+        assert!(b - a >= 64);
+    }
+}

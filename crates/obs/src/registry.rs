@@ -7,21 +7,26 @@
 //! code pays only a predictable branch when observability is off.
 
 use crate::histogram::{Histogram, HistogramCore, HistogramSnapshot};
+use crate::pad::CachePadded;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing counter. Cloning shares the underlying cell.
+///
+/// The cell is cache-line-padded ([`CachePadded`]): trainer workers flush
+/// tallies into several counters concurrently, and padding stops two
+/// logically unrelated counters from false-sharing one line.
 #[derive(Debug, Clone)]
 pub struct Counter {
-    cell: Arc<AtomicU64>,
+    cell: Arc<CachePadded<AtomicU64>>,
     enabled: bool,
 }
 
 impl Counter {
     /// A detached, disabled counter (every update is a no-op).
     pub fn disabled() -> Self {
-        Self { cell: Arc::new(AtomicU64::new(0)), enabled: false }
+        Self { cell: Arc::new(CachePadded::new(AtomicU64::new(0))), enabled: false }
     }
 
     /// Add 1.
@@ -44,17 +49,18 @@ impl Counter {
     }
 }
 
-/// A last-value-wins gauge holding an `f64`. Cloning shares the cell.
+/// A last-value-wins gauge holding an `f64`. Cloning shares the cell
+/// (cache-line-padded, like [`Counter`]).
 #[derive(Debug, Clone)]
 pub struct Gauge {
-    cell: Arc<AtomicU64>,
+    cell: Arc<CachePadded<AtomicU64>>,
     enabled: bool,
 }
 
 impl Gauge {
     /// A detached, disabled gauge (every update is a no-op).
     pub fn disabled() -> Self {
-        Self { cell: Arc::new(AtomicU64::new(0)), enabled: false }
+        Self { cell: Arc::new(CachePadded::new(AtomicU64::new(0))), enabled: false }
     }
 
     /// Set the value.
@@ -73,8 +79,8 @@ impl Gauge {
 
 #[derive(Debug)]
 enum Metric {
-    Counter(Arc<AtomicU64>),
-    Gauge(Arc<AtomicU64>),
+    Counter(Arc<CachePadded<AtomicU64>>),
+    Gauge(Arc<CachePadded<AtomicU64>>),
     Histogram(Arc<HistogramCore>),
 }
 
@@ -144,7 +150,7 @@ impl MetricsRegistry {
         let mut metrics = self.inner.metrics.lock().expect("registry lock");
         let m = metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+            .or_insert_with(|| Metric::Counter(Arc::new(CachePadded::new(AtomicU64::new(0)))));
         match m {
             Metric::Counter(cell) => Counter { cell: Arc::clone(cell), enabled: true },
             other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
@@ -162,7 +168,7 @@ impl MetricsRegistry {
         let mut metrics = self.inner.metrics.lock().expect("registry lock");
         let m = metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0))));
+            .or_insert_with(|| Metric::Gauge(Arc::new(CachePadded::new(AtomicU64::new(0)))));
         match m {
             Metric::Gauge(cell) => Gauge { cell: Arc::clone(cell), enabled: true },
             other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),

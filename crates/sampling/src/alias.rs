@@ -142,6 +142,68 @@ impl AliasTable {
             self.alias[bucket] as usize
         }
     }
+
+    /// A borrowed, allocation-free view of the table.
+    ///
+    /// Use this to hand the table to code that should not own it; use
+    /// [`AliasView::to_table`] (or plain [`Clone`]) when a consumer wants
+    /// its *own copy* of the probability arrays — e.g. one per Hogwild
+    /// worker, so many cores sampling positive edges concurrently read
+    /// private memory instead of hammering one shared set of read-mostly
+    /// cache lines.
+    #[inline]
+    pub fn view(&self) -> AliasView<'_> {
+        AliasView { prob: &self.prob, alias: &self.alias, total_weight: self.total_weight }
+    }
+}
+
+/// A borrowed view of an [`AliasTable`] (see [`AliasTable::view`]):
+/// samples identically, costs two slice references to pass around.
+#[derive(Debug, Clone, Copy)]
+pub struct AliasView<'a> {
+    prob: &'a [f64],
+    alias: &'a [u32],
+    total_weight: f64,
+}
+
+impl AliasView<'_> {
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the view has no outcomes (never true for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The sum of the weights the underlying table was built from.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Draw an index in `0..len()` — the same algorithm as
+    /// [`AliasTable::sample`], consuming the same two RNG draws, so a view
+    /// and its table produce identical streams from identical RNG states.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let bucket = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket] as usize
+        }
+    }
+
+    /// Deep-copy the viewed arrays into an owned [`AliasTable`].
+    pub fn to_table(&self) -> AliasTable {
+        AliasTable {
+            prob: self.prob.to_vec(),
+            alias: self.alias.to_vec(),
+            total_weight: self.total_weight,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +273,26 @@ mod tests {
     fn total_weight_is_preserved() {
         let table = AliasTable::new(&[1.5, 2.5]).unwrap();
         assert!((table.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_and_owned_copy_sample_identically() {
+        // Same RNG state -> same draw, across table, view and deep copy
+        // (the per-worker-clone guarantee the trainer relies on).
+        let table = AliasTable::new(&[0.5, 3.0, 1.5, 0.0, 2.0]).unwrap();
+        let view = table.view();
+        assert_eq!(view.len(), 5);
+        assert!(!view.is_empty());
+        assert!((view.total_weight() - 7.0).abs() < 1e-12);
+        let copy = view.to_table();
+        let mut rng_t = rng_from_seed(99);
+        let mut rng_v = rng_from_seed(99);
+        let mut rng_c = rng_from_seed(99);
+        for _ in 0..500 {
+            let t = table.sample(&mut rng_t);
+            assert_eq!(t, view.sample(&mut rng_v));
+            assert_eq!(t, copy.sample(&mut rng_c));
+        }
     }
 
     #[test]
