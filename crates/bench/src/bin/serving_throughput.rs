@@ -33,7 +33,9 @@
 //! with a no-op registry, then exits without writing the JSON report.
 //!
 //! Writes machine-readable results to `BENCH_serving.json` in the working
-//! directory (schema documented in EXPERIMENTS.md).
+//! directory (schema documented in EXPERIMENTS.md), plus a JSONL journal
+//! of the same measurements (`journal_serving_bench.jsonl`) for diffing
+//! runs over time.
 
 use gem_bench::{Args, City, ExperimentEnv, Variant};
 use gem_core::math::{dot, dot_batch};
@@ -510,6 +512,40 @@ fn main() {
         );
     }
     let _ = std::fs::remove_file(&model_path);
+
+    // JSONL journal of the same measurements: one line per (method ×
+    // mode) plus one per sweep point, so runs can be diffed over time
+    // without parsing the aggregate JSON.
+    let mut journal = gem_obs::Journal::create("journal_serving_bench.jsonl")
+        .expect("create journal_serving_bench.jsonl");
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "serving_bench")
+            .u64("scale", scale as u64)
+            .u64("queries", queries as u64)
+            .u64("top_n", top_n as u64),
+    );
+    for (method, s, hist) in [("ta", &ta, &hist_ta), ("bf", &bf, &hist_bf)] {
+        journal.append(
+            &gem_obs::JournalRecord::new()
+                .str("method", method)
+                .f64("single_thread_qps", s.single_thread_qps)
+                .f64("batch_qps", s.batch_qps)
+                .u64("p50_ns", hist.p50())
+                .u64("p95_ns", hist.p95())
+                .u64("p99_ns", hist.p99()),
+        );
+    }
+    for p in &sweep {
+        journal.append(
+            &gem_obs::JournalRecord::new()
+                .u64("sweep_threads", p.threads as u64)
+                .f64("ta_batch_qps", p.ta_qps)
+                .f64("bf_batch_qps", p.bf_qps),
+        );
+    }
+    assert_eq!(journal.write_errors(), 0, "serving journal hit I/O errors");
+    println!("  journal: {} lines -> journal_serving_bench.jsonl", journal.lines_written());
 
     let sweep_json: Vec<String> = sweep
         .iter()

@@ -25,7 +25,9 @@
 //! training is no slower than single-thread. No JSON is written.
 //!
 //! Writes machine-readable results to `BENCH_training.json` in the working
-//! directory (schema documented in EXPERIMENTS.md).
+//! directory (schema documented in EXPERIMENTS.md), plus a per-epoch
+//! training journal (`journal_training_bench.jsonl`, see DESIGN.md §5.3)
+//! from one instrumented single-thread run.
 
 use gem_bench::{Args, City, ExperimentEnv, Variant};
 use gem_core::math::{sigmoid, SigmoidLut};
@@ -200,7 +202,7 @@ fn main() {
     let lut_err = lut_max_abs_error();
     println!("  sigmoid LUT max |error| over [-40,40]: {lut_err:.2e}");
 
-    println!("[3/3] phase breakdown (single-thread, profiled)");
+    println!("[3/3] phase breakdown (single-thread, profiled) + training journal");
     let breakdown = phase_breakdown(&env.graphs, &cfg, steps);
     let total = breakdown.total_ns().max(1) as f64;
     let pct = |ns: u64| 100.0 * ns as f64 / total;
@@ -210,6 +212,29 @@ fn main() {
         pct(breakdown.sample_ns),
         pct(breakdown.fetch_ns),
         pct(breakdown.update_ns)
+    );
+
+    // Journal one instrumented single-thread run at a 5-epoch cadence so
+    // the bench leaves a time-resolved record (loss proxy, steps/sec,
+    // norm drift per epoch) next to the aggregate JSON.
+    let registry = gem_obs::MetricsRegistry::new();
+    let journaled = GemTrainer::new(&env.graphs, cfg.clone())
+        .expect("valid trainer config")
+        .with_metrics(gem_core::TrainerMetrics::register(&registry));
+    let mut journal = gem_core::TrainJournal::create(
+        "journal_training_bench.jsonl",
+        (steps / 5).max(1),
+        "training_throughput GEM-P",
+    )
+    .expect("create journal_training_bench.jsonl");
+    journaled.run_journaled(steps, 1, &mut journal);
+    let last = journal.last().expect("journaled run recorded epochs");
+    println!(
+        "  journal: {} epochs, final loss proxy {:.4}, {:.0} steps/sec \
+         -> journal_training_bench.jsonl",
+        journal.history().len(),
+        last.loss_proxy,
+        last.steps_per_sec
     );
 
     let threads_json: Vec<String> = thread_sps

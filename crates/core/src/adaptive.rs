@@ -21,11 +21,61 @@
 //! which is exactly the approximation the paper makes anyway.
 
 use crate::matrix::AtomicMatrix;
-use gem_obs::CachePadded;
+use gem_obs::{CachePadded, Counter, Histogram, Tracer};
 use gem_sampling::TruncatedGeometric;
 use rand::{Rng, RngExt};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+use std::time::Instant;
+
+/// Observability hooks for adaptive-ranking refreshes: how often the
+/// rankings are rebuilt and how long each rebuild stalls the refreshing
+/// worker. This is the measured baseline for the ROADMAP item
+/// "adaptive-sampler refresh off the hot path" — before moving the rebuild
+/// to a background thread, we need to know what it costs in place.
+///
+/// Disabled by default (every hook a no-op); the trainer installs live
+/// handles via [`AdaptiveState::set_obs`] when metrics or tracing are
+/// attached.
+#[derive(Clone)]
+pub struct RefreshObs {
+    pub(crate) refreshes: Counter,
+    pub(crate) refresh_ns: Histogram,
+    pub(crate) tracer: Tracer,
+}
+
+impl Default for RefreshObs {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl RefreshObs {
+    /// All hooks disabled.
+    pub fn disabled() -> Self {
+        Self {
+            refreshes: Counter::disabled(),
+            refresh_ns: Histogram::disabled(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Bundle live (or per-hook disabled) handles.
+    pub fn new(refreshes: Counter, refresh_ns: Histogram, tracer: Tracer) -> Self {
+        Self { refreshes, refresh_ns, tracer }
+    }
+
+    /// True if any hook would record something (gates the `Instant` reads).
+    fn active(&self) -> bool {
+        self.refreshes.is_enabled() || self.refresh_ns.is_enabled() || self.tracer.is_enabled()
+    }
+}
+
+impl std::fmt::Debug for RefreshObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RefreshObs(active={})", self.active())
+    }
+}
 
 /// Per-graph-side state of the adaptive sampler.
 ///
@@ -47,6 +97,9 @@ pub struct AdaptiveState {
     /// `refresh_interval`, the `rankings` lock word).
     draws_since_refresh: CachePadded<AtomicU64>,
     rankings: RwLock<Rankings>,
+    /// Refresh observability hooks (disabled by default; read-only on the
+    /// draw path, touched only inside the refresh critical section).
+    obs: RefreshObs,
 }
 
 struct Rankings {
@@ -86,12 +139,18 @@ impl AdaptiveState {
             refresh_interval: (n as u64) * log2n,
             draws_since_refresh: CachePadded::new(AtomicU64::new(0)),
             rankings,
+            obs: RefreshObs::disabled(),
         }
     }
 
     /// Number of candidate nodes.
     pub fn candidates(&self) -> usize {
         self.candidates.len()
+    }
+
+    /// Install refresh observability hooks (replacing any previous set).
+    pub fn set_obs(&mut self, obs: RefreshObs) {
+        self.obs = obs;
     }
 
     fn compute(matrix: &AtomicMatrix, candidates: &[u32]) -> Rankings {
@@ -133,8 +192,23 @@ impl AdaptiveState {
         if let Ok(mut guard) = self.rankings.try_write() {
             // Re-check after acquiring: another thread may have refreshed.
             if self.draws_since_refresh.load(Ordering::Relaxed) >= self.refresh_interval {
+                // Timing is gated on the hooks: an unobserved trainer pays
+                // no clock reads here (and nothing at all on the draw path).
+                let started = self.obs.active().then(|| (Instant::now(), self.obs.tracer.now_ns()));
                 *guard = Self::compute(matrix, &self.candidates);
                 self.draws_since_refresh.store(0, Ordering::Relaxed);
+                if let Some((wall, start_ns)) = started {
+                    let ns = wall.elapsed().as_nanos() as u64;
+                    self.obs.refreshes.inc();
+                    self.obs.refresh_ns.record(ns);
+                    self.obs.tracer.record_span(
+                        "train.adaptive_refresh",
+                        "train",
+                        start_ns,
+                        ns,
+                        &[("candidates", self.candidates.len() as u64)],
+                    );
+                }
             }
         }
     }
@@ -469,6 +543,31 @@ mod tests {
                 exact.rank_of(&m, &context, with)
             );
         }
+    }
+
+    #[test]
+    fn refresh_obs_records_count_duration_and_span() {
+        let m = descending_matrix(4, 1); // interval = 4 * 2 = 8
+        let mut state = AdaptiveState::new(&m, 1.0);
+        let reg = gem_obs::MetricsRegistry::new();
+        let tracer = Tracer::new();
+        state.set_obs(RefreshObs::new(
+            reg.counter("train.adaptive_refreshes"),
+            reg.histogram("train.adaptive_refresh_ns"),
+            tracer.clone(),
+        ));
+        for _ in 0..=state.refresh_interval {
+            state.maybe_refresh(&m);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("train.adaptive_refreshes"), 1);
+        assert_eq!(snap.histogram("train.adaptive_refresh_ns").unwrap().count, 1);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].name, "train.adaptive_refresh");
+        assert_eq!(sink.events()[0].cat, "train");
+        assert_eq!(sink.events()[0].args, vec![("candidates", 4)]);
     }
 
     #[test]

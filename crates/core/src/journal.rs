@@ -1,0 +1,256 @@
+//! The per-epoch training journal (JSONL convergence time series).
+//!
+//! The paper's central training-dynamics claim — GEM-A's adversarial
+//! sampler converges in fewer steps than GEM-P's static one — is a claim
+//! about a *curve*, but [`crate::TrainerMetrics`] only accumulates run
+//! totals. [`TrainJournal`] differentiates those totals at a configurable
+//! epoch cadence: [`crate::GemTrainer::run_journaled`] trains in
+//! epoch-sized chunks and appends one flat JSON line per epoch with
+//!
+//! * the per-step loss proxy, overall and split per graph,
+//! * steps/sec and wall clock,
+//! * adaptive-sampler refresh count and total refresh time,
+//! * the Frobenius norm of each embedding matrix and its drift (the
+//!   norm's change since the previous epoch — a cheap "is the model still
+//!   moving / has it blown up" signal).
+//!
+//! The same stats are kept in memory as [`EpochStats`] so callers (the
+//! `convergence_report` bench) can compute epochs-to-target without
+//! re-reading the file. Lines parse with `gem_obs::json` and round-trip
+//! through `gem_obs::JournalRecord` (property-tested in gem-obs).
+
+use crate::metrics::GRAPH_NAMES;
+use crate::trainer::GemTrainer;
+use gem_obs::{Journal, JournalRecord};
+use std::path::Path;
+use std::time::Instant;
+
+/// Names of the five embedding matrices, in [`gem_ebsn::NodeKind`] index
+/// order (the order [`crate::trainer::EmbeddingSet`] stores them). Used as
+/// journal key suffixes: `norm.users`, `drift.events`, ...
+pub const MATRIX_NAMES: [&str; 5] = ["users", "events", "regions", "times", "words"];
+
+/// Cumulative trainer observations, read at epoch boundaries and
+/// differenced into [`EpochStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ObsTotals {
+    pub steps: u64,
+    pub loss_milli: u64,
+    pub loss_per_graph_milli: [u64; 5],
+    pub samples: [u64; 5],
+    pub refreshes: u64,
+    pub refresh_ns_sum: u64,
+}
+
+/// One epoch's differenced statistics.
+///
+/// Loss fields are *means per positive sample* in `(0, 1)` (the
+/// positive-edge gradient coefficient `1 − σ(vᵢ·vⱼ)`); they are `NaN`
+/// (serialized as `null`) when the epoch drew no sample to average — e.g.
+/// a per-graph loss for a graph the joint sampler never picked, or any
+/// loss when the trainer has no metrics attached.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index, 0-based.
+    pub epoch: u64,
+    /// Steps taken in this epoch.
+    pub steps: u64,
+    /// Trainer lifetime steps after this epoch.
+    pub steps_total: u64,
+    /// Wall-clock seconds spent in this epoch.
+    pub wall_s: f64,
+    /// Steps per second over this epoch.
+    pub steps_per_sec: f64,
+    /// Mean loss proxy over the epoch's positive samples.
+    pub loss_proxy: f64,
+    /// Mean loss proxy per graph ([`crate::metrics::GRAPH_NAMES`] order).
+    pub loss_per_graph: [f64; 5],
+    /// Positive edges drawn per graph.
+    pub samples: [u64; 5],
+    /// Adaptive-sampler ranking rebuilds during the epoch.
+    pub refreshes: u64,
+    /// Total wall seconds those rebuilds took.
+    pub refresh_s: f64,
+    /// Frobenius norm of each embedding matrix ([`MATRIX_NAMES`] order).
+    pub norms: [f64; 5],
+    /// Absolute norm change vs the previous epoch (0 for the first).
+    pub drift: [f64; 5],
+}
+
+/// Snapshot of the cumulative state at the previous epoch boundary.
+struct Baseline {
+    totals: ObsTotals,
+    norms: [f64; 5],
+    at: Instant,
+}
+
+/// An epoch-cadence JSONL journal bound to one training run.
+///
+/// Create one per (trainer, output file), then hand it to
+/// [`crate::GemTrainer::run_journaled`]. The first line is a metadata
+/// header (`{"journal":"train","label":...,"epoch_steps":...}`); every
+/// subsequent line is one epoch.
+pub struct TrainJournal {
+    journal: Journal,
+    epoch_steps: u64,
+    history: Vec<EpochStats>,
+    baseline: Option<Baseline>,
+}
+
+impl TrainJournal {
+    /// Create (truncating) the journal file and write its header line.
+    /// `epoch_steps` is the cadence `run_journaled` trains and records at;
+    /// `label` identifies the run (e.g. `"GEM-A"`) in the header.
+    ///
+    /// # Errors
+    /// Fails only if the file cannot be created; later write failures are
+    /// swallowed into [`TrainJournal::write_errors`].
+    pub fn create<P: AsRef<Path>>(path: P, epoch_steps: u64, label: &str) -> std::io::Result<Self> {
+        let mut journal = Journal::create(path)?;
+        journal.append(
+            &JournalRecord::new()
+                .str("journal", "train")
+                .str("label", label)
+                .u64("epoch_steps", epoch_steps.max(1)),
+        );
+        Ok(Self { journal, epoch_steps: epoch_steps.max(1), history: Vec::new(), baseline: None })
+    }
+
+    /// The epoch cadence, in steps.
+    pub fn epoch_steps(&self) -> u64 {
+        self.epoch_steps
+    }
+
+    /// All epochs recorded so far, oldest first.
+    pub fn history(&self) -> &[EpochStats] {
+        &self.history
+    }
+
+    /// The most recent epoch, if any.
+    pub fn last(&self) -> Option<&EpochStats> {
+        self.history.last()
+    }
+
+    /// Where the journal writes.
+    pub fn path(&self) -> &Path {
+        self.journal.path()
+    }
+
+    /// Appends that failed at the I/O layer (training never aborts on
+    /// journal errors).
+    pub fn write_errors(&self) -> u64 {
+        self.journal.write_errors()
+    }
+
+    /// Capture the pre-epoch baseline if not yet captured (idempotent).
+    pub(crate) fn ensure_baseline(&mut self, trainer: &GemTrainer<'_>) {
+        if self.baseline.is_none() {
+            self.baseline = Some(Baseline {
+                totals: trainer.obs_totals(),
+                norms: trainer.matrix_norms(),
+                at: Instant::now(),
+            });
+        }
+    }
+
+    /// Restart the baseline wall clock without touching its totals: time
+    /// the caller spent *between* epochs (per-epoch evaluation in
+    /// [`crate::GemTrainer::run_journaled_observed`]) must not count
+    /// against the next epoch's steps/sec.
+    pub(crate) fn rebase_clock(&mut self) {
+        if let Some(b) = self.baseline.as_mut() {
+            b.at = Instant::now();
+        }
+    }
+
+    /// Difference the trainer's cumulative observations against the
+    /// baseline, record one epoch, and advance the baseline.
+    pub(crate) fn observe(&mut self, trainer: &GemTrainer<'_>) {
+        self.ensure_baseline(trainer);
+        let prev = self.baseline.as_ref().expect("baseline just ensured");
+        let now = trainer.obs_totals();
+        let norms = trainer.matrix_norms();
+        let wall_s = prev.at.elapsed().as_secs_f64();
+
+        let steps = now.steps.saturating_sub(prev.totals.steps);
+        let samples: [u64; 5] =
+            std::array::from_fn(|i| now.samples[i].saturating_sub(prev.totals.samples[i]));
+        let mean = |milli_delta: u64, n: u64| {
+            if n == 0 {
+                f64::NAN
+            } else {
+                milli_delta as f64 / (1000.0 * n as f64)
+            }
+        };
+        let loss_proxy =
+            mean(now.loss_milli.saturating_sub(prev.totals.loss_milli), samples.iter().sum());
+        let loss_per_graph: [f64; 5] = std::array::from_fn(|i| {
+            mean(
+                now.loss_per_graph_milli[i].saturating_sub(prev.totals.loss_per_graph_milli[i]),
+                samples[i],
+            )
+        });
+        let refreshes = now.refreshes.saturating_sub(prev.totals.refreshes);
+        let refresh_s = now.refresh_ns_sum.saturating_sub(prev.totals.refresh_ns_sum) as f64 / 1e9;
+        let drift: [f64; 5] = if self.history.is_empty() {
+            [0.0; 5]
+        } else {
+            std::array::from_fn(|i| (norms[i] - prev.norms[i]).abs())
+        };
+
+        let stats = EpochStats {
+            epoch: self.history.len() as u64,
+            steps,
+            steps_total: now.steps,
+            wall_s,
+            steps_per_sec: if wall_s > 0.0 { steps as f64 / wall_s } else { f64::NAN },
+            loss_proxy,
+            loss_per_graph,
+            samples,
+            refreshes,
+            refresh_s,
+            norms,
+            drift,
+        };
+        self.journal.append(&Self::record(&stats));
+        self.history.push(stats);
+        self.baseline = Some(Baseline { totals: now, norms, at: Instant::now() });
+    }
+
+    /// Flatten one epoch into a journal line.
+    fn record(s: &EpochStats) -> JournalRecord {
+        let mut r = JournalRecord::new()
+            .u64("epoch", s.epoch)
+            .u64("steps", s.steps)
+            .u64("steps_total", s.steps_total)
+            .f64("wall_ms", s.wall_s * 1e3)
+            .f64("steps_per_sec", s.steps_per_sec)
+            .f64("loss_proxy", s.loss_proxy);
+        for (name, &loss) in GRAPH_NAMES.iter().zip(&s.loss_per_graph) {
+            r = r.f64(&format!("loss.{name}"), loss);
+        }
+        for (name, &n) in GRAPH_NAMES.iter().zip(&s.samples) {
+            r = r.u64(&format!("samples.{name}"), n);
+        }
+        r = r.u64("refreshes", s.refreshes).f64("refresh_ms", s.refresh_s * 1e3);
+        for (name, &v) in MATRIX_NAMES.iter().zip(&s.norms) {
+            r = r.f64(&format!("norm.{name}"), v);
+        }
+        for (name, &v) in MATRIX_NAMES.iter().zip(&s.drift) {
+            r = r.f64(&format!("drift.{name}"), v);
+        }
+        r
+    }
+}
+
+impl std::fmt::Debug for TrainJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TrainJournal(path={:?}, epoch_steps={}, epochs={})",
+            self.journal.path(),
+            self.epoch_steps,
+            self.history.len()
+        )
+    }
+}

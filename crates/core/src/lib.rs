@@ -29,6 +29,7 @@
 
 pub mod adaptive;
 pub mod config;
+pub mod journal;
 pub mod math;
 pub mod matrix;
 pub mod metrics;
@@ -36,8 +37,9 @@ pub mod model;
 pub mod persist;
 pub mod trainer;
 
-pub use adaptive::{AdaptiveState, ExactAdaptiveSampler, ExactScratch};
+pub use adaptive::{AdaptiveState, ExactAdaptiveSampler, ExactScratch, RefreshObs};
 pub use config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
+pub use journal::{EpochStats, TrainJournal, MATRIX_NAMES};
 pub use math::SigmoidLut;
 pub use matrix::AtomicMatrix;
 pub use metrics::TrainerMetrics;

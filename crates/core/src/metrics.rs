@@ -7,7 +7,7 @@
 //! few thousand steps (see `TALLY_FLUSH` in `trainer.rs`). A disabled
 //! bundle (the default) makes every flush a no-op.
 
-use gem_obs::{Counter, Gauge, MetricsRegistry};
+use gem_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Names of the five training graphs, in [`gem_ebsn::TrainingGraphs::all`]
 /// order. Used as metric-name suffixes: `train.samples.user_event`, ...
@@ -21,21 +21,33 @@ pub const GRAPH_NAMES: [&str; 5] =
 /// | `train.steps` | counter | gradient steps performed |
 /// | `train.samples.<graph>` | counter | positive edges drawn per graph |
 /// | `train.loss_proxy_milli` | counter | Σ ⌊1000·(1−σ(vᵢ·vⱼ))⌋ over positive edges |
+/// | `train.loss_proxy_milli.<graph>` | counter | the same sum, split per graph |
 /// | `train.steps_per_sec` | gauge | throughput of the last `run` call |
 /// | `train.workers` | gauge | Hogwild worker count of the last `run` call |
+/// | `train.adaptive_refreshes` | counter | adaptive-sampler ranking rebuilds |
+/// | `train.adaptive_refresh_ns` | histogram | wall time of each rebuild |
 ///
 /// The loss proxy is the positive-edge gradient coefficient `1 − σ(vᵢ·vⱼ)`:
 /// it is already computed by every step, lies in `(0, 1)`, and decays toward
 /// zero as the model fits the data — divide by `1000 · train.steps` for the
-/// mean. It is a *proxy* for `−log σ(vᵢ·vⱼ)`, not the objective itself.
+/// mean. It is a *proxy* for `−log σ(vᵢ·vⱼ)`, not the objective itself. The
+/// per-graph split is what the training journal differentiates into
+/// per-epoch, per-graph convergence curves.
+///
+/// The refresh histogram is the measured baseline for the ROADMAP item
+/// "adaptive-sampler refresh off the hot path": divide its sum by the wall
+/// time of a run for the fraction of training spent rebuilding rankings.
 #[derive(Clone)]
 pub struct TrainerMetrics {
     pub(crate) enabled: bool,
     pub(crate) steps: Counter,
     pub(crate) samples: [Counter; 5],
     pub(crate) loss_proxy_milli: Counter,
+    pub(crate) loss_per_graph_milli: [Counter; 5],
     pub(crate) steps_per_sec: Gauge,
     pub(crate) workers: Gauge,
+    pub(crate) adaptive_refreshes: Counter,
+    pub(crate) adaptive_refresh_ns: Histogram,
 }
 
 impl TrainerMetrics {
@@ -47,8 +59,12 @@ impl TrainerMetrics {
             steps: registry.counter("train.steps"),
             samples: GRAPH_NAMES.map(|g| registry.counter(&format!("train.samples.{g}"))),
             loss_proxy_milli: registry.counter("train.loss_proxy_milli"),
+            loss_per_graph_milli: GRAPH_NAMES
+                .map(|g| registry.counter(&format!("train.loss_proxy_milli.{g}"))),
             steps_per_sec: registry.gauge("train.steps_per_sec"),
             workers: registry.gauge("train.workers"),
+            adaptive_refreshes: registry.counter("train.adaptive_refreshes"),
+            adaptive_refresh_ns: registry.histogram("train.adaptive_refresh_ns"),
         }
     }
 

@@ -14,14 +14,15 @@
 //! [`AtomicMatrix`] set; each worker owns an independent RNG stream derived
 //! from the master seed.
 
-use crate::adaptive::AdaptiveState;
+use crate::adaptive::{AdaptiveState, RefreshObs};
 use crate::config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
+use crate::journal::TrainJournal;
 use crate::math::{axpy, dot, sigmoid, SigmoidLut};
 use crate::matrix::AtomicMatrix;
 use crate::metrics::TrainerMetrics;
 use crate::model::GemModel;
 use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
-use gem_obs::CachePadded;
+use gem_obs::{CachePadded, Tracer};
 use gem_sampling::{
     rng_from_seed, split_seed, AliasTable, DegreeNoise, GaussianSampler, SeededRng,
 };
@@ -103,6 +104,9 @@ pub struct GemTrainer<'g> {
     /// the read-mostly fields above would drag them along on every bump.
     steps_done: CachePadded<AtomicU64>,
     metrics: TrainerMetrics,
+    /// Span tracer (disabled by default). Spans are per run / worker /
+    /// refresh — never per step — so tracing stays off the hot loop.
+    tracer: Tracer,
 }
 
 /// Per-worker private copies of the positive-edge sampling tables.
@@ -130,6 +134,7 @@ struct StepTally {
     steps: u64,
     samples: [u64; 5],
     loss_proxy_milli: u64,
+    loss_per_graph_milli: [u64; 5],
 }
 
 impl StepTally {
@@ -139,7 +144,9 @@ impl StepTally {
         if let Some((gi, g)) = outcome {
             self.samples[gi] += 1;
             // g ∈ (0, 1); clamp guards NaN/∞ from a diverged model.
-            self.loss_proxy_milli += (g.clamp(0.0, 1.0) * 1000.0) as u64;
+            let milli = (g.clamp(0.0, 1.0) * 1000.0) as u64;
+            self.loss_proxy_milli += milli;
+            self.loss_per_graph_milli[gi] += milli;
         }
     }
 
@@ -149,6 +156,9 @@ impl StepTally {
             counter.add(n);
         }
         metrics.loss_proxy_milli.add(self.loss_proxy_milli);
+        for (counter, &n) in metrics.loss_per_graph_milli.iter().zip(&self.loss_per_graph_milli) {
+            counter.add(n);
+        }
         *self = Self::default();
     }
 }
@@ -348,6 +358,7 @@ impl<'g> GemTrainer<'g> {
             lut: SigmoidLut::new(),
             steps_done: CachePadded::new(AtomicU64::new(0)),
             metrics: TrainerMetrics::disabled(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -372,7 +383,36 @@ impl<'g> GemTrainer<'g> {
     /// ```
     pub fn with_metrics(mut self, metrics: TrainerMetrics) -> Self {
         self.metrics = metrics;
+        self.rewire_refresh_obs();
         self
+    }
+
+    /// Attach a span tracer; subsequent runs emit `train.run` /
+    /// `train.worker` spans (and `train.adaptive_refresh` spans from the
+    /// adaptive sampler) into it. Builder-style, like
+    /// [`GemTrainer::with_metrics`]. Spans never touch the RNG streams or
+    /// step order, so traced runs are bit-identical to untraced ones (the
+    /// `trace_noninterference` subprocess test pins this against the golden
+    /// hash).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self.rewire_refresh_obs();
+        self
+    }
+
+    /// Point every adaptive sampler's refresh hooks at the current
+    /// metrics + tracer handles.
+    fn rewire_refresh_obs(&mut self) {
+        let obs = RefreshObs::new(
+            self.metrics.adaptive_refreshes.clone(),
+            self.metrics.adaptive_refresh_ns.clone(),
+            self.tracer.clone(),
+        );
+        for per_graph in self.adaptive.iter_mut() {
+            for state in per_graph.iter_mut().flatten() {
+                state.set_obs(obs.clone());
+            }
+        }
     }
 
     /// The training configuration.
@@ -397,6 +437,9 @@ impl<'g> GemTrainer<'g> {
     pub fn run(&self, steps: u64, threads: usize) {
         let threads = threads.max(1);
         let started = std::time::Instant::now();
+        let mut run_span = self.tracer.span("train.run", "train");
+        run_span.arg("steps", steps);
+        run_span.arg("threads", threads as u64);
         self.metrics.workers.set(threads as f64);
         // Per-chunk base seed: chunks continue deterministically.
         let chunk = self.steps_done.load(Ordering::Relaxed);
@@ -420,6 +463,12 @@ impl<'g> GemTrainer<'g> {
                         + if (t as u64) < steps % threads as u64 { 1 } else { 0 };
                     let seed = split_seed(base, t as u64 + 1);
                     scope.spawn(move || {
+                        // Worker-lifetime span: each worker thread records
+                        // into its own ring, so worker timelines land on
+                        // separate rows of the Chrome trace.
+                        let mut worker_span = self.tracer.span("train.worker", "train");
+                        worker_span.arg("worker", t as u64);
+                        worker_span.arg("quota", quota);
                         let mut rng = rng_from_seed(seed);
                         let mut bufs = StepBuffers::new(self.config.dim);
                         // Private sampling tables: positive-edge draws touch
@@ -481,7 +530,97 @@ impl<'g> GemTrainer<'g> {
         tally.flush_into(&self.metrics);
         self.steps_done.fetch_add(steps, Ordering::Relaxed);
         prof.breakdown.steps = steps;
+        // Emit the aggregate breakdown as three synthetic back-to-back
+        // spans ending now: the trace shows *where* profiled step time went
+        // without paying a span per step. (Phase time is interleaved in
+        // reality; the trace renders its totals.)
+        if self.tracer.is_enabled() {
+            let b = &prof.breakdown;
+            let mut cursor = self.tracer.now_ns().saturating_sub(b.total_ns());
+            for (name, ns) in [
+                ("train.phase.sample", b.sample_ns),
+                ("train.phase.fetch", b.fetch_ns),
+                ("train.phase.update", b.update_ns),
+            ] {
+                self.tracer.record_span(name, "train", cursor, ns, &[("steps", steps)]);
+                cursor += ns;
+            }
+        }
         prof.breakdown
+    }
+
+    /// Run `steps` gradient steps in epoch-sized chunks, appending one
+    /// journal line per chunk (see [`TrainJournal`]); the final partial
+    /// epoch (if `steps` is not a multiple of the cadence) is recorded too.
+    ///
+    /// Loss and refresh fields need attached metrics
+    /// ([`GemTrainer::with_metrics`]) — without them those fields journal
+    /// as `null`/0 while steps and wall clock still record.
+    ///
+    /// Chunked runs derive a fresh per-chunk seed (like back-to-back
+    /// [`GemTrainer::run`] calls), so a journaled run is bit-identical to
+    /// plain runs chunked at the same cadence — not to one monolithic run.
+    pub fn run_journaled(&self, steps: u64, threads: usize, journal: &mut TrainJournal) {
+        self.run_journaled_observed(steps, threads, journal, |_, _| {});
+    }
+
+    /// [`GemTrainer::run_journaled`] with an after-epoch hook: `after_epoch`
+    /// runs once per recorded epoch (e.g. to evaluate the model on held-out
+    /// data, as the convergence report does). Time spent in the hook is
+    /// excluded from the next epoch's journaled wall clock, so steps/sec
+    /// stays a training number no matter how slow the evaluation is.
+    pub fn run_journaled_observed<F>(
+        &self,
+        steps: u64,
+        threads: usize,
+        journal: &mut TrainJournal,
+        mut after_epoch: F,
+    ) where
+        F: FnMut(&Self, &crate::journal::EpochStats),
+    {
+        journal.ensure_baseline(self);
+        let epoch = journal.epoch_steps();
+        let mut remaining = steps;
+        while remaining > 0 {
+            let chunk = remaining.min(epoch);
+            self.run(chunk, threads);
+            journal.observe(self);
+            let stats = *journal.last().expect("observe just recorded an epoch");
+            after_epoch(self, &stats);
+            journal.rebase_clock();
+            remaining -= chunk;
+        }
+    }
+
+    /// Cumulative observability totals for the journal's differencing.
+    pub(crate) fn obs_totals(&self) -> crate::journal::ObsTotals {
+        crate::journal::ObsTotals {
+            steps: self.steps_done.load(Ordering::Relaxed),
+            loss_milli: self.metrics.loss_proxy_milli.get(),
+            loss_per_graph_milli: std::array::from_fn(|i| {
+                self.metrics.loss_per_graph_milli[i].get()
+            }),
+            samples: std::array::from_fn(|i| self.metrics.samples[i].get()),
+            refreshes: self.metrics.adaptive_refreshes.get(),
+            refresh_ns_sum: self.metrics.adaptive_refresh_ns.snapshot().sum,
+        }
+    }
+
+    /// Frobenius norm of each embedding matrix, in kind order. Streams
+    /// `matrix.get` under Hogwild — a consistent-enough snapshot for a
+    /// drift signal, and exact between runs.
+    pub(crate) fn matrix_norms(&self) -> [f64; 5] {
+        std::array::from_fn(|i| {
+            let m = &self.embeddings.matrices[i];
+            let mut sum = 0.0f64;
+            for row in 0..m.rows() {
+                for k in 0..m.dim() {
+                    let v = m.get(row, k) as f64;
+                    sum += v * v;
+                }
+            }
+            sum.sqrt()
+        })
     }
 
     /// `σ(x)` through the configured evaluator (LUT by default, exact when
@@ -922,6 +1061,156 @@ mod tests {
             "loss proxy did not decrease: first {first:.1}, later {later:.1}"
         );
         assert_eq!(t.progress().steps, 80_000);
+    }
+
+    #[test]
+    fn traced_training_is_unchanged_and_emits_spans() {
+        // A live tracer must not perturb the RNG stream or step order; it
+        // must also record the run/worker span hierarchy.
+        let (_, _, graphs) = small_graphs();
+        let tracer = gem_obs::Tracer::new();
+        let t1 =
+            GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap().with_tracer(tracer.clone());
+        t1.run(5_000, 1);
+        let t2 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        t2.run(5_000, 1);
+        assert_eq!(t1.model().users, t2.model().users);
+        assert_eq!(t1.model().events, t2.model().events);
+
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        let runs: Vec<_> = sink.events().iter().filter(|e| e.name == "train.run").collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].args, vec![("steps", 5_000), ("threads", 1)]);
+    }
+
+    #[test]
+    fn multithread_run_emits_worker_spans() {
+        let (_, _, graphs) = small_graphs();
+        let tracer = gem_obs::Tracer::new();
+        let t =
+            GemTrainer::new(&graphs, TrainConfig::gem_p(5)).unwrap().with_tracer(tracer.clone());
+        t.run(8_000, 3);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        let workers: Vec<_> = sink.events().iter().filter(|e| e.name == "train.worker").collect();
+        assert_eq!(workers.len(), 3);
+        let mut tids: Vec<u64> = workers.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each worker records on its own timeline");
+        let quota_sum: u64 =
+            workers.iter().map(|e| e.args.iter().find(|(k, _)| *k == "quota").unwrap().1).sum();
+        assert_eq!(quota_sum, 8_000);
+    }
+
+    #[test]
+    fn adaptive_training_records_refresh_metrics_and_spans() {
+        let (_, _, graphs) = small_graphs();
+        let reg = gem_obs::MetricsRegistry::new();
+        let tracer = gem_obs::Tracer::new();
+        let t = GemTrainer::new(&graphs, TrainConfig::gem_a(13))
+            .unwrap()
+            .with_metrics(TrainerMetrics::register(&reg))
+            .with_tracer(tracer.clone());
+        t.run(20_000, 1);
+        let snap = reg.snapshot();
+        let refreshes = snap.counter("train.adaptive_refreshes");
+        assert!(refreshes > 0, "20k adaptive steps should refresh at least once");
+        let h = snap.histogram("train.adaptive_refresh_ns").unwrap();
+        assert_eq!(h.count, refreshes);
+        assert!(h.sum > 0);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        let spans =
+            sink.events().iter().filter(|e| e.name == "train.adaptive_refresh").count() as u64;
+        assert_eq!(spans, refreshes);
+    }
+
+    #[test]
+    fn profiled_run_emits_phase_spans() {
+        let (_, _, graphs) = small_graphs();
+        let tracer = gem_obs::Tracer::new();
+        let t =
+            GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap().with_tracer(tracer.clone());
+        let breakdown = t.run_profiled(2_000);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        let phase = |name: &str| {
+            sink.events().iter().find(|e| e.name == name).map(|e| e.dur_ns).unwrap_or_default()
+        };
+        assert_eq!(phase("train.phase.sample"), breakdown.sample_ns);
+        assert_eq!(phase("train.phase.fetch"), breakdown.fetch_ns);
+        assert_eq!(phase("train.phase.update"), breakdown.update_ns);
+    }
+
+    #[test]
+    fn journaled_run_records_epochs_and_matches_chunked_plain_run() {
+        let (_, _, graphs) = small_graphs();
+        let path = std::env::temp_dir()
+            .join(format!("gem_core_journal_test_{}.jsonl", std::process::id()));
+
+        let reg = gem_obs::MetricsRegistry::new();
+        let t1 = GemTrainer::new(&graphs, TrainConfig::gem_p(7))
+            .unwrap()
+            .with_metrics(TrainerMetrics::register(&reg));
+        let mut journal = TrainJournal::create(&path, 2_000, "test").expect("create journal");
+        t1.run_journaled(5_000, 1, &mut journal);
+
+        // 2000 + 2000 + 1000: three epochs, final one partial.
+        assert_eq!(journal.history().len(), 3);
+        assert_eq!(journal.history()[0].steps, 2_000);
+        assert_eq!(journal.history()[2].steps, 1_000);
+        assert_eq!(journal.last().unwrap().steps_total, 5_000);
+        assert_eq!(journal.write_errors(), 0);
+        for e in journal.history() {
+            assert!(e.loss_proxy > 0.0 && e.loss_proxy < 1.0, "loss {e:?}");
+            assert!(e.steps_per_sec > 0.0);
+            assert!(e.norms.iter().all(|n| n.is_finite()));
+        }
+        // Later epochs drift less than they would if the norms were junk.
+        assert_eq!(journal.history()[0].drift, [0.0; 5]);
+
+        // Journaled chunking == identical plain chunking, bit-for-bit.
+        let t2 = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        t2.run(2_000, 1);
+        t2.run(2_000, 1);
+        t2.run(1_000, 1);
+        assert_eq!(t1.model().users, t2.model().users);
+        assert_eq!(t1.model().events, t2.model().events);
+
+        // The file itself: header + 3 epoch lines, all valid JSON.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let header = gem_obs::json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("journal").unwrap().as_str(), Some("train"));
+        assert_eq!(header.get("epoch_steps").unwrap().as_f64(), Some(2_000.0));
+        for (i, line) in lines[1..].iter().enumerate() {
+            let doc = gem_obs::json::parse(line).expect("epoch line parses");
+            assert_eq!(doc.get("epoch").unwrap().as_f64(), Some(i as f64));
+            assert!(doc.get("loss.user_event").is_some());
+            assert!(doc.get("norm.users").is_some());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journaled_observed_hook_runs_once_per_epoch() {
+        let (_, _, graphs) = small_graphs();
+        let path = std::env::temp_dir()
+            .join(format!("gem_core_journal_obs_test_{}.jsonl", std::process::id()));
+        let trainer = GemTrainer::new(&graphs, TrainConfig::gem_p(7)).unwrap();
+        let mut journal = TrainJournal::create(&path, 2_000, "test").expect("create journal");
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        trainer.run_journaled_observed(5_000, 1, &mut journal, |t, e| {
+            // The hook observes the trainer at the epoch boundary it was
+            // told about.
+            assert_eq!(t.progress().steps, e.steps_total);
+            seen.push((e.epoch, e.steps_total));
+        });
+        assert_eq!(seen, [(0, 2_000), (1, 4_000), (2, 5_000)]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

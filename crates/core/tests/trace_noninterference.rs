@@ -1,0 +1,126 @@
+//! Tracing must be observation-only: a run with a live tracer (and live
+//! metrics) attached must produce the *bit-identical* model of an
+//! uninstrumented run — pinned against the same golden hash as
+//! `golden_singlethread.rs`, so instrumentation can never silently perturb
+//! the RNG stream or step order.
+//!
+//! Each configuration runs in its own subprocess (pattern borrowed from
+//! gem-query's `batch_determinism` test): the trace ring registry and
+//! tracer-id counter are process-global, so fresh processes also prove the
+//! golden stream holds from a cold start with instrumentation attached.
+
+use gem_core::{GemTrainer, TrainConfig, TrainerMetrics};
+use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+use gem_obs::{MetricsRegistry, TraceSink, Tracer};
+use std::process::Command;
+
+const CHILD_ENV: &str = "GEM_TRACE_NONINTERFERENCE_CHILD";
+
+/// Must match `golden_singlethread.rs` (same stream, same pin).
+const GOLDEN_STEPS: u64 = 20_000;
+const GOLDEN_HASH: u64 = 0xefda_8764_c84c_43bb;
+
+/// FNV-1a over the f32 bit patterns of every embedding table (identical to
+/// `golden_singlethread.rs`).
+fn model_hash(m: &gem_core::GemModel) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for table in [&m.users, &m.events, &m.regions, &m.time_slots, &m.words] {
+        for v in table.iter() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+fn tiny_graphs() -> TrainingGraphs {
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(99));
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[])
+}
+
+fn golden_config() -> TrainConfig {
+    let mut cfg = TrainConfig::gem_p(4242);
+    cfg.dim = 24;
+    cfg.sigmoid_lut = false;
+    cfg
+}
+
+/// Child mode: train the golden config either bare or fully instrumented
+/// (per the env var's value) and print the model hash + span count.
+#[test]
+fn child_emit_golden_hash() {
+    let Ok(mode) = std::env::var(CHILD_ENV) else {
+        return; // Only meaningful when spawned by the driver test below.
+    };
+    let graphs = tiny_graphs();
+    let trainer = GemTrainer::new(&graphs, golden_config()).unwrap();
+    let (trainer, tracer) = if mode == "instrumented" {
+        let tracer = Tracer::new();
+        let registry = MetricsRegistry::new();
+        (
+            trainer.with_metrics(TrainerMetrics::register(&registry)).with_tracer(tracer.clone()),
+            Some(tracer),
+        )
+    } else {
+        (trainer, None)
+    };
+    trainer.run(GOLDEN_STEPS, 1);
+    println!("HASH:{:016x}", model_hash(&trainer.model()));
+    if let Some(tracer) = tracer {
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        println!("SPANS:{}", sink.events().len());
+    }
+}
+
+/// Extract `PREFIX:<value>` from interleaved harness output.
+fn field<'a>(stdout: &'a str, prefix: &str, len: usize) -> &'a str {
+    let pos = stdout
+        .find(prefix)
+        .unwrap_or_else(|| panic!("no {prefix} marker in child output:\n{stdout}"));
+    &stdout[pos + prefix.len()..pos + prefix.len() + len]
+}
+
+#[test]
+fn tracing_preserves_the_golden_singlethread_hash() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let run_child = |mode: &str| {
+        let out = Command::new(&exe)
+            .args(["child_emit_golden_hash", "--exact", "--nocapture"])
+            .env(CHILD_ENV, mode)
+            .output()
+            .expect("spawn child test");
+        assert!(
+            out.status.success(),
+            "{mode} child failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let bare = run_child("bare");
+    let instrumented = run_child("instrumented");
+
+    let golden = format!("{GOLDEN_HASH:016x}");
+    assert_eq!(field(&bare, "HASH:", 16), golden, "bare run diverged from the golden stream");
+    assert_eq!(
+        field(&instrumented, "HASH:", 16),
+        golden,
+        "tracer/metrics attachment perturbed the training stream"
+    );
+    // The instrumentation was actually live: at least the train.run span.
+    let spans: u64 = instrumented
+        .lines()
+        .find_map(|l| l.strip_prefix("SPANS:"))
+        .expect("instrumented child printed no span count")
+        .trim()
+        .parse()
+        .expect("span count parses");
+    assert!(spans >= 1, "instrumented run recorded no spans");
+}

@@ -9,12 +9,32 @@ use crate::registry::{MetricSnapshot, Snapshot};
 
 /// Format an `f64` the way both exporters need it: integral values without
 /// a trailing `.0` churn, everything else with full round-trip precision.
-fn fmt_f64(v: f64) -> String {
+/// Shared with the journal writer, which emits the same number style.
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
         format!("{v}")
     }
+}
+
+/// Escape a string for inclusion inside JSON quotes (RFC 8259 §7). Shared
+/// by the trace and journal writers; metric names never need it (dotted
+/// lowercase by convention) but journal labels and span names might.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn histogram_json(h: &HistogramSnapshot, indent: &str) -> String {

@@ -12,7 +12,14 @@
 //! * [`MetricsRegistry`] — a named get-or-register registry whose
 //!   [`MetricsRegistry::snapshot`] is deterministic (sorted names, exact
 //!   sums) and therefore golden-testable;
-//! * JSON and Prometheus text exporters on [`Snapshot`].
+//! * JSON and Prometheus text exporters on [`Snapshot`];
+//! * [`Tracer`] / [`TraceSink`] — per-thread ring-buffered spans exported
+//!   as Chrome trace-event JSON (Perfetto / `chrome://tracing`), for
+//!   *time-resolved* views the cumulative metrics cannot give;
+//! * [`Journal`] / [`JournalRecord`] — append-only JSONL time series (the
+//!   trainer's per-epoch convergence journal);
+//! * [`json`] — a minimal JSON reader used as the in-repo oracle for all
+//!   of the above emitters.
 //!
 //! # Hot-path discipline
 //!
@@ -42,9 +49,15 @@
 
 mod export;
 pub mod histogram;
+pub mod journal;
+pub mod json;
 pub mod pad;
 pub mod registry;
+pub mod trace;
 
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use journal::{Journal, JournalRecord, JournalValue};
+pub use json::{JsonError, JsonValue};
 pub use pad::CachePadded;
 pub use registry::{Counter, Gauge, MetricSnapshot, MetricsRegistry, Snapshot};
+pub use trace::{Span, SpanEvent, TraceSink, Tracer, DEFAULT_RING_CAPACITY, MAX_SPAN_ARGS};

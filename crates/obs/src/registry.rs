@@ -47,6 +47,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
     }
+
+    /// True if updates through this handle are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
 }
 
 /// A last-value-wins gauge holding an `f64`. Cloning shares the cell
@@ -74,6 +79,11 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+
+    /// True if updates through this handle are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 }
 

@@ -1,0 +1,788 @@
+//! Lightweight span tracing with Chrome-trace JSON export.
+//!
+//! The metrics layer ([`crate::MetricsRegistry`]) answers *how much / how
+//! fast on average*; this module answers *when and where the time went*:
+//! a [`Span`] measures one named region of one thread's timeline, and a
+//! [`TraceSink`] exports the collected spans as Chrome trace-event JSON
+//! that loads directly into Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! # Design
+//!
+//! * **Per-thread lock-free ring buffers.** Each recording thread owns a
+//!   fixed-capacity ring of pre-sized slots; closing a span is a handful of
+//!   relaxed stores plus one release store of the ring head — no locks, no
+//!   allocation on the hot path. A full ring *drops* new events (counted in
+//!   [`TraceSink::dropped`]) rather than blocking the traced thread.
+//! * **Safe SPSC protocol.** Every slot is a small array of `AtomicU64`
+//!   words, so the ring needs no `unsafe`: the producer publishes a slot
+//!   with a release store of `head`, the consumer acknowledges with a
+//!   release store of `tail`, and each side's acquire load of the other's
+//!   index orders the plain word accesses in between. Consumers are
+//!   serialized by the tracer's ring registry lock (held for the whole
+//!   drain), so the single-consumer half of the contract holds by
+//!   construction.
+//! * **Interned names.** Span/arg names are `&'static str` interned into a
+//!   small table under a mutex (once per distinct name per record — tables
+//!   stay tiny), so ring slots hold only integers and the ring stays
+//!   fixed-size and copy-free.
+//! * **Zero-overhead when disabled.** A [`Tracer::disabled`] tracer is an
+//!   `Option::None` inside: every operation is a branch on a cold bool.
+//!   Instrumented code paths must not perturb anything else (RNG, step
+//!   order) — the trainer's golden-hash noninterference test pins this.
+//!
+//! ```
+//! use gem_obs::{TraceSink, Tracer};
+//!
+//! let tracer = Tracer::new();
+//! {
+//!     let mut span = tracer.span("build.index", "build");
+//!     span.arg("rows", 1024);
+//!     // ... timed work ...
+//! } // span records on drop
+//! let mut sink = TraceSink::new();
+//! sink.drain(&tracer);
+//! assert_eq!(sink.events().len(), 1);
+//! let json = sink.to_chrome_json(); // Perfetto-loadable
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+use crate::export::escape_json;
+use crate::pad::CachePadded;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Maximum key/value arguments carried by one span (extra args are
+/// silently dropped — slots are fixed-size by design).
+pub const MAX_SPAN_ARGS: usize = 3;
+
+/// Words per ring slot: tag id, tid, start, duration, arg count, then
+/// [`MAX_SPAN_ARGS`] arg-name ids and [`MAX_SPAN_ARGS`] arg values.
+const SLOT_WORDS: usize = 5 + 2 * MAX_SPAN_ARGS;
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Word offsets within a slot.
+const W_TAG: usize = 0;
+const W_TID: usize = 1;
+const W_START: usize = 2;
+const W_DUR: usize = 3;
+const W_NARGS: usize = 4;
+const W_ARG_NAMES: usize = 5;
+const W_ARG_VALUES: usize = 5 + MAX_SPAN_ARGS;
+
+/// One fixed-size event slot. Plain atomic words: the SPSC head/tail
+/// handshake (release publish, acquire observe) orders the relaxed word
+/// accesses, so no torn or stale event can be decoded.
+struct Slot {
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self { words: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+/// A single-producer (owner thread) / single-consumer (serialized drainer)
+/// ring of span events.
+struct Ring {
+    slots: Box<[Slot]>,
+    /// Number of events ever published; producer-owned, release-stored.
+    head: CachePadded<AtomicU64>,
+    /// Number of events ever consumed; consumer-owned, release-stored.
+    tail: CachePadded<AtomicU64>,
+    /// Events rejected because the ring was full.
+    dropped: AtomicU64,
+    /// Chrome-trace thread id of the owning thread (1-based per tracer).
+    tid: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize, tid: u64) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            dropped: AtomicU64::new(0),
+            tid,
+        }
+    }
+
+    /// Producer side. Only ever called from the ring's owner thread.
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &self,
+        tag: u32,
+        start_ns: u64,
+        dur_ns: u64,
+        n_args: usize,
+        arg_names: [u64; MAX_SPAN_ARGS],
+        arg_values: [u64; MAX_SPAN_ARGS],
+    ) {
+        let head = self.head.load(Ordering::Relaxed);
+        // Acquire pairs with the consumer's release store of `tail`: once we
+        // observe a slot as consumed, the consumer's reads of it are done
+        // and we may overwrite it.
+        let tail = self.tail.load(Ordering::Acquire);
+        if head - tail >= self.slots.len() as u64 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        slot.words[W_TAG].store(tag as u64, Ordering::Relaxed);
+        slot.words[W_TID].store(self.tid, Ordering::Relaxed);
+        slot.words[W_START].store(start_ns, Ordering::Relaxed);
+        slot.words[W_DUR].store(dur_ns, Ordering::Relaxed);
+        slot.words[W_NARGS].store(n_args as u64, Ordering::Relaxed);
+        for i in 0..MAX_SPAN_ARGS {
+            slot.words[W_ARG_NAMES + i].store(arg_names[i], Ordering::Relaxed);
+            slot.words[W_ARG_VALUES + i].store(arg_values[i], Ordering::Relaxed);
+        }
+        // Release publishes every word stored above to the consumer.
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Consumer side. Callers hold the tracer's ring-registry lock, which
+    /// serializes consumers (single-consumer by construction).
+    fn drain_into(
+        &self,
+        tags: &[(&'static str, &'static str)],
+        arg_names: &[&'static str],
+        out: &mut Vec<SpanEvent>,
+    ) {
+        // Acquire pairs with the producer's release store of `head`.
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        while tail < head {
+            let slot = &self.slots[(tail % self.slots.len() as u64) as usize];
+            let tag = slot.words[W_TAG].load(Ordering::Relaxed) as usize;
+            let (name, cat) = tags.get(tag).copied().unwrap_or(("?", "?"));
+            let n_args = (slot.words[W_NARGS].load(Ordering::Relaxed) as usize).min(MAX_SPAN_ARGS);
+            let args = (0..n_args)
+                .map(|i| {
+                    let id = slot.words[W_ARG_NAMES + i].load(Ordering::Relaxed) as usize;
+                    let v = slot.words[W_ARG_VALUES + i].load(Ordering::Relaxed);
+                    (arg_names.get(id).copied().unwrap_or("?"), v)
+                })
+                .collect();
+            out.push(SpanEvent {
+                name,
+                cat,
+                tid: slot.words[W_TID].load(Ordering::Relaxed),
+                start_ns: slot.words[W_START].load(Ordering::Relaxed),
+                dur_ns: slot.words[W_DUR].load(Ordering::Relaxed),
+                args,
+            });
+            tail += 1;
+        }
+        // Release hands the consumed slots back to the producer.
+        self.tail.store(tail, Ordering::Release);
+    }
+}
+
+/// Distinguishes tracers so a thread can record into several concurrently.
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's rings, one per tracer it has recorded into.
+    /// Entries for dropped tracers are garbage-collected lazily (their ring
+    /// `Arc` is no longer held by any tracer registry).
+    static THREAD_RINGS: RefCell<Vec<(u64, Arc<Ring>)>> = const { RefCell::new(Vec::new()) };
+}
+
+struct TracerInner {
+    id: u64,
+    capacity: usize,
+    epoch: Instant,
+    /// All rings ever registered with this tracer. The mutex also
+    /// serializes drains (the whole drain runs under it).
+    rings: Mutex<Vec<Arc<Ring>>>,
+    next_tid: AtomicU64,
+    /// Interned `(name, cat)` pairs; a slot stores the index.
+    tags: Mutex<Vec<(&'static str, &'static str)>>,
+    /// Interned argument names.
+    arg_names: Mutex<Vec<&'static str>>,
+}
+
+/// A cloneable handle to a trace collector, or a no-op when built with
+/// [`Tracer::disabled`] (the default).
+///
+/// Recording is thread-safe: each thread lazily registers its own ring the
+/// first time it records, so spans from Hogwild workers, rayon serving
+/// threads and the main thread land on separate Chrome-trace timelines.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An active tracer with the default per-thread ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An active tracer whose per-thread rings hold `capacity` events
+    /// (overflow drops new events, counted per ring).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                capacity: capacity.max(1),
+                epoch: Instant::now(),
+                rings: Mutex::new(Vec::new()),
+                next_tid: AtomicU64::new(1),
+                tags: Mutex::new(Vec::new()),
+                arg_names: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A no-op tracer: spans cost one branch, nothing is recorded.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// True if spans recorded through this handle are kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since this tracer was created (0 when disabled). All
+    /// span timestamps share this clock, so explicitly recorded spans
+    /// ([`Tracer::record_span`]) line up with guard-measured ones.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Open a span; it records itself when dropped. `cat` groups related
+    /// spans in the Perfetto UI (convention here: the crate-level layer —
+    /// `"train"`, `"build"`, `"serve"`).
+    #[inline]
+    pub fn span(&self, name: &'static str, cat: &'static str) -> Span<'_> {
+        Span {
+            tracer: self,
+            name,
+            cat,
+            start_ns: self.now_ns(),
+            args: [("", 0); MAX_SPAN_ARGS],
+            n_args: 0,
+        }
+    }
+
+    /// Record an already-measured span. `start_ns` is on the
+    /// [`Tracer::now_ns`] clock; for a just-finished measurement use
+    /// `tracer.now_ns().saturating_sub(elapsed_ns)`. At most
+    /// [`MAX_SPAN_ARGS`] args are kept.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let tag = inner.intern_tag(name, cat);
+        let n_args = args.len().min(MAX_SPAN_ARGS);
+        let mut name_ids = [0u64; MAX_SPAN_ARGS];
+        let mut values = [0u64; MAX_SPAN_ARGS];
+        if n_args > 0 {
+            let mut table = inner.arg_names.lock().expect("trace arg-name table");
+            for (i, &(k, v)) in args.iter().take(n_args).enumerate() {
+                name_ids[i] = intern(&mut table, k) as u64;
+                values[i] = v;
+            }
+        }
+        if let Some(ring) = self.ring(inner) {
+            ring.push(tag, start_ns, dur_ns, n_args, name_ids, values);
+        }
+    }
+
+    /// This thread's ring for this tracer, registering one on first use.
+    fn ring(&self, inner: &Arc<TracerInner>) -> Option<Arc<Ring>> {
+        THREAD_RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some((_, ring)) = rings.iter().find(|(id, _)| *id == inner.id) {
+                return Some(Arc::clone(ring));
+            }
+            // Drop entries whose tracer died (the registry held the only
+            // other strong reference to the ring).
+            rings.retain(|(_, r)| Arc::strong_count(r) > 1);
+            let ring =
+                Arc::new(Ring::new(inner.capacity, inner.next_tid.fetch_add(1, Ordering::Relaxed)));
+            inner.rings.lock().expect("trace ring registry").push(Arc::clone(&ring));
+            rings.push((inner.id, Arc::clone(&ring)));
+            Some(ring)
+        })
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer(enabled={})", self.is_enabled())
+    }
+}
+
+impl TracerInner {
+    fn intern_tag(&self, name: &'static str, cat: &'static str) -> u32 {
+        let mut tags = self.tags.lock().expect("trace tag table");
+        if let Some(i) = tags.iter().position(|&(n, c)| n == name && c == cat) {
+            return i as u32;
+        }
+        tags.push((name, cat));
+        (tags.len() - 1) as u32
+    }
+}
+
+/// Linear-scan interning: the tables hold a few dozen distinct static
+/// names, so a scan beats any hash setup cost.
+fn intern(table: &mut Vec<&'static str>, name: &'static str) -> usize {
+    if let Some(i) = table.iter().position(|&n| n == name) {
+        return i;
+    }
+    table.push(name);
+    table.len() - 1
+}
+
+/// An open span; measures from creation to drop and records itself into
+/// the owning thread's ring (no-op for a disabled tracer).
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    args: [(&'static str, u64); MAX_SPAN_ARGS],
+    n_args: usize,
+}
+
+impl Span<'_> {
+    /// Attach a counter to the span (shown under "args" in Perfetto). At
+    /// most [`MAX_SPAN_ARGS`] are kept; later calls overwrite an existing
+    /// key or are dropped when full.
+    pub fn arg(&mut self, name: &'static str, value: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        if let Some(slot) = self.args[..self.n_args].iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = value;
+            return;
+        }
+        if self.n_args < MAX_SPAN_ARGS {
+            self.args[self.n_args] = (name, value);
+            self.n_args += 1;
+        }
+    }
+
+    /// Nanoseconds elapsed since the span was opened.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.tracer.now_ns().saturating_sub(self.start_ns)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.tracer.is_enabled() {
+            let dur = self.elapsed_ns();
+            self.tracer.record_span(
+                self.name,
+                self.cat,
+                self.start_ns,
+                dur,
+                &self.args[..self.n_args],
+            );
+        }
+    }
+}
+
+/// One closed span, as decoded from a ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `train.worker`).
+    pub name: &'static str,
+    /// Category / layer (e.g. `train`).
+    pub cat: &'static str,
+    /// Chrome-trace thread id (1-based, per recording thread).
+    pub tid: u64,
+    /// Start, in nanoseconds on the tracer's clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Counters attached at close, in attachment order.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl SpanEvent {
+    /// End of the span on the tracer's clock.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+/// Collects drained span events and exports them as Chrome trace-event
+/// JSON. Draining is incremental: call [`TraceSink::drain`] as often as
+/// needed (e.g. between training epochs, to keep rings from overflowing)
+/// and export once at the end.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pull every pending event out of the tracer's rings (in each ring's
+    /// close order) and add the rings' overflow counts to
+    /// [`TraceSink::dropped`]. No-op for a disabled tracer.
+    pub fn drain(&mut self, tracer: &Tracer) {
+        let Some(inner) = &tracer.inner else { return };
+        let tags = inner.tags.lock().expect("trace tag table").clone();
+        let arg_names = inner.arg_names.lock().expect("trace arg-name table").clone();
+        // Holding the registry lock for the whole drain serializes
+        // consumers — the single-consumer half of the ring contract.
+        let rings = inner.rings.lock().expect("trace ring registry");
+        for ring in rings.iter() {
+            self.dropped += ring.dropped.swap(0, Ordering::Relaxed);
+            ring.drain_into(&tags, &arg_names, &mut self.events);
+        }
+    }
+
+    /// The drained events (drain order: per ring, close order).
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Events lost to ring overflow across all drains so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Export as Chrome trace-event JSON (the `{"traceEvents": [...]}`
+    /// object form), loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// All spans are complete (`"ph": "X"`) events with microsecond
+    /// timestamps; output is sorted by `(tid, ts, -dur, name)` so each
+    /// thread's timeline is monotone and enclosing spans precede their
+    /// children. Deterministic: same events → same bytes.
+    pub fn to_chrome_json(&self) -> String {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (x, y) = (&self.events[a], &self.events[b]);
+            x.tid
+                .cmp(&y.tid)
+                .then(x.start_ns.cmp(&y.start_ns))
+                .then(y.dur_ns.cmp(&x.dur_ns))
+                .then(x.name.cmp(y.name))
+        });
+        let mut out = String::from("{\n\"traceEvents\": [\n");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"ebsn-rec\"}}",
+        );
+        for &i in &order {
+            let e = &self.events[i];
+            out.push_str(",\n");
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{},\"dur\":{}",
+                escape_json(e.name),
+                escape_json(e.cat),
+                e.tid,
+                micros(e.start_ns),
+                micros(e.dur_ns),
+            ));
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{v}", escape_json(k)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n],\n\"displayTimeUnit\": \"ms\"\n}\n");
+        out
+    }
+
+    /// Write [`TraceSink::to_chrome_json`] to a file.
+    pub fn write_chrome_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+/// Nanoseconds as decimal microseconds with nanosecond precision (Chrome
+/// trace timestamps are in µs; fractions are allowed).
+fn micros(ns: u64) -> String {
+    if ns.is_multiple_of(1_000) {
+        format!("{}", ns / 1_000)
+    } else {
+        format!("{}.{:03}", ns / 1_000, ns % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        assert_eq!(tracer.now_ns(), 0);
+        {
+            let mut s = tracer.span("x", "test");
+            s.arg("n", 1);
+        }
+        tracer.record_span("y", "test", 0, 10, &[]);
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop_with_args() {
+        let tracer = Tracer::new();
+        {
+            let mut s = tracer.span("work", "test");
+            s.arg("items", 7);
+            s.arg("items", 9); // overwrite, not duplicate
+            s.arg("other", 1);
+        }
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        let [e] = sink.events() else { panic!("expected exactly one event") };
+        assert_eq!(e.name, "work");
+        assert_eq!(e.cat, "test");
+        assert_eq!(e.tid, 1);
+        assert_eq!(e.args, vec![("items", 9), ("other", 1)]);
+        assert!(e.end_ns() >= e.start_ns);
+    }
+
+    #[test]
+    fn nested_spans_are_contained_in_their_parent() {
+        let tracer = Tracer::new();
+        {
+            let _outer = tracer.span("outer", "test");
+            let _inner = tracer.span("inner", "test");
+        }
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        // Rings hold close order: inner closes first.
+        assert_eq!(sink.events()[0].name, "inner");
+        assert_eq!(sink.events()[1].name, "outer");
+        let (inner, outer) = (&sink.events()[0], &sink.events()[1]);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+    }
+
+    #[test]
+    fn threads_get_distinct_timelines() {
+        let tracer = Tracer::new();
+        drop(tracer.span("main", "test"));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let tracer = tracer.clone();
+                s.spawn(move || {
+                    drop(tracer.span("worker", "test"));
+                    drop(tracer.span("worker", "test"));
+                });
+            }
+        });
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        assert_eq!(sink.events().len(), 7);
+        let mut tids: Vec<u64> = sink.events().iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4, "main + 3 workers get distinct tids");
+        // Each worker thread's two spans share one tid.
+        for tid in tids {
+            let n = sink.events().iter().filter(|e| e.tid == tid).count();
+            assert!(n == 1 || n == 2);
+        }
+    }
+
+    #[test]
+    fn full_ring_drops_new_events_and_counts_them() {
+        let tracer = Tracer::with_capacity(4);
+        for i in 0..10 {
+            tracer.record_span("e", "test", i, 1, &[]);
+        }
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        assert_eq!(sink.events().len(), 4, "oldest events are kept");
+        assert_eq!(sink.dropped(), 6);
+        assert_eq!(sink.events()[0].start_ns, 0);
+        // Draining freed the ring: new events record again.
+        tracer.record_span("late", "test", 99, 1, &[]);
+        sink.drain(&tracer);
+        assert_eq!(sink.events().len(), 5);
+        assert_eq!(sink.events()[4].name, "late");
+        assert_eq!(sink.dropped(), 6);
+    }
+
+    #[test]
+    fn drain_is_incremental() {
+        let tracer = Tracer::new();
+        tracer.record_span("a", "test", 0, 1, &[]);
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        sink.drain(&tracer);
+        assert_eq!(sink.events().len(), 1, "double drain must not duplicate");
+    }
+
+    #[test]
+    fn record_span_keeps_at_most_max_args() {
+        let tracer = Tracer::new();
+        tracer.record_span("e", "test", 5, 7, &[("a", 1), ("b", 2), ("c", 3), ("d", 4)]);
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        let e = &sink.events()[0];
+        assert_eq!(e.start_ns, 5);
+        assert_eq!(e.dur_ns, 7);
+        assert_eq!(e.args, vec![("a", 1), ("b", 2), ("c", 3)]);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_sorted() {
+        let tracer = Tracer::new();
+        tracer.record_span("b", "test", 2_000, 500, &[("n", 3)]);
+        tracer.record_span("a", "test", 1_000, 2_500, &[]);
+        let mut sink = TraceSink::new();
+        sink.drain(&tracer);
+        let json = sink.to_chrome_json();
+        let doc = crate::json::parse(&json).expect("chrome trace parses");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+        // Metadata + 2 spans, spans sorted by start.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[1].get("dur").unwrap().as_f64(), Some(2.5));
+        assert_eq!(events[2].get("name").unwrap().as_str(), Some("b"));
+        assert_eq!(events[2].get("args").unwrap().get("n").unwrap().as_f64(), Some(3.0));
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(ph == "M" || ph == "X", "unexpected phase {ph:?}");
+        }
+    }
+
+    #[test]
+    fn sub_microsecond_timestamps_keep_ns_precision() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1_000), "1");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(12), "0.012");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Drive real nested span guards: `depths[t][i]` opens a chain of that
+    /// many nested spans on thread `t`.
+    fn record_workload(tracer: &Tracer, depths: &[Vec<u8>]) -> usize {
+        let mut expected = 0usize;
+        std::thread::scope(|s| {
+            for chain in depths {
+                let tracer = tracer.clone();
+                let chain = chain.clone();
+                s.spawn(move || {
+                    fn nest(tracer: &Tracer, depth: u8) {
+                        if depth == 0 {
+                            return;
+                        }
+                        let mut span = tracer.span("node", "prop");
+                        span.arg("depth", depth as u64);
+                        nest(tracer, depth - 1);
+                    }
+                    for &d in chain.iter() {
+                        nest(&tracer, d);
+                    }
+                });
+            }
+        });
+        for chain in depths {
+            expected += chain.iter().map(|&d| d as usize).sum::<usize>();
+        }
+        expected
+    }
+
+    proptest! {
+        /// The Chrome-trace export of an arbitrary multi-threaded nested
+        /// workload is valid: it parses with the in-repo JSON reader, every
+        /// span is a complete ("X") event, per-thread timestamps are
+        /// monotone, and the spans of each thread form a balanced (laminar)
+        /// family — every pair is either nested or disjoint, as guards
+        /// guarantee.
+        #[test]
+        fn chrome_export_is_valid_and_balanced(
+            depths in proptest::collection::vec(
+                proptest::collection::vec(0u8..5, 0..4), 1..4),
+        ) {
+            let tracer = Tracer::new();
+            let expected = record_workload(&tracer, &depths);
+            let mut sink = TraceSink::new();
+            sink.drain(&tracer);
+            prop_assert_eq!(sink.events().len(), expected);
+            prop_assert_eq!(sink.dropped(), 0);
+
+            let json = sink.to_chrome_json();
+            let doc = crate::json::parse(&json).expect("export parses");
+            let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+            // Metadata row + one complete event per span.
+            prop_assert_eq!(events.len(), expected + 1);
+
+            let mut last: Option<(u64, f64)> = None; // (tid, ts)
+            let mut spans: Vec<(u64, u64, u64)> = Vec::new(); // (tid, start, end)
+            for e in &events[1..] {
+                prop_assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+                let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+                let ts = e.get("ts").unwrap().as_f64().unwrap();
+                let dur = e.get("dur").unwrap().as_f64().unwrap();
+                prop_assert!(ts >= 0.0 && dur >= 0.0);
+                prop_assert!(e.get("args").unwrap().get("depth").is_some());
+                // Sorted by (tid, ts): per-thread timelines are monotone.
+                if let Some((ptid, pts)) = last {
+                    prop_assert!(tid > ptid || (tid == ptid && ts >= pts),
+                        "timeline not monotone: tid {} ts {} after tid {} ts {}",
+                        tid, ts, ptid, pts);
+                }
+                last = Some((tid, ts));
+                let start = (ts * 1000.0).round() as u64;
+                spans.push((tid, start, start + (dur * 1000.0).round() as u64));
+            }
+            // Balanced: same-thread spans are laminar (nested or disjoint).
+            for (i, &(tid_a, sa, ea)) in spans.iter().enumerate() {
+                for &(tid_b, sb, eb) in &spans[i + 1..] {
+                    if tid_a != tid_b {
+                        continue;
+                    }
+                    let disjoint = ea <= sb || eb <= sa;
+                    let nested = (sa <= sb && eb <= ea) || (sb <= sa && ea <= eb);
+                    prop_assert!(disjoint || nested,
+                        "unbalanced spans on tid {}: [{}, {}] vs [{}, {}]",
+                        tid_a, sa, ea, sb, eb);
+                }
+            }
+        }
+    }
+}

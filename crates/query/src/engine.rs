@@ -12,8 +12,46 @@ use crate::ta::{TaIndex, TaScratch, TaStats};
 use crate::transform::TransformedSpace;
 use gem_core::GemModel;
 use gem_ebsn::{EventId, UserId};
+use gem_obs::Tracer;
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Span-tracing configuration for the serving path.
+///
+/// Serving traffic is high-volume, so per-request spans are recorded in two
+/// tiers: every query gets a bare `serve.ta` / `serve.bf` span (name +
+/// duration only), and queries at or above [`ServeTracing::slow_query_ns`]
+/// are *promoted* to full detail (user id, TA candidates scored, sorted-list
+/// accesses) so the trace answers "why was this one slow" without paying
+/// for argument packing on the fast path. `slow_query_ns == 0` promotes
+/// everything (useful in tests and low-QPS debugging);
+/// `slow_query_ns == u64::MAX` promotes nothing.
+#[derive(Debug, Clone)]
+pub struct ServeTracing {
+    /// Destination for build and serve spans.
+    pub tracer: Tracer,
+    /// Queries lasting at least this many nanoseconds carry full arguments.
+    pub slow_query_ns: u64,
+}
+
+impl ServeTracing {
+    /// Tracing on, promoting queries at or above `slow_query_ns` to full
+    /// detail.
+    pub fn new(tracer: Tracer, slow_query_ns: u64) -> Self {
+        Self { tracer, slow_query_ns }
+    }
+
+    /// No tracing: every span call is a no-op branch.
+    pub fn disabled() -> Self {
+        Self { tracer: Tracer::disabled(), slow_query_ns: u64::MAX }
+    }
+}
+
+impl Default for ServeTracing {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
 
 /// A serving-path error. Serving errors are *per-query*: one bad request
 /// must never take down the process (or poison a whole
@@ -90,6 +128,7 @@ pub struct RecommendationEngine {
     space: TransformedSpace,
     index: TaIndex,
     metrics: EngineMetrics,
+    tracing: ServeTracing,
 }
 
 impl RecommendationEngine {
@@ -114,18 +153,64 @@ impl RecommendationEngine {
         top_k_events: usize,
         metrics: EngineMetrics,
     ) -> Self {
+        Self::build_traced(model, partners, events, top_k_events, metrics, ServeTracing::disabled())
+    }
+
+    /// [`Self::build_with_metrics`] plus span tracing: the three build
+    /// phases additionally emit `build.prune` / `build.transform` /
+    /// `build.index` spans (category `build`), and every query served
+    /// through the engine emits a `serve.*` span per
+    /// [`ServeTracing`]'s two-tier policy.
+    pub fn build_traced(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k_events: usize,
+        metrics: EngineMetrics,
+        tracing: ServeTracing,
+    ) -> Self {
+        let tracer = &tracing.tracer;
+        let phase_start =
+            |t: &Instant| tracer.now_ns().saturating_sub(t.elapsed().as_nanos() as u64);
+
         let t0 = Instant::now();
         let candidates = top_k_events_per_partner(&model, partners, events, top_k_events);
-        metrics.build_prune_ns.set(t0.elapsed().as_nanos() as f64);
+        let prune_ns = t0.elapsed().as_nanos() as u64;
+        metrics.build_prune_ns.set(prune_ns as f64);
+        tracer.record_span(
+            "build.prune",
+            "build",
+            phase_start(&t0),
+            prune_ns,
+            &[("partners", partners.len() as u64), ("events", events.len() as u64)],
+        );
+
         let t1 = Instant::now();
         let space = TransformedSpace::build(&model, &candidates);
-        metrics.build_transform_ns.set(t1.elapsed().as_nanos() as f64);
+        let transform_ns = t1.elapsed().as_nanos() as u64;
+        metrics.build_transform_ns.set(transform_ns as f64);
+        tracer.record_span(
+            "build.transform",
+            "build",
+            phase_start(&t1),
+            transform_ns,
+            &[("pairs", space.len() as u64)],
+        );
+
         // Build the TA index eagerly: an engine exists to be queried.
         let t2 = Instant::now();
         let index = TaIndex::build(&space);
-        metrics.build_index_ns.set(t2.elapsed().as_nanos() as f64);
+        let index_ns = t2.elapsed().as_nanos() as u64;
+        metrics.build_index_ns.set(index_ns as f64);
+        tracer.record_span(
+            "build.index",
+            "build",
+            phase_start(&t2),
+            index_ns,
+            &[("pairs", space.len() as u64)],
+        );
         metrics.build_candidate_pairs.set(space.len() as f64);
-        Self { model, space, index, metrics }
+        Self { model, space, index, metrics, tracing }
     }
 
     /// The number of candidate pairs after pruning.
@@ -210,7 +295,9 @@ impl RecommendationEngine {
         }
         // Clock reads only when observability is on: the disabled path pays
         // one predictable branch.
-        let started = if self.metrics.enabled { Some(Instant::now()) } else { None };
+        let traced = self.tracing.tracer.is_enabled();
+        let started = if self.metrics.enabled || traced { Some(Instant::now()) } else { None };
+        let span_start = if traced { self.tracing.tracer.now_ns() } else { 0 };
         TransformedSpace::query_vector_into(&self.model, user, &mut scratch.q);
         let (recs, stats) = match method {
             Method::Ta => {
@@ -247,13 +334,38 @@ impl RecommendationEngine {
         };
         if let Some(t0) = started {
             let elapsed = t0.elapsed();
-            match method {
-                Method::Ta => self.metrics.query_ns_ta.record_duration(elapsed),
-                Method::BruteForce => self.metrics.query_ns_bf.record_duration(elapsed),
+            if self.metrics.enabled {
+                match method {
+                    Method::Ta => self.metrics.query_ns_ta.record_duration(elapsed),
+                    Method::BruteForce => self.metrics.query_ns_bf.record_duration(elapsed),
+                }
+                self.metrics.queries.inc();
+                self.metrics.ta_scored.add(stats.scored as u64);
+                self.metrics.ta_sorted_accesses.add(stats.sorted_accesses as u64);
             }
-            self.metrics.queries.inc();
-            self.metrics.ta_scored.add(stats.scored as u64);
-            self.metrics.ta_sorted_accesses.add(stats.sorted_accesses as u64);
+            if traced {
+                let ns = elapsed.as_nanos() as u64;
+                let name = match method {
+                    Method::Ta => "serve.ta",
+                    Method::BruteForce => "serve.bf",
+                };
+                if ns >= self.tracing.slow_query_ns {
+                    // Slow-query promotion: outliers carry full detail.
+                    self.tracing.tracer.record_span(
+                        name,
+                        "serve",
+                        span_start,
+                        ns,
+                        &[
+                            ("user", user.index() as u64),
+                            ("scored", stats.scored as u64),
+                            ("sorted_accesses", stats.sorted_accesses as u64),
+                        ],
+                    );
+                } else {
+                    self.tracing.tracer.record_span(name, "serve", span_start, ns, &[]);
+                }
+            }
         }
         Ok((recs, stats))
     }
@@ -425,6 +537,89 @@ mod tests {
         assert_eq!(snap.histogram("serve.query_ns.ta").unwrap().count, 2);
         assert!(snap.counter("serve.ta_scored") > 0);
         assert!(snap.gauge("build.candidate_pairs") > 0.0);
+    }
+
+    // --- span tracing: build phases + two-tier per-query spans ---
+
+    fn traced_engine(slow_query_ns: u64) -> (RecommendationEngine, gem_obs::Tracer) {
+        let tracer = gem_obs::Tracer::new();
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let e = RecommendationEngine::build_traced(
+            model,
+            &partners,
+            &events,
+            2,
+            crate::EngineMetrics::disabled(),
+            ServeTracing::new(tracer.clone(), slow_query_ns),
+        );
+        (e, tracer)
+    }
+
+    #[test]
+    fn build_emits_one_span_per_phase() {
+        let (_e, tracer) = traced_engine(u64::MAX);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        let names: Vec<&str> = sink.events().iter().map(|ev| ev.name).collect();
+        assert_eq!(names, ["build.prune", "build.transform", "build.index"]);
+        assert!(sink.events().iter().all(|ev| ev.cat == "build"));
+        // Pair counts ride on the transform/index spans.
+        assert_eq!(sink.events()[1].args, [("pairs", 6)]);
+        assert_eq!(sink.events()[2].args, [("pairs", 6)]);
+        assert_eq!(sink.events()[0].args, [("partners", 3), ("events", 2)]);
+    }
+
+    #[test]
+    fn slow_query_threshold_zero_promotes_every_span_to_full_detail() {
+        let (e, tracer) = traced_engine(0);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer); // discard build spans
+        e.recommend(UserId(1), 3, Method::Ta);
+        e.recommend(UserId(2), 3, Method::BruteForce);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        assert_eq!(sink.events().len(), 2);
+        let ta = &sink.events()[0];
+        assert_eq!((ta.name, ta.cat), ("serve.ta", "serve"));
+        assert_eq!(ta.args[0], ("user", 1));
+        assert!(ta.args.iter().any(|&(k, v)| k == "scored" && v > 0));
+        assert!(ta.args.iter().any(|&(k, v)| k == "sorted_accesses" && v > 0));
+        let bf = &sink.events()[1];
+        assert_eq!((bf.name, bf.cat), ("serve.bf", "serve"));
+        assert_eq!(bf.args, [("user", 2), ("scored", 0), ("sorted_accesses", 0)]);
+    }
+
+    #[test]
+    fn fast_queries_record_bare_spans_below_the_slow_threshold() {
+        let (e, tracer) = traced_engine(u64::MAX);
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer); // discard build spans
+        for u in 0..3u32 {
+            e.recommend(UserId(u), 3, Method::Ta);
+        }
+        let mut sink = gem_obs::TraceSink::new();
+        sink.drain(&tracer);
+        assert_eq!(sink.events().len(), 3);
+        for ev in sink.events() {
+            assert_eq!((ev.name, ev.cat), ("serve.ta", "serve"));
+            assert!(ev.args.is_empty(), "fast-path span must carry no args");
+        }
+    }
+
+    #[test]
+    fn traced_results_match_untraced_results() {
+        let (traced, _tracer) = traced_engine(0);
+        let plain = engine(2);
+        for u in 0..3u32 {
+            for method in [Method::Ta, Method::BruteForce] {
+                assert_eq!(
+                    traced.recommend(UserId(u), 3, method),
+                    plain.recommend(UserId(u), 3, method)
+                );
+            }
+        }
     }
 
     /// A valid user whose id equals the partner-pool size: every candidate

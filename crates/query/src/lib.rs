@@ -21,7 +21,11 @@
 //!    fallible [`RecommendationEngine::try_recommend`] path for untrusted
 //!    request traffic.
 //! 6. [`metrics`] — pre-registered gem-obs handles ([`EngineMetrics`]) for
-//!    per-query latency, TA work counters and build-phase timings.
+//!    per-query latency, TA work counters and build-phase timings; for
+//!    time-resolved views, [`RecommendationEngine::build_traced`] +
+//!    [`ServeTracing`] additionally emit `build.*` and `serve.*` spans into
+//!    a `gem_obs::Tracer` (two-tier: slow queries are promoted to full
+//!    argument detail).
 //!
 //! # Degenerate scores
 //!
@@ -40,7 +44,9 @@ pub mod ta;
 pub mod transform;
 
 pub use brute::{BruteForce, BruteScratch};
-pub use engine::{Method, Recommendation, RecommendationEngine, ServeError, ServeScratch};
+pub use engine::{
+    Method, Recommendation, RecommendationEngine, ServeError, ServeScratch, ServeTracing,
+};
 pub use metrics::EngineMetrics;
 pub use prune::top_k_events_per_partner;
 pub use ta::{TaIndex, TaScratch, TaStats};

@@ -104,15 +104,17 @@ pub mod prelude {
     pub use gem_baselines::{Cbpf, CbpfConfig, CfaprE, Pcmf, PcmfConfig, PerConfig, PerModel};
     pub use gem_core::{
         EventScorer, GemModel, GemTrainer, GraphChoice, NoiseKind, RectifyMode, SamplingDirection,
-        TrainConfig, TrainerMetrics,
+        TrainConfig, TrainJournal, TrainerMetrics,
     };
     pub use gem_ebsn::{
         ChronoSplit, EbsnDataset, Event, EventId, GraphBuildConfig, GroundTruth, PartnerScenario,
         RegionId, SplitRatios, SynthConfig, TrainingGraphs, UserId, VenueId,
     };
     pub use gem_eval::{eval_event_rec, eval_partner_rec, sign_test, EvalConfig};
-    pub use gem_obs::MetricsRegistry;
-    pub use gem_query::{EngineMetrics, Method, Recommendation, RecommendationEngine, ServeError};
+    pub use gem_obs::{Journal, JournalRecord, MetricsRegistry, TraceSink, Tracer};
+    pub use gem_query::{
+        EngineMetrics, Method, Recommendation, RecommendationEngine, ServeError, ServeTracing,
+    };
 }
 
 #[cfg(test)]
