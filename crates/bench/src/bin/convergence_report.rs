@@ -114,13 +114,15 @@ fn train_journaled<'g>(
         accuracies.push(ev.accuracy(10).unwrap_or(0.0));
     });
     sink.drain(tracer);
-    assert_eq!(journal.write_errors(), 0, "journal hit I/O errors");
+    let journal_errors = journal.write_errors();
+    assert_eq!(journal_errors, 0, "journal hit {journal_errors} I/O errors");
 
     let refreshes: u64 = journal.history().iter().map(|e| e.refreshes).sum();
     let final_loss = journal.last().expect("at least one epoch").loss_proxy;
     println!(
         "  {}: {} epochs x {epoch_steps} steps in {:.1}s, final acc@10 {:.3}, \
-         final loss {final_loss:.4}, {refreshes} adaptive refreshes -> {journal_path}",
+         final loss {final_loss:.4}, {refreshes} adaptive refreshes, \
+         {journal_errors} journal write errors -> {journal_path}",
         variant.name(),
         accuracies.len(),
         start.elapsed().as_secs_f64(),
@@ -418,6 +420,9 @@ fn main() {
     std::fs::write("BENCH_convergence.json", &json).expect("write BENCH_convergence.json");
     println!("\nWrote BENCH_convergence.json");
     if smoke {
-        println!("smoke OK: GEM-A <= GEM-P epochs-to-target, overhead within 2%, trace valid");
+        println!(
+            "smoke OK: GEM-A <= GEM-P epochs-to-target, overhead within 2%, trace valid, \
+             zero journal write errors"
+        );
     }
 }

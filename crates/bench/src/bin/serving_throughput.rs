@@ -393,7 +393,25 @@ fn run_smoke(args: &Args) {
          (no-op {qps_noop:.0} qps vs instrumented {qps_inst:.0} qps)",
         overhead * 100.0
     );
-    println!("smoke OK: metrics emitted, overhead within 2%");
+
+    // The smoke measurements go through the same JSONL journal path the
+    // full bench uses; any swallowed write error fails the smoke.
+    let journal_path = std::env::temp_dir()
+        .join(format!("gem-serving-smoke-journal-{}.jsonl", std::process::id()));
+    let mut journal =
+        gem_obs::Journal::create(&journal_path).expect("create serving smoke journal");
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "serving_smoke")
+            .f64("noop_qps", qps_noop)
+            .f64("instrumented_qps", qps_inst)
+            .u64("queries", hist.count),
+    );
+    let journal_errors = journal.write_errors();
+    let _ = std::fs::remove_file(&journal_path);
+    assert_eq!(journal_errors, 0, "serving smoke journal hit {journal_errors} write errors");
+
+    println!("smoke OK: metrics emitted, overhead within 2%, zero journal write errors");
 }
 
 fn main() {

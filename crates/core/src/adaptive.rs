@@ -189,9 +189,21 @@ impl AdaptiveState {
         if drawn < self.refresh_interval {
             return;
         }
-        if let Ok(mut guard) = self.rankings.try_write() {
+        // A poisoned lock means a *previous* refresher panicked mid-rebuild;
+        // the stale rankings it left are exactly as usable as the stale
+        // rankings every non-refreshing worker reads anyway, so recover the
+        // guard instead of cascading the panic through every worker.
+        let guard = match self.rankings.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        if let Some(mut guard) = guard {
             // Re-check after acquiring: another thread may have refreshed.
             if self.draws_since_refresh.load(Ordering::Relaxed) >= self.refresh_interval {
+                if gem_obs::faults::should_fail("train.adaptive_refresh") {
+                    panic!("injected fault: train.adaptive_refresh");
+                }
                 // Timing is gated on the hooks: an unobserved trainer pays
                 // no clock reads here (and nothing at all on the draw path).
                 let started = self.obs.active().then(|| (Instant::now(), self.obs.tracer.now_ns()));
@@ -216,9 +228,20 @@ impl AdaptiveState {
     /// Force an immediate refresh (used by tests and by the trainer right
     /// after initialisation).
     pub fn refresh_now(&self, matrix: &AtomicMatrix) {
-        *self.rankings.write().expect("rankings lock poisoned") =
+        *self.rankings.write().unwrap_or_else(|e| e.into_inner()) =
             Self::compute(matrix, &self.candidates);
         self.draws_since_refresh.store(0, Ordering::Relaxed);
+    }
+
+    /// Draws since the last refresh — persisted by checkpoints so a resumed
+    /// run refreshes on the same cadence it would have continued on.
+    pub(crate) fn draws(&self) -> u64 {
+        self.draws_since_refresh.load(Ordering::Relaxed)
+    }
+
+    /// Restore the draw counter from a checkpoint.
+    pub(crate) fn set_draws(&self, v: u64) {
+        self.draws_since_refresh.store(v, Ordering::Relaxed);
     }
 
     /// Draw one noise node for the given context vector (Algorithm 1 lines
@@ -232,7 +255,9 @@ impl AdaptiveState {
     /// contribute the largest (most adversarial) `v_c·v_k`.
     pub fn sample<R: Rng>(&self, context: &[f32], rng: &mut R) -> u32 {
         debug_assert_eq!(context.len(), self.dim);
-        let rankings = self.rankings.read().expect("rankings lock poisoned");
+        // Poison recovery: see `maybe_refresh` — stale rankings from a
+        // panicked refresher are within the Hogwild staleness contract.
+        let rankings = self.rankings.read().unwrap_or_else(|e| e.into_inner());
         let mut total = 0.0f64;
         for (c, sigma) in context.iter().zip(&rankings.sigma) {
             total += (c.abs() * sigma) as f64;

@@ -1,0 +1,82 @@
+//! Structured training errors.
+//!
+//! Until this module existed the trainer's failure modes were a bare
+//! `String` (construction) and a process abort (a panicking Hogwild
+//! worker). Fault tolerance needs both to be *values*: a supervisor that
+//! wants to resume from the last checkpoint must receive
+//! [`TrainError::WorkerPanicked`] from a contained run, not inherit a
+//! poisoned join.
+
+use crate::persist::PersistError;
+use gem_sampling::AliasError;
+
+/// Errors from constructing or running a [`crate::GemTrainer`].
+#[derive(Debug)]
+pub enum TrainError {
+    /// The training configuration failed validation.
+    Config(String),
+    /// Every relation graph is empty (or has zero total edge weight):
+    /// there is nothing to sample.
+    EmptyGraphs,
+    /// A sampling table could not be built (non-finite edge weight, …).
+    Sampler(AliasError),
+    /// A Hogwild worker panicked. The run was contained: the journal and
+    /// metrics hold every flushed tally, the shared step counter was *not*
+    /// advanced for the failed chunk, and the trainer is poisoned against
+    /// further runs until [`crate::GemTrainer::resume_from`] restores a
+    /// checkpoint.
+    WorkerPanicked {
+        /// Worker index (0 for a single-thread run).
+        worker: usize,
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+    /// A previous run panicked mid-chunk and the in-memory model is a
+    /// half-applied mixture; restore a checkpoint before running again.
+    Poisoned,
+    /// Writing or reading a checkpoint failed.
+    Checkpoint(PersistError),
+    /// A checkpoint could not be restored into this trainer (wrong seed,
+    /// dimension, or shape — it belongs to a different run).
+    Restore(&'static str),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Config(msg) => write!(f, "invalid config: {msg}"),
+            TrainError::EmptyGraphs => write!(f, "all five graphs are empty"),
+            TrainError::Sampler(e) => write!(f, "sampling table: {e}"),
+            TrainError::WorkerPanicked { worker, message } => {
+                write!(f, "training worker {worker} panicked: {message}")
+            }
+            TrainError::Poisoned => {
+                write!(f, "trainer poisoned by an earlier worker panic; restore a checkpoint")
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            TrainError::Restore(what) => write!(f, "checkpoint does not match trainer: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Sampler(e) => Some(e),
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AliasError> for TrainError {
+    fn from(e: AliasError) -> Self {
+        TrainError::Sampler(e)
+    }
+}
+
+impl From<PersistError> for TrainError {
+    fn from(e: PersistError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}

@@ -28,7 +28,10 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod checkpoint;
 pub mod config;
+pub mod crc;
+pub mod error;
 pub mod journal;
 pub mod math;
 pub mod matrix;
@@ -38,7 +41,9 @@ pub mod persist;
 pub mod trainer;
 
 pub use adaptive::{AdaptiveState, ExactAdaptiveSampler, ExactScratch, RefreshObs};
+pub use checkpoint::{Checkpoint, Checkpointer, LoadedCheckpoint};
 pub use config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
+pub use error::TrainError;
 pub use journal::{EpochStats, TrainJournal, MATRIX_NAMES};
 pub use math::SigmoidLut;
 pub use matrix::AtomicMatrix;

@@ -15,19 +15,23 @@
 //! from the master seed.
 
 use crate::adaptive::{AdaptiveState, RefreshObs};
+use crate::checkpoint::Checkpoint;
 use crate::config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
+use crate::error::TrainError;
 use crate::journal::TrainJournal;
 use crate::math::{axpy, dot, sigmoid, SigmoidLut};
 use crate::matrix::AtomicMatrix;
 use crate::metrics::TrainerMetrics;
 use crate::model::GemModel;
 use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
-use gem_obs::{CachePadded, Tracer};
+use gem_obs::{faults, CachePadded, Tracer};
 use gem_sampling::{
-    rng_from_seed, split_seed, AliasTable, DegreeNoise, GaussianSampler, SeededRng,
+    rng_from_seed, split_seed, AliasError, AliasTable, DegreeNoise, GaussianSampler, SeededRng,
 };
 use rand::RngExt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Index of a node kind into the per-kind arrays.
 fn kind_idx(kind: NodeKind) -> usize {
@@ -103,6 +107,10 @@ pub struct GemTrainer<'g> {
     /// Padded: bumped at the end of every `run`, and sharing a line with
     /// the read-mostly fields above would drag them along on every bump.
     steps_done: CachePadded<AtomicU64>,
+    /// Set when a worker panicked mid-chunk: the embeddings hold a
+    /// half-applied chunk, so further runs are refused until
+    /// [`GemTrainer::resume_from`] restores a consistent checkpoint.
+    poisoned: AtomicBool,
     metrics: TrainerMetrics,
     /// Span tracer (disabled by default). Spans are per run / worker /
     /// refresh — never per step — so tracing stays off the hot loop.
@@ -126,6 +134,18 @@ struct WorkerTables {
 /// Large enough that the shared atomics see no contention, small enough
 /// that `train.steps` tracks Hogwild progress while a run is in flight.
 const TALLY_FLUSH: u64 = 4096;
+
+/// Best-effort string from a caught panic payload (`panic!` with a literal
+/// or a formatted message covers everything this crate can throw).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Worker-local accumulator, flushed into [`TrainerMetrics`] periodically
 /// so the step loop never touches shared cache lines.
@@ -283,9 +303,14 @@ impl<'g> GemTrainer<'g> {
     /// Set up a trainer over the five relation graphs.
     ///
     /// # Errors
-    /// Returns an error if the config is invalid or every graph is empty.
-    pub fn new(graphs: &'g TrainingGraphs, config: TrainConfig) -> Result<Self, String> {
-        config.validate()?;
+    /// Returns [`TrainError::Config`] for an invalid configuration,
+    /// [`TrainError::EmptyGraphs`] when no graph contributes any sampling
+    /// mass, and [`TrainError::Sampler`] when an edge weight is non-finite
+    /// or negative. A graph whose edges all have zero weight is not an
+    /// error: it is excluded from graph sampling (nothing can be drawn from
+    /// it) and the remaining graphs train normally.
+    pub fn new(graphs: &'g TrainingGraphs, config: TrainConfig) -> Result<Self, TrainError> {
+        config.validate().map_err(TrainError::Config)?;
         let graphs = graphs.all();
 
         let counts = {
@@ -299,12 +324,6 @@ impl<'g> GemTrainer<'g> {
         let embeddings =
             EmbeddingSet::new(counts, config.dim, config.init_std, split_seed(config.seed, 0));
 
-        let graph_weights: Vec<f64> = graphs.iter().map(|g| g.num_edges() as f64).collect();
-        if graph_weights.iter().sum::<f64>() == 0.0 {
-            return Err("all five graphs are empty".into());
-        }
-        let graph_table = AliasTable::new(&graph_weights).map_err(|e| e.to_string())?;
-
         let mut edge_tables: [Option<AliasTable>; 5] = Default::default();
         let mut noise_tables: [[Option<DegreeNoise>; 2]; 5] = Default::default();
         for (i, g) in graphs.iter().enumerate() {
@@ -312,10 +331,30 @@ impl<'g> GemTrainer<'g> {
                 continue;
             }
             let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
-            edge_tables[i] = Some(AliasTable::new(&weights).map_err(|e| e.to_string())?);
+            edge_tables[i] = match AliasTable::new(&weights) {
+                Ok(t) => Some(t),
+                // Zero total weight: no edge can ever be drawn from this
+                // graph, so treat it like an empty one instead of failing
+                // the whole trainer.
+                Err(AliasError::ZeroMass) => continue,
+                Err(e) => return Err(TrainError::Sampler(e)),
+            };
             noise_tables[i][0] = DegreeNoise::from_degrees(g.left_degrees()).ok();
             noise_tables[i][1] = DegreeNoise::from_degrees(g.right_degrees()).ok();
         }
+
+        // Graph-choice weights: a graph only participates if it produced an
+        // edge table (zero-mass graphs would otherwise be drawn and then
+        // have nothing to sample).
+        let graph_weights: Vec<f64> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| if edge_tables[i].is_some() { g.num_edges() as f64 } else { 0.0 })
+            .collect();
+        if graph_weights.iter().sum::<f64>() == 0.0 {
+            return Err(TrainError::EmptyGraphs);
+        }
+        let graph_table = AliasTable::new(&graph_weights).map_err(TrainError::Sampler)?;
 
         let adaptive: [[Option<AdaptiveState>; 2]; 5] = if config.noise == NoiseKind::Adaptive {
             std::array::from_fn(|gi| {
@@ -357,6 +396,7 @@ impl<'g> GemTrainer<'g> {
             adaptive,
             lut: SigmoidLut::new(),
             steps_done: CachePadded::new(AtomicU64::new(0)),
+            poisoned: AtomicBool::new(false),
             metrics: TrainerMetrics::disabled(),
             tracer: Tracer::disabled(),
         })
@@ -434,7 +474,32 @@ impl<'g> GemTrainer<'g> {
     ///
     /// With `threads == 1` training is fully deterministic given the seed
     /// (each call continues the stream from a per-chunk derived seed).
+    ///
+    /// # Panics
+    /// Panics if a worker panicked or the trainer was poisoned by an
+    /// earlier panic — the pre-containment behaviour. Supervisors that want
+    /// to handle worker failure as a value use [`GemTrainer::try_run`].
     pub fn run(&self, steps: u64, threads: usize) {
+        if let Err(e) = self.try_run(steps, threads) {
+            panic!("training run failed: {e}");
+        }
+    }
+
+    /// Fallible [`GemTrainer::run`]: each Hogwild worker executes under
+    /// `catch_unwind`, so a panicking worker (a bug, or the armed
+    /// `train.worker_panic` / `train.adaptive_refresh` fail points) is
+    /// *contained* — the remaining workers finish their quotas, every
+    /// flushed tally survives in the metrics, and the panic comes back as
+    /// [`TrainError::WorkerPanicked`] instead of unwinding through the
+    /// caller's stack. On failure the shared step counter is **not**
+    /// advanced (the chunk is half-applied and unusable for deterministic
+    /// continuation) and the trainer is poisoned: subsequent runs return
+    /// [`TrainError::Poisoned`] until [`GemTrainer::resume_from`] restores
+    /// a consistent checkpoint.
+    pub fn try_run(&self, steps: u64, threads: usize) -> Result<(), TrainError> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(TrainError::Poisoned);
+        }
         let threads = threads.max(1);
         let started = std::time::Instant::now();
         let mut run_span = self.tracer.span("train.run", "train");
@@ -444,24 +509,46 @@ impl<'g> GemTrainer<'g> {
         // Per-chunk base seed: chunks continue deterministically.
         let chunk = self.steps_done.load(Ordering::Relaxed);
         let base = split_seed(self.config.seed, 0x5EED ^ chunk);
+        // First worker panic, if any: (worker index, panic message).
+        let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
         if threads == 1 {
             let mut rng = rng_from_seed(base);
             let mut bufs = StepBuffers::new(self.config.dim);
             let tables = self.worker_tables();
             let mut tally = StepTally::default();
-            for i in 0..steps {
-                tally.observe(self.step_impl(&mut rng, &mut bufs, &tables, chunk + i, &mut NoProf));
-                if tally.steps == TALLY_FLUSH {
-                    tally.flush_into(&self.metrics);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in 0..steps {
+                    tally.observe(self.step_impl(
+                        &mut rng,
+                        &mut bufs,
+                        &tables,
+                        chunk + i,
+                        &mut NoProf,
+                    ));
+                    if tally.steps == TALLY_FLUSH {
+                        tally.flush_into(&self.metrics);
+                        // Same cadence as the flush so the disarmed check
+                        // costs one relaxed load per 4096 steps.
+                        if faults::should_fail("train.worker_panic") {
+                            panic!("injected fault: train.worker_panic");
+                        }
+                    }
                 }
-            }
+            }));
+            // Flush *outside* the caught closure: partial progress up to the
+            // panic still reaches the metrics and journal.
             tally.flush_into(&self.metrics);
+            if let Err(payload) = result {
+                *failure.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some((0, panic_message(payload.as_ref())));
+            }
         } else {
             std::thread::scope(|scope| {
                 for t in 0..threads {
                     let quota = steps / threads as u64
                         + if (t as u64) < steps % threads as u64 { 1 } else { 0 };
                     let seed = split_seed(base, t as u64 + 1);
+                    let failure = &failure;
                     scope.spawn(move || {
                         // Worker-lifetime span: each worker thread records
                         // into its own ring, so worker timelines land on
@@ -475,35 +562,52 @@ impl<'g> GemTrainer<'g> {
                         // only this worker's memory (see [`WorkerTables`]).
                         let tables = self.worker_tables();
                         let mut tally = StepTally::default();
-                        for i in 0..quota {
-                            // Workers share the global decay clock
-                            // approximately: worker `t` takes step indices
-                            // `chunk + t, chunk + t + threads, ...`, so the
-                            // workers jointly cover `chunk..chunk + steps`
-                            // and every index drives the learning-rate
-                            // schedule exactly once.
-                            let step_idx = chunk + t as u64 + i * threads as u64;
-                            tally.observe(self.step_impl(
-                                &mut rng,
-                                &mut bufs,
-                                &tables,
-                                step_idx,
-                                &mut NoProf,
-                            ));
-                            if tally.steps == TALLY_FLUSH {
-                                tally.flush_into(&self.metrics);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            for i in 0..quota {
+                                // Workers share the global decay clock
+                                // approximately: worker `t` takes step
+                                // indices `chunk + t, chunk + t + threads,
+                                // ...`, so the workers jointly cover
+                                // `chunk..chunk + steps` and every index
+                                // drives the learning-rate schedule exactly
+                                // once.
+                                let step_idx = chunk + t as u64 + i * threads as u64;
+                                tally.observe(self.step_impl(
+                                    &mut rng,
+                                    &mut bufs,
+                                    &tables,
+                                    step_idx,
+                                    &mut NoProf,
+                                ));
+                                if tally.steps == TALLY_FLUSH {
+                                    tally.flush_into(&self.metrics);
+                                    if faults::should_fail("train.worker_panic") {
+                                        panic!("injected fault: train.worker_panic");
+                                    }
+                                }
+                            }
+                        }));
+                        tally.flush_into(&self.metrics);
+                        if let Err(payload) = result {
+                            let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
+                            if slot.is_none() {
+                                *slot = Some((t, panic_message(payload.as_ref())));
                             }
                         }
-                        tally.flush_into(&self.metrics);
                     });
                 }
             });
+        }
+        if let Some((worker, message)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            self.poisoned.store(true, Ordering::Relaxed);
+            return Err(TrainError::WorkerPanicked { worker, message });
         }
         self.steps_done.fetch_add(steps, Ordering::Relaxed);
         let elapsed = started.elapsed().as_secs_f64();
         if elapsed > 0.0 {
             self.metrics.steps_per_sec.set(steps as f64 / elapsed);
         }
+        Ok(())
     }
 
     /// Run `steps` single-thread gradient steps with per-phase timing.
@@ -668,7 +772,10 @@ impl<'g> GemTrainer<'g> {
             }
         };
         let graph = self.graphs[gi];
-        let edge_table = tables.edges[gi].as_ref().expect("non-empty graph has a table");
+        // Defensive skip instead of the former `expect`: construction keeps
+        // the "sampled graph has a table" invariant, but a missing table
+        // must degrade to a skipped step, never panic a Hogwild worker.
+        let edge_table = tables.edges[gi].as_ref()?;
 
         // Line 4: positive edge ∝ weight.
         let edge = graph.edges()[edge_table.sample(rng)];
@@ -821,6 +928,109 @@ impl<'g> GemTrainer<'g> {
         // rather than spin — the occasional positive-as-negative is noise
         // the objective tolerates.
         last
+    }
+
+    /// Snapshot everything a resumed run needs: the model matrices, the
+    /// step counter (which determines every future chunk's derived seed),
+    /// the master seed (for mismatch detection at restore time), and the
+    /// adaptive samplers' draw counters.
+    ///
+    /// Taken at a chunk boundary this is a *complete* description of a
+    /// single-thread run's future: per-chunk RNG streams are derived from
+    /// `(seed, steps_done)`, so nothing else needs to survive the crash.
+    /// The adaptive rankings themselves are not stored — they are a pure
+    /// function of the matrices and are rebuilt by
+    /// [`GemTrainer::resume_from`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            seed: self.config.seed,
+            steps: self.steps_done.load(Ordering::Relaxed),
+            adaptive_draws: std::array::from_fn(|i| {
+                self.adaptive[i / 2][i % 2].as_ref().map(|s| s.draws()).unwrap_or(0)
+            }),
+            model: self.model(),
+        }
+    }
+
+    /// Restore a checkpoint into this trainer and clear any panic poison:
+    /// matrices are overwritten, the step counter rewinds/advances to the
+    /// checkpointed value (so the next chunk derives the same seed the
+    /// crashed run would have), adaptive rankings are rebuilt from the
+    /// restored matrices and their draw counters continue the pre-crash
+    /// refresh cadence.
+    ///
+    /// # Errors
+    /// [`TrainError::Restore`] when the checkpoint belongs to a different
+    /// run: wrong seed, wrong dimension, or matrix shapes that do not match
+    /// this trainer's graphs.
+    pub fn resume_from(&self, ckpt: &Checkpoint) -> Result<(), TrainError> {
+        if ckpt.seed != self.config.seed {
+            return Err(TrainError::Restore("seed mismatch"));
+        }
+        if ckpt.model.dim != self.config.dim {
+            return Err(TrainError::Restore("dimension mismatch"));
+        }
+        let sources = [
+            &ckpt.model.users,
+            &ckpt.model.events,
+            &ckpt.model.regions,
+            &ckpt.model.time_slots,
+            &ckpt.model.words,
+        ];
+        // Validate every shape before touching any matrix: a partial
+        // restore would be worse than the failure it recovers from.
+        for (src, m) in sources.iter().zip(&self.embeddings.matrices) {
+            if src.len() != m.rows() * m.dim() {
+                return Err(TrainError::Restore("matrix shape mismatch"));
+            }
+        }
+        for (src, m) in sources.iter().zip(&self.embeddings.matrices) {
+            for row in 0..m.rows() {
+                m.write_row(row, &src[row * m.dim()..(row + 1) * m.dim()]);
+            }
+        }
+        self.steps_done.store(ckpt.steps, Ordering::Relaxed);
+        for (gi, per_graph) in self.adaptive.iter().enumerate() {
+            for (side, state) in per_graph.iter().enumerate() {
+                let Some(state) = state else { continue };
+                let kind = if side == 0 {
+                    self.graphs[gi].left_kind()
+                } else {
+                    self.graphs[gi].right_kind()
+                };
+                state.refresh_now(self.embeddings.of(kind));
+                state.set_draws(ckpt.adaptive_draws[gi * 2 + side]);
+            }
+        }
+        self.poisoned.store(false, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Run `steps` in `cadence`-sized chunks, writing a generation-numbered
+    /// checkpoint through `sink` after every chunk. Returns the last
+    /// committed generation.
+    ///
+    /// With `cadence >= steps` this is one [`GemTrainer::try_run`] call
+    /// plus a single end-of-run checkpoint — the identical RNG stream, so
+    /// the golden single-thread hash holds under checkpointing. Smaller
+    /// cadences chunk the stream exactly like back-to-back `run` calls.
+    pub fn run_checkpointed(
+        &self,
+        steps: u64,
+        threads: usize,
+        cadence: u64,
+        sink: &crate::checkpoint::Checkpointer,
+    ) -> Result<u64, TrainError> {
+        let cadence = cadence.max(1);
+        let mut remaining = steps;
+        let mut last_gen = 0u64;
+        while remaining > 0 {
+            let chunk = remaining.min(cadence);
+            self.try_run(chunk, threads)?;
+            last_gen = sink.save(&self.checkpoint())?;
+            remaining -= chunk;
+        }
+        Ok(last_gen)
     }
 
     /// Snapshot the current embeddings into an immutable scoring model.

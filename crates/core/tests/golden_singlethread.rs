@@ -81,3 +81,62 @@ fn kernel_paths_are_bit_identical_and_match_golden_hash() {
          If this is intentional, update GOLDEN_HASH and explain why in the commit."
     );
 }
+
+/// Checkpointing must be invisible to the training stream: a
+/// `run_checkpointed` call whose cadence covers the whole run is one
+/// `run`-identical chunk plus a checkpoint write, so it must reproduce the
+/// same golden hash — and the committed checkpoint must carry that exact
+/// model.
+#[test]
+fn checkpointed_run_preserves_the_golden_hash() {
+    let graphs = tiny_graphs();
+    let dir = std::env::temp_dir().join(format!("gem-golden-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sink = gem_core::Checkpointer::new(&dir).unwrap();
+
+    let trainer = GemTrainer::new(&graphs, golden_config()).unwrap();
+    let generation = trainer.run_checkpointed(GOLDEN_STEPS, 1, GOLDEN_STEPS, &sink).unwrap();
+    assert_eq!(generation, 1);
+
+    let h = model_hash(&trainer.model());
+    assert_eq!(h, GOLDEN_HASH, "checkpointing perturbed the single-thread stream: hash {h:#018x}");
+
+    // The generation on disk is the same model, bit for bit.
+    let loaded = sink.load_latest().unwrap().expect("checkpoint committed");
+    assert_eq!(model_hash(&loaded.checkpoint.model), GOLDEN_HASH);
+    assert_eq!(loaded.checkpoint.steps, GOLDEN_STEPS);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A run interrupted at a chunk boundary and resumed into a *fresh*
+/// trainer lands on the same model as the same trainer running both chunks
+/// back to back: per-chunk RNG streams derive from `(seed, steps_done)`,
+/// which the checkpoint restores. (Chunking itself reseeds per chunk, so
+/// the baseline is chunked identically.)
+#[test]
+fn resume_from_checkpoint_matches_uninterrupted_run() {
+    let graphs = tiny_graphs();
+    let half = GOLDEN_STEPS / 2;
+    let uninterrupted = GemTrainer::new(&graphs, golden_config()).unwrap();
+    uninterrupted.run(half, 1);
+    uninterrupted.run(GOLDEN_STEPS - half, 1);
+
+    let dir = std::env::temp_dir().join(format!("gem-golden-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sink = gem_core::Checkpointer::new(&dir).unwrap();
+    let first = GemTrainer::new(&graphs, golden_config()).unwrap();
+    first.run_checkpointed(half, 1, half, &sink).unwrap();
+    drop(first); // the "crash": the first trainer is gone
+
+    let resumed = GemTrainer::new(&graphs, golden_config()).unwrap();
+    let loaded = sink.resume_latest(&resumed).unwrap().expect("checkpoint present");
+    assert_eq!(loaded.checkpoint.steps, half);
+    resumed.run(GOLDEN_STEPS - half, 1);
+
+    assert_eq!(
+        model_hash(&resumed.model()),
+        model_hash(&uninterrupted.model()),
+        "resumed run diverged from the uninterrupted stream"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

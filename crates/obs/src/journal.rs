@@ -198,6 +198,10 @@ impl Journal {
     pub fn append(&mut self, record: &JournalRecord) {
         let mut line = record.to_json_line();
         line.push('\n');
+        if crate::faults::should_fail("journal.write") {
+            self.write_errors += 1;
+            return;
+        }
         match self.file.write_all(line.as_bytes()) {
             Ok(()) => self.lines += 1,
             Err(_) => self.write_errors += 1,

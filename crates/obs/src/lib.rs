@@ -18,6 +18,9 @@
 //!   *time-resolved* views the cumulative metrics cannot give;
 //! * [`Journal`] / [`JournalRecord`] — append-only JSONL time series (the
 //!   trainer's per-epoch convergence journal);
+//! * [`faults`] — a fail-point registry (env/test-armed, no-op when
+//!   disarmed) that makes crash paths in the rest of the workspace
+//!   deterministically testable;
 //! * [`json`] — a minimal JSON reader used as the in-repo oracle for all
 //!   of the above emitters.
 //!
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod export;
+pub mod faults;
 pub mod histogram;
 pub mod journal;
 pub mod json;
@@ -55,6 +59,7 @@ pub mod pad;
 pub mod registry;
 pub mod trace;
 
+pub use faults::FaultMode;
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use journal::{Journal, JournalRecord, JournalValue};
 pub use json::{JsonError, JsonValue};

@@ -8,13 +8,13 @@
 use crate::brute::{BruteForce, BruteScratch};
 use crate::metrics::EngineMetrics;
 use crate::prune::top_k_events_per_partner;
-use crate::ta::{TaIndex, TaScratch, TaStats};
+use crate::ta::{TaCompletion, TaIndex, TaScratch, TaStats};
 use crate::transform::TransformedSpace;
-use gem_core::GemModel;
+use gem_core::{Checkpointer, GemModel, PersistError};
 use gem_ebsn::{EventId, UserId};
 use gem_obs::Tracer;
 use rayon::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Span-tracing configuration for the serving path.
 ///
@@ -99,6 +99,37 @@ pub struct Recommendation {
     pub event: EventId,
     /// Eq. 8 ranking score.
     pub score: f32,
+}
+
+/// A deadline-bounded recommendation response: the (possibly pruned)
+/// ranking plus how the query finished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineRecommendations {
+    /// Recommendations in descending score order. Under
+    /// [`TaCompletion::Degraded`] this is a verified prefix of the exact
+    /// top-n — possibly shorter than requested, never wrong.
+    pub recommendations: Vec<Recommendation>,
+    /// TA work counters for this query.
+    pub stats: TaStats,
+    /// Whether the deadline expired before the search proved exactness.
+    pub completion: TaCompletion,
+}
+
+impl DeadlineRecommendations {
+    /// True when the deadline expired and the result was pruned.
+    pub fn is_degraded(&self) -> bool {
+        self.completion == TaCompletion::Degraded
+    }
+}
+
+/// Where [`RecommendationEngine::build_from_checkpoints`] got its model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointProvenance {
+    /// The checkpoint generation the serving model came from.
+    pub generation: u64,
+    /// Newer generations that were skipped because they failed validation
+    /// (torn write, checksum mismatch); empty on the happy path.
+    pub skipped: Vec<u64>,
 }
 
 /// Reusable per-thread serving state: the query vector, the TA working
@@ -211,6 +242,38 @@ impl RecommendationEngine {
         );
         metrics.build_candidate_pairs.set(space.len() as f64);
         Self { model, space, index, metrics, tracing }
+    }
+
+    /// Build the engine from the newest *valid* generation in a checkpoint
+    /// directory.
+    ///
+    /// Generations are tried newest-first: a torn or bit-flipped snapshot
+    /// (crashed trainer, partial copy) fails its checksum and is skipped in
+    /// favour of the previous generation, so serving comes up on the most
+    /// recent model that actually validates. The returned
+    /// [`CheckpointProvenance`] says which generation won and which were
+    /// skipped. Fails only when *no* generation validates (or the directory
+    /// is unreadable).
+    pub fn build_from_checkpoints(
+        checkpoints: &Checkpointer,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k_events: usize,
+        metrics: EngineMetrics,
+    ) -> Result<(Self, CheckpointProvenance), PersistError> {
+        let loaded = checkpoints
+            .load_latest()?
+            .ok_or(PersistError::Corrupt("no valid checkpoint generation"))?;
+        let provenance =
+            CheckpointProvenance { generation: loaded.generation, skipped: loaded.skipped };
+        let engine = Self::build_with_metrics(
+            loaded.checkpoint.model,
+            partners,
+            events,
+            top_k_events,
+            metrics,
+        );
+        Ok((engine, provenance))
     }
 
     /// The number of candidate pairs after pruning.
@@ -368,6 +431,68 @@ impl RecommendationEngine {
             }
         }
         Ok((recs, stats))
+    }
+
+    /// Deadline-bounded TA query: serve `user`'s top-`n` within `budget`.
+    ///
+    /// Allocates fresh scratch per call; serving loops should use
+    /// [`Self::try_recommend_deadline_with`].
+    pub fn try_recommend_deadline(
+        &self,
+        user: UserId,
+        n: usize,
+        budget: Duration,
+    ) -> Result<DeadlineRecommendations, ServeError> {
+        let mut scratch = ServeScratch::new();
+        self.try_recommend_deadline_with(user, n, budget, &mut scratch)
+    }
+
+    /// [`Self::try_recommend_deadline`] with caller-owned scratch.
+    ///
+    /// The search runs GEM-TA with a wall-clock deadline of
+    /// `now + budget`. If the threshold proof lands in time the result is
+    /// exact; otherwise the query returns early with the verified prefix of
+    /// the top-n computed so far, tagged [`TaCompletion::Degraded`] (see
+    /// [`TaIndex::top_n_deadline_with`] for the guarantee). Every call
+    /// counts into `serve.deadline_queries`; expiries additionally count
+    /// into `serve.degraded`, alongside the usual `serve.*` query metrics.
+    pub fn try_recommend_deadline_with(
+        &self,
+        user: UserId,
+        n: usize,
+        budget: Duration,
+        scratch: &mut ServeScratch,
+    ) -> Result<DeadlineRecommendations, ServeError> {
+        if user.index() >= self.model.num_users() {
+            self.metrics.invalid_users.inc();
+            return Err(ServeError::UnknownUser { user, num_users: self.model.num_users() });
+        }
+        let started = if self.metrics.enabled { Some(Instant::now()) } else { None };
+        let deadline = Instant::now() + budget;
+        TransformedSpace::query_vector_into(&self.model, user, &mut scratch.q);
+        let (results, stats, completion) = self.index.top_n_deadline_with(
+            &self.space,
+            &scratch.q,
+            n,
+            |p, _| p != user,
+            deadline,
+            &mut scratch.ta,
+        );
+        if let Some(t0) = started {
+            self.metrics.query_ns_ta.record_duration(t0.elapsed());
+            self.metrics.queries.inc();
+            self.metrics.deadline_queries.inc();
+            if completion == TaCompletion::Degraded {
+                self.metrics.degraded.inc();
+            }
+            self.metrics.ta_scored.add(stats.scored as u64);
+            self.metrics.ta_sorted_accesses.add(stats.sorted_accesses as u64);
+        }
+        let recommendations = results
+            .into_iter()
+            .map(|(score, partner, event)| Recommendation { partner, event, score })
+            .collect();
+        Ok(DeadlineRecommendations { recommendations, stats, completion })
     }
 
     /// Serve many users at once, fanning the queries out across threads.
@@ -537,6 +662,148 @@ mod tests {
         assert_eq!(snap.histogram("serve.query_ns.ta").unwrap().count, 2);
         assert!(snap.counter("serve.ta_scored") > 0);
         assert!(snap.gauge("build.candidate_pairs") > 0.0);
+    }
+
+    // --- deadline-degraded serving ---
+
+    fn big_engine(nu: u32, nx: u32) -> RecommendationEngine {
+        use rand::RngExt;
+        let dim = 8;
+        let mut rng = gem_sampling::rng_from_seed(41);
+        let users: Vec<f32> = (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let events: Vec<f32> = (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let partners: Vec<UserId> = (0..nu).map(UserId).collect();
+        let ev: Vec<EventId> = (0..nx).map(EventId).collect();
+        RecommendationEngine::build(model, &partners, &ev, nx as usize)
+    }
+
+    #[test]
+    fn generous_deadline_matches_exact_ta() {
+        let e = big_engine(60, 20);
+        for u in [0u32, 17, 59] {
+            let got = e.try_recommend_deadline(UserId(u), 10, Duration::from_secs(60)).unwrap();
+            let (exact, stats) = e.try_recommend(UserId(u), 10, Method::Ta).unwrap();
+            assert_eq!(got.completion, crate::TaCompletion::Exact, "u={u}");
+            assert!(!got.is_degraded());
+            assert_eq!(got.recommendations, exact, "u={u}");
+            assert_eq!(got.stats, stats, "u={u}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_a_prefix_of_the_exact_ranking() {
+        let e = big_engine(200, 60);
+        let mut degraded = 0;
+        for u in 0..10u32 {
+            let got = e.try_recommend_deadline(UserId(u), 20, Duration::ZERO).unwrap();
+            let (exact, _) = e.try_recommend(UserId(u), 20, Method::Ta).unwrap();
+            assert!(got.recommendations.len() <= exact.len(), "u={u}");
+            for (i, (g, x)) in got.recommendations.iter().zip(&exact).enumerate() {
+                assert!((g.score - x.score).abs() < 1e-5, "u={u} rank {i}: {g:?} vs {x:?}");
+            }
+            if got.is_degraded() {
+                degraded += 1;
+            } else {
+                assert_eq!(got.recommendations, exact, "u={u}");
+            }
+        }
+        assert!(degraded > 0, "zero budget never degraded a query on a 12k-pair space");
+    }
+
+    #[test]
+    fn deadline_queries_and_degradations_are_counted() {
+        let reg = gem_obs::MetricsRegistry::new();
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let e = RecommendationEngine::build_with_metrics(
+            model,
+            &partners,
+            &events,
+            2,
+            crate::EngineMetrics::register(&reg),
+        );
+        let mut degraded = 0u64;
+        for u in 0..3u32 {
+            let got = e.try_recommend_deadline(UserId(u), 3, Duration::from_secs(60)).unwrap();
+            degraded += got.is_degraded() as u64;
+        }
+        assert!(e.try_recommend_deadline(UserId(99), 3, Duration::from_secs(1)).is_err());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.deadline_queries"), 3);
+        assert_eq!(snap.counter("serve.degraded"), degraded);
+        assert_eq!(snap.counter("serve.queries"), 3);
+        assert_eq!(snap.counter("serve.invalid_users"), 1);
+    }
+
+    // --- engine construction from a checkpoint directory ---
+
+    fn scratch_ckpt_dir(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gem-engine-ckpt-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn build_from_checkpoints_serves_the_newest_valid_generation() {
+        use gem_core::{Checkpoint, Checkpointer};
+        let dir = scratch_ckpt_dir("fallback");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = Checkpointer::new(&dir).unwrap();
+        let model = toy_model();
+        let base =
+            Checkpoint { seed: 7, steps: 100, adaptive_draws: [0; 10], model: model.clone() };
+        let g1 = sink.save(&base).unwrap();
+        let g2 = sink.save(&Checkpoint { steps: 200, ..base.clone() }).unwrap();
+        assert_eq!((g1, g2), (1, 2));
+
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+
+        // Happy path: newest generation validates and serves.
+        let (engine, prov) = RecommendationEngine::build_from_checkpoints(
+            &sink,
+            &partners,
+            &events,
+            2,
+            EngineMetrics::disabled(),
+        )
+        .unwrap();
+        assert_eq!(prov, CheckpointProvenance { generation: 2, skipped: vec![] });
+        assert!(engine.try_recommend(UserId(0), 3, Method::Ta).is_ok());
+
+        // Tear the newest generation: construction falls back to gen 1.
+        let g2_path = dir.join("gen-000002.ckpt");
+        let len = std::fs::metadata(&g2_path).unwrap().len();
+        let bytes = std::fs::read(&g2_path).unwrap();
+        std::fs::write(&g2_path, &bytes[..len as usize / 2]).unwrap();
+        let (engine, prov) = RecommendationEngine::build_from_checkpoints(
+            &sink,
+            &partners,
+            &events,
+            2,
+            EngineMetrics::disabled(),
+        )
+        .unwrap();
+        assert_eq!(prov, CheckpointProvenance { generation: 1, skipped: vec![2] });
+        let (recs, _) = engine.try_recommend(UserId(0), 3, Method::Ta).unwrap();
+        assert!(!recs.is_empty());
+
+        // Tear every generation: construction reports failure, not panic.
+        let g1_path = dir.join("gen-000001.ckpt");
+        std::fs::write(&g1_path, b"GEMK").unwrap();
+        let result = RecommendationEngine::build_from_checkpoints(
+            &sink,
+            &partners,
+            &events,
+            2,
+            EngineMetrics::disabled(),
+        );
+        match result {
+            Err(gem_core::PersistError::Corrupt(_)) => {}
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("expected failure when no generation validates"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // --- span tracing: build phases + two-tier per-query spans ---

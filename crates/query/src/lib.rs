@@ -19,7 +19,11 @@
 //!    the correctness oracle for TA.
 //! 5. [`engine`] — the end-to-end [`RecommendationEngine`] facade, with a
 //!    fallible [`RecommendationEngine::try_recommend`] path for untrusted
-//!    request traffic.
+//!    request traffic, a deadline-bounded
+//!    [`RecommendationEngine::try_recommend_deadline`] path that degrades
+//!    to a verified prefix of the top-n instead of blowing its budget, and
+//!    [`RecommendationEngine::build_from_checkpoints`] which serves the
+//!    newest checkpoint generation that passes validation.
 //! 6. [`metrics`] — pre-registered gem-obs handles ([`EngineMetrics`]) for
 //!    per-query latency, TA work counters and build-phase timings; for
 //!    time-resolved views, [`RecommendationEngine::build_traced`] +
@@ -45,9 +49,10 @@ pub mod transform;
 
 pub use brute::{BruteForce, BruteScratch};
 pub use engine::{
-    Method, Recommendation, RecommendationEngine, ServeError, ServeScratch, ServeTracing,
+    CheckpointProvenance, DeadlineRecommendations, Method, Recommendation, RecommendationEngine,
+    ServeError, ServeScratch, ServeTracing,
 };
 pub use metrics::EngineMetrics;
 pub use prune::top_k_events_per_partner;
-pub use ta::{TaIndex, TaScratch, TaStats};
+pub use ta::{TaCompletion, TaIndex, TaScratch, TaStats};
 pub use transform::TransformedSpace;

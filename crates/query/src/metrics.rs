@@ -27,6 +27,11 @@ pub struct EngineMetrics {
     pub(crate) ta_sorted_accesses: Counter,
     /// `serve.invalid_users` — queries skipped for an out-of-range user.
     pub(crate) invalid_users: Counter,
+    /// `serve.deadline_queries` — queries served with a time budget.
+    pub(crate) deadline_queries: Counter,
+    /// `serve.degraded` — deadline queries that expired and returned a
+    /// pruned (verified-prefix) result instead of the exact top-n.
+    pub(crate) degraded: Counter,
     /// `build.prune_ns` — wall-clock of the pruning phase, last build.
     pub(crate) build_prune_ns: Gauge,
     /// `build.transform_ns` — wall-clock of the space transformation.
@@ -50,6 +55,8 @@ impl EngineMetrics {
             ta_scored: registry.counter("serve.ta_scored"),
             ta_sorted_accesses: registry.counter("serve.ta_sorted_accesses"),
             invalid_users: registry.counter("serve.invalid_users"),
+            deadline_queries: registry.counter("serve.deadline_queries"),
+            degraded: registry.counter("serve.degraded"),
             build_prune_ns: registry.gauge("build.prune_ns"),
             build_transform_ns: registry.gauge("build.transform_ns"),
             build_index_ns: registry.gauge("build.index_ns"),
@@ -67,6 +74,8 @@ impl EngineMetrics {
             ta_scored: Counter::disabled(),
             ta_sorted_accesses: Counter::disabled(),
             invalid_users: Counter::disabled(),
+            deadline_queries: Counter::disabled(),
+            degraded: Counter::disabled(),
             build_prune_ns: Gauge::disabled(),
             build_transform_ns: Gauge::disabled(),
             build_index_ns: Gauge::disabled(),
@@ -108,6 +117,8 @@ mod tests {
             "serve.ta_scored",
             "serve.ta_sorted_accesses",
             "serve.invalid_users",
+            "serve.deadline_queries",
+            "serve.degraded",
             "build.prune_ns",
             "build.transform_ns",
             "build.index_ns",

@@ -49,6 +49,7 @@ use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Offline part of the TA engine: pair groups (CSR) and the interaction
 /// list.
@@ -84,6 +85,19 @@ pub struct TaStats {
     pub scored: usize,
     /// Total sorted-access pops across the three lists.
     pub sorted_accesses: usize,
+}
+
+/// How a TA query finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaCompletion {
+    /// The threshold condition was met (or the lists ran dry): the result
+    /// is the exact top-n.
+    Exact,
+    /// A deadline expired mid-search. The result is a *verified prefix* of
+    /// the exact top-n — every returned pair provably beats all candidates
+    /// the search did not finish examining — but it may hold fewer than `n`
+    /// entries.
+    Degraded,
 }
 
 /// Reusable per-query working memory for [`TaIndex::top_n_with`].
@@ -333,14 +347,58 @@ impl TaIndex {
         space: &TransformedSpace,
         q: &[f32],
         n: usize,
-        mut filter: impl FnMut(UserId, EventId) -> bool,
+        filter: impl FnMut(UserId, EventId) -> bool,
         scratch: &mut TaScratch,
     ) -> (Vec<(f32, UserId, EventId)>, TaStats) {
+        let (results, stats, _) = self.search(space, q, n, filter, scratch, None);
+        (results, stats)
+    }
+
+    /// [`Self::top_n_with`] under a wall-clock deadline.
+    ///
+    /// If the threshold condition is met before `deadline`, the result is
+    /// the exact top-n ([`TaCompletion::Exact`]). If the deadline expires
+    /// first, the search stops and returns only the heap entries whose
+    /// score *strictly* exceeds the final threshold, tagged
+    /// [`TaCompletion::Degraded`]. That pruning makes the degraded result a
+    /// verified prefix of the exact top-n: the running heap always holds
+    /// the exact best of the candidates seen so far (its minimum is
+    /// monotone non-decreasing, so discarded candidates never beat it), and
+    /// the threshold upper-bounds every unseen candidate — so an entry
+    /// above the threshold beats everything the search did not finish
+    /// examining. The deadline is polled every few rounds, so the overrun
+    /// past `deadline` is bounded by a handful of O(1) score evaluations.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != space.dim()` or the index was built from a
+    /// space of a different size.
+    pub fn top_n_deadline_with(
+        &self,
+        space: &TransformedSpace,
+        q: &[f32],
+        n: usize,
+        filter: impl FnMut(UserId, EventId) -> bool,
+        deadline: Instant,
+        scratch: &mut TaScratch,
+    ) -> (Vec<(f32, UserId, EventId)>, TaStats, TaCompletion) {
+        self.search(space, q, n, filter, scratch, Some(deadline))
+    }
+
+    /// Shared TA core for the exact and deadline-bounded entry points.
+    fn search(
+        &self,
+        space: &TransformedSpace,
+        q: &[f32],
+        n: usize,
+        mut filter: impl FnMut(UserId, EventId) -> bool,
+        scratch: &mut TaScratch,
+        deadline: Option<Instant>,
+    ) -> (Vec<(f32, UserId, EventId)>, TaStats, TaCompletion) {
         assert_eq!(q.len(), space.dim(), "query dimensionality mismatch");
         assert_eq!(self.pairs, space.len(), "index was built from a space of different size");
         let mut stats = TaStats::default();
         if n == 0 || space.is_empty() {
-            return (Vec::new(), stats);
+            return (Vec::new(), stats, TaCompletion::Exact);
         }
         let k = space.k();
         let u = &q[0..k];
@@ -391,7 +449,29 @@ impl TaIndex {
         heap.clear();
         let c_value = |idx: u32| space.point(idx as usize)[2 * k];
 
+        // On deadline expiry this is set to the final threshold: only heap
+        // entries strictly above it are provably part of the exact top-n.
+        let mut completion = TaCompletion::Exact;
+        let mut cutoff = f32::NEG_INFINITY;
+        let mut round = 0u32;
+
         loop {
+            // Poll the clock every 8 rounds: one `Instant::now()` per ~24
+            // sorted accesses keeps the deadline overhead off the exact
+            // path's profile while bounding the overrun.
+            if let Some(d) = deadline {
+                round = round.wrapping_add(1);
+                if round.is_multiple_of(8) && Instant::now() >= d {
+                    let c_bound = if c_pos < self.by_interaction.len() {
+                        c_value(self.by_interaction[c_pos]) * q[2 * k]
+                    } else {
+                        f32::NEG_INFINITY
+                    };
+                    completion = TaCompletion::Degraded;
+                    cutoff = a_cursor.bound() + b_cursor.bound() + c_bound;
+                    break;
+                }
+            }
             let mut progressed = false;
             // One sorted access per list per round.
             for source in 0..3u8 {
@@ -450,13 +530,14 @@ impl TaIndex {
 
         let mut results: Vec<(f32, UserId, EventId)> = heap
             .drain()
+            .filter(|e| completion == TaCompletion::Exact || e.score > cutoff)
             .map(|e| {
                 let (p, x) = space.pair(e.idx as usize);
                 (e.score, p, x)
             })
             .collect();
         results.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2))));
-        (results, stats)
+        (results, stats, completion)
     }
 }
 
@@ -618,6 +699,86 @@ mod tests {
         for w in results.windows(2) {
             assert!(w[0].0 >= w[1].0);
         }
+    }
+
+    // --- deadline-degraded queries ---
+
+    #[test]
+    fn generous_deadline_gives_exact_results() {
+        let mut rng = gem_sampling::rng_from_seed(13);
+        let dim = 6;
+        let users: Vec<f32> = (0..40 * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let events: Vec<f32> = (0..20 * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let space = cross_space(&model, 40, 20);
+        let index = TaIndex::build(&space);
+        let mut scratch = TaScratch::new();
+        for u in [0u32, 11, 39] {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            let (bounded, stats_b, completion) = index.top_n_deadline_with(
+                &space,
+                &q,
+                8,
+                |p, _| p != UserId(u),
+                deadline,
+                &mut scratch,
+            );
+            let (exact, stats_e) = index.top_n(&space, &q, 8, |p, _| p != UserId(u));
+            assert_eq!(completion, TaCompletion::Exact, "u={u}");
+            assert_eq!(bounded, exact, "u={u}");
+            assert_eq!(stats_b, stats_e, "u={u}");
+        }
+    }
+
+    /// A deadline already in the past degrades almost immediately; whatever
+    /// comes back must be a prefix of the exact top-n (score-wise) and
+    /// strictly fewer random accesses than the exact search needed.
+    #[test]
+    fn expired_deadline_returns_verified_prefix() {
+        let mut rng = gem_sampling::rng_from_seed(29);
+        let dim = 8;
+        let nu = 200u32;
+        let nx = 60u32;
+        let users: Vec<f32> = (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let events: Vec<f32> = (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let space = cross_space(&model, nu, nx);
+        let index = TaIndex::build(&space);
+        let mut scratch = TaScratch::new();
+        let n = 20usize;
+        let mut degraded_seen = false;
+        for u in 0..10u32 {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            let deadline = std::time::Instant::now() - std::time::Duration::from_millis(1);
+            let (bounded, stats_b, completion) =
+                index.top_n_deadline_with(&space, &q, n, |_, _| true, deadline, &mut scratch);
+            let (exact, stats_e) = index.top_n(&space, &q, n, |_, _| true);
+            assert!(bounded.len() <= exact.len(), "u={u}");
+            for (i, (b, e)) in bounded.iter().zip(&exact).enumerate() {
+                assert!((b.0 - e.0).abs() < 1e-5, "u={u} rank {i}: degraded {b:?} vs exact {e:?}");
+            }
+            if completion == TaCompletion::Degraded {
+                degraded_seen = true;
+                assert!(stats_b.scored <= stats_e.scored, "u={u}");
+            } else {
+                assert_eq!(bounded, exact, "u={u}");
+            }
+        }
+        assert!(degraded_seen, "an already-expired deadline never degraded any query");
+    }
+
+    #[test]
+    fn deadline_with_empty_space_is_exact_and_empty() {
+        let model = toy_model();
+        let empty = TransformedSpace::build(&model, &[]);
+        let index = TaIndex::build(&empty);
+        let q = TransformedSpace::query_vector(&model, UserId(0));
+        let deadline = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let (results, _, completion) =
+            index.top_n_deadline_with(&empty, &q, 5, |_, _| true, deadline, &mut TaScratch::new());
+        assert!(results.is_empty());
+        assert_eq!(completion, TaCompletion::Exact);
     }
 
     #[test]

@@ -103,17 +103,19 @@ pub mod substrate {
 pub mod prelude {
     pub use gem_baselines::{Cbpf, CbpfConfig, CfaprE, Pcmf, PcmfConfig, PerConfig, PerModel};
     pub use gem_core::{
-        EventScorer, GemModel, GemTrainer, GraphChoice, NoiseKind, RectifyMode, SamplingDirection,
-        TrainConfig, TrainJournal, TrainerMetrics,
+        Checkpoint, Checkpointer, EventScorer, GemModel, GemTrainer, GraphChoice, LoadedCheckpoint,
+        NoiseKind, PersistError, RectifyMode, SamplingDirection, TrainConfig, TrainError,
+        TrainJournal, TrainerMetrics,
     };
     pub use gem_ebsn::{
         ChronoSplit, EbsnDataset, Event, EventId, GraphBuildConfig, GroundTruth, PartnerScenario,
         RegionId, SplitRatios, SynthConfig, TrainingGraphs, UserId, VenueId,
     };
     pub use gem_eval::{eval_event_rec, eval_partner_rec, sign_test, EvalConfig};
-    pub use gem_obs::{Journal, JournalRecord, MetricsRegistry, TraceSink, Tracer};
+    pub use gem_obs::{FaultMode, Journal, JournalRecord, MetricsRegistry, TraceSink, Tracer};
     pub use gem_query::{
-        EngineMetrics, Method, Recommendation, RecommendationEngine, ServeError, ServeTracing,
+        CheckpointProvenance, DeadlineRecommendations, EngineMetrics, Method, Recommendation,
+        RecommendationEngine, ServeError, ServeTracing, TaCompletion,
     };
 }
 
