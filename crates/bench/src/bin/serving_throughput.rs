@@ -581,6 +581,7 @@ fn main() {
             "  \"city\": \"Beijing\",\n",
             "  \"scale\": {scale},\n",
             "  \"serving_threads\": {threads},\n",
+            "{host},\n",
             "  \"engine\": {{\n",
             "    \"build_ms\": {build_ms:.3},\n",
             "    \"partners\": {partners},\n",
@@ -614,6 +615,7 @@ fn main() {
         ),
         scale = scale,
         threads = serving_threads,
+        host = gem_bench::host_json("  "),
         sweep_json = sweep_json.join(",\n"),
         build_ms = build_ms,
         partners = partners.len(),

@@ -233,6 +233,30 @@ impl Args {
     }
 }
 
+/// The `"host"` block shared by every `BENCH_*.json` the throughput
+/// benches write: thread budget and SIMD capability of the machine the
+/// numbers were measured on, so recorded results are interpretable later.
+///
+/// * `available_parallelism` — `std::thread::available_parallelism`
+///   (cgroup/affinity aware), `1` if unavailable;
+/// * `cpu_features` — what the hardware supports
+///   ([`gem_core::simd::cpu_feature_name`]): `"avx2"`, `"neon"` or
+///   `"scalar"`, ignoring `GEM_NO_SIMD` and test overrides;
+/// * `simd_backend` — the backend dispatch actually selected for this
+///   process (differs from `cpu_features` when SIMD is disabled).
+pub fn host_json(indent: &str) -> String {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!(
+        "{indent}\"host\": {{\n\
+         {indent}  \"available_parallelism\": {cores},\n\
+         {indent}  \"cpu_features\": \"{features}\",\n\
+         {indent}  \"simd_backend\": \"{backend}\"\n\
+         {indent}}}",
+        features = gem_core::simd::cpu_feature_name(),
+        backend = gem_core::simd::backend().name(),
+    )
+}
+
 /// Fixed-width table printing helpers.
 pub mod table {
     /// Print a header row followed by a separator.

@@ -38,6 +38,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod model;
 pub mod persist;
+pub mod simd;
 pub mod trainer;
 
 pub use adaptive::{AdaptiveState, ExactAdaptiveSampler, ExactScratch, RefreshObs};
@@ -50,4 +51,5 @@ pub use matrix::AtomicMatrix;
 pub use metrics::TrainerMetrics;
 pub use model::{EventScorer, GemModel};
 pub use persist::{load_model, save_model, PersistError};
+pub use simd::Backend as SimdBackend;
 pub use trainer::{GemTrainer, PhaseBreakdown, TrainProgress};

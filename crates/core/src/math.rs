@@ -1,12 +1,15 @@
 //! Small numeric kernels used by the trainer and the scorers.
 //!
-//! The hot kernels ([`dot`], [`axpy`], [`dot_batch`]) are written as
-//! unrolled loops over `chunks_exact(LANES)` blocks with independent
-//! accumulators. The shape matters: `chunks_exact` erases bounds checks,
-//! the fixed-width inner loop maps 1:1 onto SIMD lanes, and the multiple
-//! accumulators break the sequential floating-point dependency chain so
-//! LLVM can keep several vector FMAs in flight. No intrinsics, no
-//! `unsafe` — plain autovectorizable Rust.
+//! The hot kernels ([`dot`], [`axpy`], [`dot_batch`]) dispatch once per
+//! call (a relaxed one-byte load) to the explicit SIMD backend selected by
+//! [`crate::simd::backend`], falling back to the widened kernels
+//! ([`dot_widened`] et al.): unrolled loops over `chunks_exact(LANES)`
+//! blocks with independent accumulators. The widened shape matters:
+//! `chunks_exact` erases bounds checks, the fixed-width inner loop maps
+//! 1:1 onto SIMD lanes, and the multiple accumulators break the sequential
+//! floating-point dependency chain. The explicit AVX2/NEON kernels
+//! replicate that evaluation order exactly, so every path is bit-identical
+//! (proptested) and the widened kernels remain the exactness oracle.
 
 /// Unroll width of the vector kernels. Eight f32 lanes is one AVX2
 /// register (or two NEON registers), and small enough that the scalar
@@ -80,6 +83,37 @@ impl SigmoidLut {
         let lo = self.table[i];
         lo + (self.table[i + 1] - lo) * frac
     }
+
+    /// Batch `out[i] ≈ σ(xs[i])` through the active SIMD backend.
+    ///
+    /// On AVX2 the complete 8-lane blocks go through a gathered table
+    /// lookup that is bit-identical to [`SigmoidLut::value`] (clamped
+    /// tails and NaN propagation included); the remainder — and every
+    /// element on backends without a gather (NEON, scalar) — uses the
+    /// scalar lookup.
+    pub fn value_batch(&self, xs: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(xs.len(), out.len());
+        #[allow(unused_mut)]
+        let mut done = 0usize;
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Avx2 {
+                // SAFETY: AVX2 presence verified by the backend check; the
+                // table carries SIGMOID_LUT_SIZE + 1 knots as required.
+                done = unsafe {
+                    crate::simd::x86::sigmoid_lut_blocks(
+                        &self.table[..],
+                        SIGMOID_LUT_RANGE,
+                        xs,
+                        out,
+                    )
+                };
+            }
+        }
+        for (o, &x) in out[done..].iter_mut().zip(&xs[done..]) {
+            *o = self.value(x);
+        }
+    }
 }
 
 impl Default for SigmoidLut {
@@ -94,9 +128,32 @@ impl std::fmt::Debug for SigmoidLut {
     }
 }
 
-/// Dense dot product, unrolled over [`LANES`] independent accumulators.
+/// Dense dot product: [`dot_widened`] semantics through the active SIMD
+/// backend (bit-identical on every path).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::backend() == crate::simd::Backend::Avx2 {
+            // SAFETY: AVX2 presence verified by the runtime backend check.
+            return unsafe { crate::simd::x86::dot(a, b) };
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if crate::simd::backend() == crate::simd::Backend::Neon {
+            // SAFETY: NEON is baseline on aarch64; backend check passed.
+            return unsafe { crate::simd::neon::dot(a, b) };
+        }
+    }
+    dot_widened(a, b)
+}
+
+/// Dense dot product, unrolled over [`LANES`] independent accumulators —
+/// the autovectorizable no-`unsafe` kernel, kept as the bit-exactness
+/// oracle for the explicit SIMD paths.
+#[inline]
+pub fn dot_widened(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; LANES];
     let mut blocks_a = a.chunks_exact(LANES);
@@ -121,9 +178,33 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc[0] + tail
 }
 
-/// `out += scale * v` (axpy), unrolled into [`LANES`]-wide blocks.
+/// `out += scale * v` (axpy) through the active SIMD backend
+/// (bit-identical to [`axpy_widened`] on every path).
 #[inline]
 pub fn axpy(out: &mut [f32], v: &[f32], scale: f32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::backend() == crate::simd::Backend::Avx2 {
+            // SAFETY: AVX2 presence verified by the runtime backend check.
+            unsafe { crate::simd::x86::axpy(out, v, scale) };
+            return;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if crate::simd::backend() == crate::simd::Backend::Neon {
+            // SAFETY: NEON is baseline on aarch64; backend check passed.
+            unsafe { crate::simd::neon::axpy(out, v, scale) };
+            return;
+        }
+    }
+    axpy_widened(out, v, scale)
+}
+
+/// `out += scale * v` (axpy), unrolled into [`LANES`]-wide blocks — the
+/// widened oracle kernel (see [`dot_widened`]).
+#[inline]
+pub fn axpy_widened(out: &mut [f32], v: &[f32], scale: f32) {
     debug_assert_eq!(out.len(), v.len());
     let mut blocks_out = out.chunks_exact_mut(LANES);
     let mut blocks_v = v.chunks_exact(LANES);
@@ -149,8 +230,38 @@ pub fn dot_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
     let dim = q.len();
     debug_assert!(dim > 0, "query dimension must be positive");
     debug_assert_eq!(rows.len(), dim * out.len());
+    // One backend check for the whole batch, not one per row.
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::backend() == crate::simd::Backend::Avx2 {
+            for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+                // SAFETY: AVX2 presence verified by the backend check.
+                *o = unsafe { crate::simd::x86::dot(q, row) };
+            }
+            return;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if crate::simd::backend() == crate::simd::Backend::Neon {
+            for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+                // SAFETY: NEON is baseline on aarch64.
+                *o = unsafe { crate::simd::neon::dot(q, row) };
+            }
+            return;
+        }
+    }
+    dot_batch_widened(q, rows, out)
+}
+
+/// [`dot_batch`] through the widened oracle kernel only.
+#[inline]
+pub fn dot_batch_widened(q: &[f32], rows: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    debug_assert!(dim > 0, "query dimension must be positive");
+    debug_assert_eq!(rows.len(), dim * out.len());
     for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
-        *o = dot(q, row);
+        *o = dot_widened(q, row);
     }
 }
 
@@ -316,6 +427,71 @@ mod tests {
                 let lut = SigmoidLut::new();
                 let err = (lut.value(x) - sigmoid(x)).abs();
                 prop_assert!(err < 1e-3, "x={x}: error {err}");
+            }
+
+            /// The batched (SIMD-gather) LUT evaluation must be bitwise
+            /// identical to a scalar `value` loop — clamped tails, interior
+            /// interpolation and NaN propagation alike.
+            #[test]
+            fn lut_batch_is_bitwise_value_loop(
+                xs in prop::collection::vec(-20.0f32..20.0, 1..40),
+                nan_at in 0usize..80,
+            ) {
+                let mut xs = xs;
+                // Roughly half the cases plant a NaN somewhere in the batch.
+                if nan_at < xs.len() {
+                    xs[nan_at] = f32::NAN;
+                }
+                let lut = SigmoidLut::new();
+                let mut batch = vec![0.0f32; xs.len()];
+                lut.value_batch(&xs, &mut batch);
+                for (i, &x) in xs.iter().enumerate() {
+                    prop_assert_eq!(
+                        batch[i].to_bits(),
+                        lut.value(x).to_bits(),
+                        "index {} (x={})", i, x
+                    );
+                }
+            }
+        }
+    }
+
+    mod simd_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The AVX2 `dot`/`axpy` kernels, called directly (bypassing
+            /// the runtime dispatcher), must be bit-identical to the
+            /// widened kernels at dims 1..=64 — every lane-remainder class.
+            /// Skipped on hosts without AVX2.
+            #[test]
+            fn avx2_dot_axpy_match_widened_bitwise(
+                case in (1usize..65).prop_flat_map(|dim| (
+                    prop::collection::vec(-1e3f32..1e3, dim..dim + 1),
+                    prop::collection::vec(-1e3f32..1e3, dim..dim + 1),
+                    -8.0f32..8.0,
+                )),
+            ) {
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let (a, b, scale) = case;
+                    // SAFETY: AVX2 presence checked above; equal lengths.
+                    let simd = unsafe { crate::simd::x86::dot(&a, &b) };
+                    prop_assert_eq!(simd.to_bits(), dot_widened(&a, &b).to_bits());
+
+                    let mut out_simd = b.clone();
+                    let mut out_wide = b.clone();
+                    // SAFETY: as above.
+                    unsafe { crate::simd::x86::axpy(&mut out_simd, &a, scale) };
+                    axpy_widened(&mut out_wide, &a, scale);
+                    prop_assert_eq!(
+                        out_simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        out_wide.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                let _ = case;
             }
         }
     }

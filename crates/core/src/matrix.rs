@@ -67,9 +67,33 @@ impl AtomicMatrix {
         &self.data[base..base + self.dim]
     }
 
-    /// Copy a row into `buf`, in [`LANES`]-wide unrolled blocks.
+    /// Copy a row into `buf` through the active SIMD backend
+    /// (bit-identical to [`AtomicMatrix::read_row_widened`] on every path).
     #[inline]
     pub fn read_row(&self, row: usize, buf: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Avx2 {
+                // SAFETY: AVX2 presence verified by the backend check.
+                unsafe { crate::simd::x86::read_row(self.row_slots(row), buf) };
+                return;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Neon {
+                // SAFETY: NEON is baseline on aarch64.
+                unsafe { crate::simd::neon::read_row(self.row_slots(row), buf) };
+                return;
+            }
+        }
+        self.read_row_widened(row, buf)
+    }
+
+    /// Copy a row into `buf`, in [`LANES`]-wide unrolled blocks — the
+    /// widened oracle kernel behind [`AtomicMatrix::read_row`].
+    #[inline]
+    pub fn read_row_widened(&self, row: usize, buf: &mut [f32]) {
         debug_assert_eq!(buf.len(), self.dim);
         let src = self.row_slots(row);
         let mut blocks_s = src.chunks_exact(LANES);
@@ -103,7 +127,29 @@ impl AtomicMatrix {
 
     /// Copy a row into `buf` *and* return its dot product with `other`, in
     /// one pass over the row — the fused fetch of the trainer's negative
-    /// loop (`read_row` + `math::dot` touched every element twice).
+    /// loop, through the active SIMD backend (bit-identical to
+    /// [`AtomicMatrix::read_row_dot_widened`] on every path).
+    #[inline]
+    pub fn read_row_dot(&self, row: usize, other: &[f32], buf: &mut [f32]) -> f32 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Avx2 {
+                // SAFETY: AVX2 presence verified by the backend check.
+                return unsafe { crate::simd::x86::read_row_dot(self.row_slots(row), other, buf) };
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Neon {
+                // SAFETY: NEON is baseline on aarch64.
+                return unsafe { crate::simd::neon::read_row_dot(self.row_slots(row), other, buf) };
+            }
+        }
+        self.read_row_dot_widened(row, other, buf)
+    }
+
+    /// Widened fused fetch (`read_row` + `math::dot` touched every element
+    /// twice; this is one pass).
     ///
     /// The accumulation order (eight lane accumulators, pairwise tree
     /// reduction, scalar tail) replicates [`crate::math::dot`] exactly, so
@@ -111,7 +157,7 @@ impl AtomicMatrix {
     /// `read_row(r, buf); dot(o, buf)` — the property the single-thread
     /// golden regression test pins down.
     #[inline]
-    pub fn read_row_dot(&self, row: usize, other: &[f32], buf: &mut [f32]) -> f32 {
+    pub fn read_row_dot_widened(&self, row: usize, other: &[f32], buf: &mut [f32]) -> f32 {
         debug_assert_eq!(buf.len(), self.dim);
         debug_assert_eq!(other.len(), self.dim);
         let src = self.row_slots(row);
@@ -145,10 +191,34 @@ impl AtomicMatrix {
     }
 
     /// `row += scale · delta`, then rectify (clamp at 0) — the fused
-    /// update-and-ReLU projection of Eq. 5, in [`LANES`]-wide unrolled
-    /// blocks. Racy read-modify-write by design.
+    /// update-and-ReLU projection of Eq. 5, through the active SIMD
+    /// backend. Racy read-modify-write by design; bit-identical to
+    /// [`AtomicMatrix::add_scaled_relu_widened`] on every path.
     #[inline]
     pub fn add_scaled_relu(&self, row: usize, delta: &[f32], scale: f32) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Avx2 {
+                // SAFETY: AVX2 presence verified by the backend check.
+                unsafe { crate::simd::x86::add_scaled_relu(self.row_slots(row), delta, scale) };
+                return;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Neon {
+                // SAFETY: NEON is baseline on aarch64.
+                unsafe { crate::simd::neon::add_scaled_relu(self.row_slots(row), delta, scale) };
+                return;
+            }
+        }
+        self.add_scaled_relu_widened(row, delta, scale)
+    }
+
+    /// Widened fused update-and-ReLU, in [`LANES`]-wide unrolled blocks —
+    /// the oracle kernel behind [`AtomicMatrix::add_scaled_relu`].
+    #[inline]
+    pub fn add_scaled_relu_widened(&self, row: usize, delta: &[f32], scale: f32) {
         debug_assert_eq!(delta.len(), self.dim);
         let dst = self.row_slots(row);
         let mut blocks_d = dst.chunks_exact(LANES);
@@ -165,10 +235,34 @@ impl AtomicMatrix {
         }
     }
 
-    /// `row += scale · delta` without the rectifier (ablation path), in
-    /// [`LANES`]-wide unrolled blocks.
+    /// `row += scale · delta` without the rectifier (ablation path),
+    /// through the active SIMD backend (bit-identical to
+    /// [`AtomicMatrix::add_scaled_widened`] on every path).
     #[inline]
     pub fn add_scaled(&self, row: usize, delta: &[f32], scale: f32) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Avx2 {
+                // SAFETY: AVX2 presence verified by the backend check.
+                unsafe { crate::simd::x86::add_scaled(self.row_slots(row), delta, scale) };
+                return;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if crate::simd::backend() == crate::simd::Backend::Neon {
+                // SAFETY: NEON is baseline on aarch64.
+                unsafe { crate::simd::neon::add_scaled(self.row_slots(row), delta, scale) };
+                return;
+            }
+        }
+        self.add_scaled_widened(row, delta, scale)
+    }
+
+    /// Widened un-rectified update, in [`LANES`]-wide unrolled blocks —
+    /// the oracle kernel behind [`AtomicMatrix::add_scaled`].
+    #[inline]
+    pub fn add_scaled_widened(&self, row: usize, delta: &[f32], scale: f32) {
         debug_assert_eq!(delta.len(), self.dim);
         let dst = self.row_slots(row);
         let mut blocks_d = dst.chunks_exact(LANES);
@@ -382,6 +476,18 @@ mod proptests {
         })
     }
 
+    /// Same shape as `row_and_delta` but out to dim 64, so the SIMD lane
+    /// count (8) sees every remainder class several times over.
+    fn simd_row_and_delta() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, f32)> {
+        (1usize..65).prop_flat_map(|dim| {
+            (
+                prop::collection::vec(-1e3f32..1e3, dim..dim + 1),
+                prop::collection::vec(-1e3f32..1e3, dim..dim + 1),
+                -8.0f32..8.0,
+            )
+        })
+    }
+
     proptest! {
         /// Each unrolled row op must be bit-identical to its scalar
         /// reference, including the `dim % LANES` tail, and must never
@@ -430,6 +536,67 @@ mod proptests {
                 b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             );
             prop_assert!(guards_intact(&m_fast));
+        }
+
+        /// The AVX2 row kernels must be bit-identical to the widened
+        /// no-intrinsics kernels at every `dim % 8` tail case (dims 1..64),
+        /// and must never touch neighbouring rows. Called *directly* (not
+        /// through the runtime dispatcher) so this holds regardless of the
+        /// process-global backend override; skipped on non-AVX2 hosts.
+        #[test]
+        fn avx2_row_ops_match_widened_bitwise(case in simd_row_and_delta()) {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let (vals, delta, scale) = case;
+                let dim = vals.len();
+
+                // read_row: simd ≡ widened.
+                let m = three_row_matrix(&vals);
+                let mut fast = vec![0.0f32; dim];
+                let mut reference = vec![0.0f32; dim];
+                // SAFETY: AVX2 presence checked above; slices are same-length.
+                unsafe { crate::simd::x86::read_row(m.row_slots(1), &mut fast) };
+                m.read_row_widened(1, &mut reference);
+                prop_assert_eq!(&fast, &reference);
+
+                // read_row_dot: simd ≡ widened (value and buffer).
+                let mut fast_buf = vec![0.0f32; dim];
+                let mut ref_buf = vec![0.0f32; dim];
+                // SAFETY: as above.
+                let fused =
+                    unsafe { crate::simd::x86::read_row_dot(m.row_slots(1), &delta, &mut fast_buf) };
+                let split = m.read_row_dot_widened(1, &delta, &mut ref_buf);
+                prop_assert_eq!(&fast_buf, &ref_buf);
+                prop_assert_eq!(fused.to_bits(), split.to_bits());
+
+                // add_scaled: simd ≡ widened (bitwise), guards intact.
+                let m_fast = three_row_matrix(&vals);
+                let m_ref = three_row_matrix(&vals);
+                // SAFETY: as above.
+                unsafe { crate::simd::x86::add_scaled(m_fast.row_slots(1), &delta, scale) };
+                m_ref.add_scaled_widened(1, &delta, scale);
+                let (a, b) = (m_fast.snapshot(), m_ref.snapshot());
+                prop_assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+                prop_assert!(guards_intact(&m_fast));
+
+                // add_scaled_relu: simd ≡ widened (bitwise), guards intact.
+                let m_fast = three_row_matrix(&vals);
+                let m_ref = three_row_matrix(&vals);
+                // SAFETY: as above.
+                unsafe { crate::simd::x86::add_scaled_relu(m_fast.row_slots(1), &delta, scale) };
+                m_ref.add_scaled_relu_widened(1, &delta, scale);
+                let (a, b) = (m_fast.snapshot(), m_ref.snapshot());
+                prop_assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+                prop_assert!(guards_intact(&m_fast));
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            let _ = case;
         }
 
         /// The fused fetch must equal read-then-dot bit-for-bit (same lane

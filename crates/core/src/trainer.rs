@@ -19,14 +19,15 @@ use crate::checkpoint::Checkpoint;
 use crate::config::{GraphChoice, NoiseKind, RectifyMode, SamplingDirection, TrainConfig};
 use crate::error::TrainError;
 use crate::journal::TrainJournal;
-use crate::math::{axpy, dot, sigmoid, SigmoidLut};
+use crate::math::{axpy, axpy_widened, dot_widened, sigmoid, SigmoidLut};
 use crate::matrix::AtomicMatrix;
 use crate::metrics::TrainerMetrics;
 use crate::model::GemModel;
 use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
 use gem_obs::{faults, CachePadded, Tracer};
 use gem_sampling::{
-    rng_from_seed, split_seed, AliasError, AliasTable, DegreeNoise, GaussianSampler, SeededRng,
+    rng_from_seed, split_seed, AliasError, AliasTable, AliasView, DegreeNoise, GaussianSampler,
+    SeededRng,
 };
 use rand::RngExt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -104,6 +105,9 @@ pub struct GemTrainer<'g> {
     /// Precomputed sigmoid table (used when `config.sigmoid_lut`);
     /// read-only, shared by all workers.
     lut: SigmoidLut,
+    /// Kernel route resolved from `config.reference_kernels` /
+    /// `config.simd` at construction, so the hot loop never re-derives it.
+    kernels: KernelPath,
     /// Padded: bumped at the end of every `run`, and sharing a line with
     /// the read-mostly fields above would drag them along on every bump.
     steps_done: CachePadded<AtomicU64>,
@@ -117,23 +121,155 @@ pub struct GemTrainer<'g> {
     tracer: Tracer,
 }
 
-/// Per-worker private copies of the positive-edge sampling tables.
+/// Per-worker handles onto the positive-edge sampling tables: borrowed,
+/// allocation-free [`AliasView`]s of one shared immutable copy.
 ///
-/// The graph- and edge-alias probability arrays are read on *every* step by
-/// *every* worker. They are never written after construction, but on most
-/// CPUs a shared read-mostly line still costs cross-core traffic whenever
-/// it is evicted by the (heavily written) embedding rows around it; cloning
-/// the small arrays per worker makes positive-edge sampling entirely
-/// core-local. Built via [`AliasTable::view`]`.to_table()` deep copies.
-struct WorkerTables {
-    graph: AliasTable,
-    edges: [Option<AliasTable>; 5],
+/// The graph- and edge-alias probability arrays are read on *every* step
+/// by *every* worker but never written after construction, so sharing is
+/// safe and a view samples with the *identical* RNG draw sequence as the
+/// owning table (pinned by a gem-sampling test). Earlier revisions
+/// deep-copied the arrays per worker to keep the read-mostly lines
+/// core-local; at the million-user tier those copies dominate per-thread
+/// memory (an alias table is 12 bytes per edge), so workers now share one
+/// copy — read-only lines replicate in every core's cache anyway.
+struct WorkerTables<'a> {
+    graph: AliasView<'a>,
+    edges: [Option<AliasView<'a>>; 5],
 }
 
 /// Steps between flushes of a worker-local tally into the shared counters.
 /// Large enough that the shared atomics see no contention, small enough
 /// that `train.steps` tracks Hogwild progress while a run is in flight.
+/// Sharded mode reuses this as its merge-window length, so tally flushes,
+/// fail-point checks and merges share one cadence.
 const TALLY_FLUSH: u64 = 4096;
+
+/// Seed-derivation salt for sharded merge windows, distinct from the
+/// `0x5EED` Hogwild chunk salt so the two modes never share RNG streams.
+const SHARD_SEED_SALT: u64 = 0x5AA3D;
+
+/// Which row/vector kernel implementations a trainer routes through,
+/// resolved once at construction from `TrainConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelPath {
+    /// Scalar per-element `*_ref` kernels (`reference_kernels`): the
+    /// pre-widening baseline the throughput bench measures against.
+    Reference,
+    /// Widened no-intrinsics kernels only (`simd: false`), regardless of
+    /// the process-global SIMD backend.
+    Widened,
+    /// The dispatching kernels: explicit SIMD when
+    /// [`crate::simd::backend`] reports a non-scalar backend, widened
+    /// otherwise. The default.
+    Auto,
+}
+
+/// Destination of the row updates one SGD step produces: applied directly
+/// to the shared matrices (classic Hogwild) or recorded into a per-worker
+/// log for deterministic end-of-window merging (sharded mode). Compile-time
+/// generic like [`StepProf`], so the Hogwild hot loop pays nothing for the
+/// indirection.
+trait UpdateSink {
+    /// Deliver `matrix[kind][row] += scale * delta` (with the trainer's
+    /// rectifier policy; `positive` tells [`crate::RectifyMode::PositivesOnly`]
+    /// which updates to project).
+    fn apply(
+        &mut self,
+        trainer: &GemTrainer<'_>,
+        kind: usize,
+        row: usize,
+        delta: &[f32],
+        scale: f32,
+        positive: bool,
+    );
+}
+
+/// Classic Hogwild: updates land in the shared matrices immediately.
+struct DirectApply;
+
+impl UpdateSink for DirectApply {
+    #[inline]
+    fn apply(
+        &mut self,
+        trainer: &GemTrainer<'_>,
+        kind: usize,
+        row: usize,
+        delta: &[f32],
+        scale: f32,
+        positive: bool,
+    ) {
+        trainer.apply(&trainer.embeddings.matrices[kind], row, delta, scale, positive);
+    }
+}
+
+/// One logged row update; its `dim` prescaled f32s live in
+/// [`UpdateLog::data`] at `entry_index * dim`.
+struct LogEntry {
+    /// Step offset within the merge window. Global step order for replay
+    /// is ascending offset, then push order within an offset.
+    offset: u32,
+    /// Row index in the target matrix.
+    row: u32,
+    /// `kind_idx` of the target matrix.
+    kind: u8,
+    /// Whether the rectifier projection applies to this update (resolved
+    /// at log time so replay needs no policy context).
+    relu: bool,
+}
+
+/// A worker's private update log for one sharded merge window.
+///
+/// Deltas are stored *prescaled* (`scale * delta[k]`): the prescale is the
+/// same IEEE multiply the direct kernel would perform, and replay adds the
+/// stored value with scale 1.0 (`1.0 * p == p` for every f32, NaN and −0.0
+/// included), so a replayed update is bit-identical to a direct one
+/// applied to the same row contents.
+#[derive(Default)]
+struct UpdateLog {
+    meta: Vec<LogEntry>,
+    data: Vec<f32>,
+}
+
+impl UpdateLog {
+    fn clear(&mut self) {
+        self.meta.clear();
+        self.data.clear();
+    }
+}
+
+/// Sharded mode's sink: updates are recorded, not applied, so reads
+/// within a window see the window-start snapshot of the matrices.
+struct LogApply<'l> {
+    log: &'l mut UpdateLog,
+    /// Step offset within the window of the step currently executing.
+    offset: u32,
+}
+
+impl UpdateSink for LogApply<'_> {
+    #[inline]
+    fn apply(
+        &mut self,
+        trainer: &GemTrainer<'_>,
+        kind: usize,
+        row: usize,
+        delta: &[f32],
+        scale: f32,
+        positive: bool,
+    ) {
+        let project = match trainer.config.rectify {
+            RectifyMode::Full => true,
+            RectifyMode::PositivesOnly => positive,
+            RectifyMode::Off => false,
+        };
+        self.log.meta.push(LogEntry {
+            offset: self.offset,
+            row: row as u32,
+            kind: kind as u8,
+            relu: project,
+        });
+        self.log.data.extend(delta.iter().map(|&d| scale * d));
+    }
+}
 
 /// Best-effort string from a caught panic payload (`panic!` with a literal
 /// or a formatted message covers everything this crate can throw).
@@ -386,6 +522,13 @@ impl<'g> GemTrainer<'g> {
             Default::default()
         };
 
+        let kernels = if config.reference_kernels {
+            KernelPath::Reference
+        } else if config.simd {
+            KernelPath::Auto
+        } else {
+            KernelPath::Widened
+        };
         Ok(Self {
             config,
             graphs,
@@ -395,6 +538,7 @@ impl<'g> GemTrainer<'g> {
             noise_tables,
             adaptive,
             lut: SigmoidLut::new(),
+            kernels,
             steps_done: CachePadded::new(AtomicU64::new(0)),
             poisoned: AtomicBool::new(false),
             metrics: TrainerMetrics::disabled(),
@@ -402,14 +546,13 @@ impl<'g> GemTrainer<'g> {
         })
     }
 
-    /// Deep-copy the positive-edge sampling tables for one worker (see
-    /// [`WorkerTables`]).
-    fn worker_tables(&self) -> WorkerTables {
+    /// Borrow the shared positive-edge sampling tables for one worker (see
+    /// [`WorkerTables`] — views, not copies; the draw sequence is
+    /// identical either way).
+    fn worker_tables(&self) -> WorkerTables<'_> {
         WorkerTables {
-            graph: self.graph_table.view().to_table(),
-            edges: std::array::from_fn(|i| {
-                self.edge_tables[i].as_ref().map(|t| t.view().to_table())
-            }),
+            graph: self.graph_table.view(),
+            edges: std::array::from_fn(|i| self.edge_tables[i].as_ref().map(|t| t.view())),
         }
     }
 
@@ -501,6 +644,9 @@ impl<'g> GemTrainer<'g> {
             return Err(TrainError::Poisoned);
         }
         let threads = threads.max(1);
+        if self.config.sharded_updates {
+            return self.try_run_sharded(steps, threads);
+        }
         let started = std::time::Instant::now();
         let mut run_span = self.tracer.span("train.run", "train");
         run_span.arg("steps", steps);
@@ -524,6 +670,7 @@ impl<'g> GemTrainer<'g> {
                         &tables,
                         chunk + i,
                         &mut NoProf,
+                        &mut DirectApply,
                     ));
                     if tally.steps == TALLY_FLUSH {
                         tally.flush_into(&self.metrics);
@@ -578,6 +725,7 @@ impl<'g> GemTrainer<'g> {
                                     &tables,
                                     step_idx,
                                     &mut NoProf,
+                                    &mut DirectApply,
                                 ));
                                 if tally.steps == TALLY_FLUSH {
                                     tally.flush_into(&self.metrics);
@@ -610,11 +758,191 @@ impl<'g> GemTrainer<'g> {
         Ok(())
     }
 
+    /// Sharded (HogBatch-style) run behind `TrainConfig::sharded_updates`:
+    /// the `steps` are cut into [`TALLY_FLUSH`]-sized merge windows. Within
+    /// a window, step `j` (0-based window offset) runs on worker
+    /// `j % threads` with a *per-step* RNG derived from the window seed —
+    /// so the work a step performs depends only on `(seed, steps_done,
+    /// window, j)`, never on which worker ran it — and every row update is
+    /// logged, prescaled, instead of applied; all reads see the
+    /// window-start snapshot of the matrices. At the window boundary the
+    /// logs are replayed into the shared matrices in global step order,
+    /// partitioned over the threads by a deterministic `(kind, row)` hash
+    /// so each row's sequence is applied by exactly one merger.
+    ///
+    /// Net effect: the merged model is **bit-identical for every thread
+    /// count** (the sharded golden hash + subprocess determinism test pin
+    /// 1/2/4 threads to one hash) and hot rows stop ping-ponging between
+    /// cores mid-window — at the price of window-stale reads (one window =
+    /// one [`TALLY_FLUSH`] cadence, the same staleness order Hogwild
+    /// already tolerates). The adaptive sampler's refresh cadence remains
+    /// draw-count-based and is the one part not determinism-pinned across
+    /// thread counts (GEM-P/PTE configs are fully deterministic).
+    ///
+    /// Fail points, panic containment, poisoning and checkpoint semantics
+    /// match [`GemTrainer::try_run`]: the `train.worker_panic` fail point
+    /// is checked once per worker per window, a panicking worker poisons
+    /// the trainer (merged-but-unfinished windows are a half-applied chunk)
+    /// and the step counter only advances on full success.
+    fn try_run_sharded(&self, steps: u64, threads: usize) -> Result<(), TrainError> {
+        let started = std::time::Instant::now();
+        let mut run_span = self.tracer.span("train.run", "train");
+        run_span.arg("steps", steps);
+        run_span.arg("threads", threads as u64);
+        run_span.arg("sharded", 1);
+        self.metrics.workers.set(threads as f64);
+        let chunk = self.steps_done.load(Ordering::Relaxed);
+        let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        // Log arenas are reused across windows, so steady-state windows
+        // allocate nothing.
+        let mut logs: Vec<UpdateLog> = (0..threads).map(|_| UpdateLog::default()).collect();
+        let mut window_start = 0u64;
+        while window_start < steps {
+            let wlen = (steps - window_start).min(TALLY_FLUSH);
+            let wseed = split_seed(self.config.seed, SHARD_SEED_SALT ^ (chunk + window_start));
+            // Compute phase: workers log updates; shared rows are read-only.
+            if threads == 1 {
+                self.sharded_worker(
+                    0,
+                    1,
+                    wlen,
+                    wseed,
+                    chunk + window_start,
+                    &mut logs[0],
+                    &failure,
+                );
+            } else {
+                std::thread::scope(|scope| {
+                    for (t, log) in logs.iter_mut().enumerate() {
+                        let failure = &failure;
+                        scope.spawn(move || {
+                            self.sharded_worker(
+                                t,
+                                threads,
+                                wlen,
+                                wseed,
+                                chunk + window_start,
+                                log,
+                                failure,
+                            );
+                        });
+                    }
+                });
+            }
+            if failure.lock().unwrap_or_else(|e| e.into_inner()).is_some() {
+                // Don't merge a window whose logs may be truncated by a
+                // panic: the model keeps the window-start snapshot and the
+                // trainer is poisoned below.
+                break;
+            }
+            // Merge phase: replay in global step order, rows partitioned
+            // deterministically across mergers.
+            if threads == 1 {
+                self.replay_window(&logs, wlen, 1, 0);
+            } else {
+                std::thread::scope(|scope| {
+                    for me in 0..threads {
+                        let logs = &logs;
+                        scope.spawn(move || self.replay_window(logs, wlen, threads, me));
+                    }
+                });
+            }
+            window_start += wlen;
+        }
+        if let Some((worker, message)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            self.poisoned.store(true, Ordering::Relaxed);
+            return Err(TrainError::WorkerPanicked { worker, message });
+        }
+        self.steps_done.fetch_add(steps, Ordering::Relaxed);
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            self.metrics.steps_per_sec.set(steps as f64 / elapsed);
+        }
+        Ok(())
+    }
+
+    /// One worker's compute half of a sharded window: execute window
+    /// offsets `worker, worker + threads, …` with per-step derived RNGs,
+    /// logging updates into `log` (cleared first). Panics are contained
+    /// exactly like Hogwild workers'; the partial tally still flushes.
+    #[allow(clippy::too_many_arguments)]
+    fn sharded_worker(
+        &self,
+        worker: usize,
+        threads: usize,
+        wlen: u64,
+        wseed: u64,
+        window_base: u64,
+        log: &mut UpdateLog,
+        failure: &Mutex<Option<(usize, String)>>,
+    ) {
+        log.clear();
+        let mut bufs = StepBuffers::new(self.config.dim);
+        let tables = self.worker_tables();
+        let mut tally = StepTally::default();
+        let mut sink = LogApply { log, offset: 0 };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut j = worker as u64;
+            while j < wlen {
+                sink.offset = j as u32;
+                let mut rng = rng_from_seed(split_seed(wseed, j));
+                tally.observe(self.step_impl(
+                    &mut rng,
+                    &mut bufs,
+                    &tables,
+                    window_base + j,
+                    &mut NoProf,
+                    &mut sink,
+                ));
+                j += threads as u64;
+            }
+            // Window boundary: the same disarmed-cost fail-point cadence
+            // as the Hogwild tally flush (one check per ≤4096 steps).
+            if faults::should_fail("train.worker_panic") {
+                panic!("injected fault: train.worker_panic");
+            }
+        }));
+        tally.flush_into(&self.metrics);
+        if let Err(payload) = result {
+            let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some((worker, panic_message(payload.as_ref())));
+            }
+        }
+    }
+
+    /// Merge half of a sharded window: walk the window's offsets in order,
+    /// draining each offset's entries from the owning worker's log (push
+    /// order within an offset), and apply the entries this merger owns —
+    /// `(row * 5 + kind) % threads == me`. Every row's update sequence is
+    /// therefore applied by exactly one merger, in an order independent of
+    /// `threads`, which is what makes the merged model bit-identical
+    /// across thread counts.
+    fn replay_window(&self, logs: &[UpdateLog], wlen: u64, threads: usize, me: usize) {
+        let dim = self.config.dim;
+        let mut cursors = vec![0usize; logs.len()];
+        for j in 0..wlen as usize {
+            let t = j % logs.len();
+            let log = &logs[t];
+            let cur = &mut cursors[t];
+            while *cur < log.meta.len() && log.meta[*cur].offset == j as u32 {
+                let e = &log.meta[*cur];
+                if threads == 1 || (e.row as usize * 5 + e.kind as usize) % threads == me {
+                    let d = &log.data[*cur * dim..(*cur + 1) * dim];
+                    self.apply_logged(e.kind as usize, e.row as usize, d, e.relu);
+                }
+                *cur += 1;
+            }
+        }
+    }
+
     /// Run `steps` single-thread gradient steps with per-phase timing.
     ///
     /// Consumes the same seed stream as a single-thread [`GemTrainer::run`]
     /// over the same chunk, so profiling does not perturb determinism —
-    /// only wall-clock (timer reads are interleaved with the work).
+    /// only wall-clock (timer reads are interleaved with the work). Always
+    /// profiles the direct (Hogwild) update path; `sharded_updates` is
+    /// ignored here.
     pub fn run_profiled(&self, steps: u64) -> PhaseBreakdown {
         self.metrics.workers.set(1.0);
         let chunk = self.steps_done.load(Ordering::Relaxed);
@@ -626,7 +954,14 @@ impl<'g> GemTrainer<'g> {
         let mut tally = StepTally::default();
         for i in 0..steps {
             prof.begin();
-            tally.observe(self.step_impl(&mut rng, &mut bufs, &tables, chunk + i, &mut prof));
+            tally.observe(self.step_impl(
+                &mut rng,
+                &mut bufs,
+                &tables,
+                chunk + i,
+                &mut prof,
+                &mut DirectApply,
+            ));
             if tally.steps == TALLY_FLUSH {
                 tally.flush_into(&self.metrics);
             }
@@ -739,20 +1074,23 @@ impl<'g> GemTrainer<'g> {
     }
 
     /// One SGD step (Algorithm 2 lines 3–6). `t` is the global step index
-    /// used by the learning-rate schedule; `tables` is this worker's private
-    /// copy of the positive-edge sampling tables. Generic over the profiler
-    /// so [`GemTrainer::run`] (with [`NoProf`]) compiles to the bare loop.
+    /// used by the learning-rate schedule; `tables` is this worker's view
+    /// of the shared positive-edge sampling tables. Generic over the
+    /// profiler and the update sink so [`GemTrainer::run`] (with
+    /// [`NoProf`] and [`DirectApply`]) compiles to the bare Hogwild loop
+    /// while sharded windows (with [`LogApply`]) record updates instead.
     ///
     /// Returns `(graph index, positive-edge gradient coefficient)` for the
     /// metrics tally, or `None` when the step was skipped (uniform graph
     /// choice landing on an empty graph).
-    fn step_impl<P: StepProf>(
+    fn step_impl<P: StepProf, S: UpdateSink>(
         &self,
         rng: &mut SeededRng,
         bufs: &mut StepBuffers,
-        tables: &WorkerTables,
+        tables: &WorkerTables<'_>,
         t: u64,
         prof: &mut P,
+        sink: &mut S,
     ) -> Option<(usize, f32)> {
         // Line 3: pick a graph. Uniform choice may land on an empty graph;
         // skip it (proportional choice cannot, by construction).
@@ -783,16 +1121,28 @@ impl<'g> GemTrainer<'g> {
         let (lkind, rkind) = (graph.left_kind(), graph.right_kind());
         let (lmat, rmat) = (self.embeddings.of(lkind), self.embeddings.of(rkind));
 
-        // Positive-edge gradient coefficient: 1 - σ(vi·vj). The fast path
-        // fuses the vj read with the dot product (one pass over the row);
-        // both paths are bit-identical (golden regression test).
-        let g = if self.config.reference_kernels {
-            lmat.read_row_ref(edge.left as usize, &mut bufs.vi);
-            rmat.read_row_ref(edge.right as usize, &mut bufs.vj);
-            1.0 - self.sig(dot(&bufs.vi, &bufs.vj))
-        } else {
-            lmat.read_row(edge.left as usize, &mut bufs.vi);
-            1.0 - self.sig(rmat.read_row_dot(edge.right as usize, &bufs.vi, &mut bufs.vj))
+        // Positive-edge gradient coefficient: 1 - σ(vi·vj). The fast paths
+        // fuse the vj read with the dot product (one pass over the row);
+        // all three kernel routes are bit-identical (golden regression
+        // test + the SIMD equivalence proptests).
+        let g = match self.kernels {
+            KernelPath::Reference => {
+                lmat.read_row_ref(edge.left as usize, &mut bufs.vi);
+                rmat.read_row_ref(edge.right as usize, &mut bufs.vj);
+                1.0 - self.sig(dot_widened(&bufs.vi, &bufs.vj))
+            }
+            KernelPath::Widened => {
+                lmat.read_row_widened(edge.left as usize, &mut bufs.vi);
+                1.0 - self.sig(rmat.read_row_dot_widened(
+                    edge.right as usize,
+                    &bufs.vi,
+                    &mut bufs.vj,
+                ))
+            }
+            KernelPath::Auto => {
+                lmat.read_row(edge.left as usize, &mut bufs.vi);
+                1.0 - self.sig(rmat.read_row_dot(edge.right as usize, &bufs.vi, &mut bufs.vj))
+            }
         };
         bufs.grad_i.iter_mut().zip(&bufs.vj).for_each(|(o, &v)| *o = g * v);
         bufs.grad_j.iter_mut().zip(&bufs.vi).for_each(|(o, &v)| *o = g * v);
@@ -805,21 +1155,27 @@ impl<'g> GemTrainer<'g> {
         };
         let m = self.config.negatives;
 
+        let (lkid, rkid) = (kind_idx(lkind), kind_idx(rkind));
+
         // Right-side negatives (always, Eq. 3 and Eq. 4 share this term).
         for _ in 0..m {
             let k = self.draw_noise(gi, Side::Right, &bufs.vi, (edge.left, edge.right), rng);
             prof.sample();
             let Some(k) = k else { continue };
-            let s = if self.config.reference_kernels {
-                rmat.read_row_ref(k as usize, &mut bufs.vk);
-                self.sig(dot(&bufs.vi, &bufs.vk))
-            } else {
-                self.sig(rmat.read_row_dot(k as usize, &bufs.vi, &mut bufs.vk))
+            let s = match self.kernels {
+                KernelPath::Reference => {
+                    rmat.read_row_ref(k as usize, &mut bufs.vk);
+                    self.sig(dot_widened(&bufs.vi, &bufs.vk))
+                }
+                KernelPath::Widened => {
+                    self.sig(rmat.read_row_dot_widened(k as usize, &bufs.vi, &mut bufs.vk))
+                }
+                KernelPath::Auto => self.sig(rmat.read_row_dot(k as usize, &bufs.vi, &mut bufs.vk)),
             };
-            axpy(&mut bufs.grad_i, &bufs.vk, -s);
+            self.grad_axpy(&mut bufs.grad_i, &bufs.vk, -s);
             prof.fetch();
             // vk update: vk -= α σ(vi·vk) vi.
-            self.apply(rmat, k as usize, &bufs.vi, -alpha * s, false);
+            sink.apply(self, rkid, k as usize, &bufs.vi, -alpha * s, false);
             prof.update();
         }
 
@@ -829,24 +1185,30 @@ impl<'g> GemTrainer<'g> {
                 let k = self.draw_noise(gi, Side::Left, &bufs.vj, (edge.left, edge.right), rng);
                 prof.sample();
                 let Some(k) = k else { continue };
-                let s = if self.config.reference_kernels {
-                    lmat.read_row_ref(k as usize, &mut bufs.vk);
-                    self.sig(dot(&bufs.vk, &bufs.vj))
-                } else {
+                let s = match self.kernels {
+                    KernelPath::Reference => {
+                        lmat.read_row_ref(k as usize, &mut bufs.vk);
+                        self.sig(dot_widened(&bufs.vk, &bufs.vj))
+                    }
                     // dot(vk, vj) == dot(vj, vk) bitwise: IEEE-754 multiply
                     // is commutative and the reduction shape is fixed.
-                    self.sig(lmat.read_row_dot(k as usize, &bufs.vj, &mut bufs.vk))
+                    KernelPath::Widened => {
+                        self.sig(lmat.read_row_dot_widened(k as usize, &bufs.vj, &mut bufs.vk))
+                    }
+                    KernelPath::Auto => {
+                        self.sig(lmat.read_row_dot(k as usize, &bufs.vj, &mut bufs.vk))
+                    }
                 };
-                axpy(&mut bufs.grad_j, &bufs.vk, -s);
+                self.grad_axpy(&mut bufs.grad_j, &bufs.vk, -s);
                 prof.fetch();
-                self.apply(lmat, k as usize, &bufs.vj, -alpha * s, false);
+                sink.apply(self, lkid, k as usize, &bufs.vj, -alpha * s, false);
                 prof.update();
             }
         }
 
         // Apply Eq. 5 to the positive pair with the rectifier projection.
-        self.apply(lmat, edge.left as usize, &bufs.grad_i, alpha, true);
-        self.apply(rmat, edge.right as usize, &bufs.grad_j, alpha, true);
+        sink.apply(self, lkid, edge.left as usize, &bufs.grad_i, alpha, true);
+        sink.apply(self, rkid, edge.right as usize, &bufs.grad_j, alpha, true);
         prof.update();
 
         // The reject test in draw_noise uses (edge.left, edge.right); the
@@ -854,6 +1216,17 @@ impl<'g> GemTrainer<'g> {
         // simultaneous update semantics.
         let _ = edge;
         Some((gi, g))
+    }
+
+    /// Gradient-buffer axpy through this trainer's kernel route (the
+    /// reference route predates SIMD dispatch, so it pins the widened
+    /// kernel too).
+    #[inline]
+    fn grad_axpy(&self, out: &mut [f32], v: &[f32], scale: f32) {
+        match self.kernels {
+            KernelPath::Auto => axpy(out, v, scale),
+            KernelPath::Widened | KernelPath::Reference => axpy_widened(out, v, scale),
+        }
     }
 
     /// Apply one row update, rectifying per the configured policy.
@@ -864,11 +1237,29 @@ impl<'g> GemTrainer<'g> {
             RectifyMode::PositivesOnly => positive,
             RectifyMode::Off => false,
         };
-        match (project, self.config.reference_kernels) {
-            (true, false) => m.add_scaled_relu(row, delta, scale),
-            (false, false) => m.add_scaled(row, delta, scale),
-            (true, true) => m.add_scaled_relu_ref(row, delta, scale),
-            (false, true) => m.add_scaled_ref(row, delta, scale),
+        match (project, self.kernels) {
+            (true, KernelPath::Auto) => m.add_scaled_relu(row, delta, scale),
+            (false, KernelPath::Auto) => m.add_scaled(row, delta, scale),
+            (true, KernelPath::Widened) => m.add_scaled_relu_widened(row, delta, scale),
+            (false, KernelPath::Widened) => m.add_scaled_widened(row, delta, scale),
+            (true, KernelPath::Reference) => m.add_scaled_relu_ref(row, delta, scale),
+            (false, KernelPath::Reference) => m.add_scaled_ref(row, delta, scale),
+        }
+    }
+
+    /// Apply one logged (prescaled) sharded update through this trainer's
+    /// kernel route. Scale 1.0 adds the stored value exactly (`1.0 * p ==
+    /// p` bitwise for every f32).
+    #[inline]
+    fn apply_logged(&self, kind: usize, row: usize, delta: &[f32], relu: bool) {
+        let m = &self.embeddings.matrices[kind];
+        match (relu, self.kernels) {
+            (true, KernelPath::Auto) => m.add_scaled_relu(row, delta, 1.0),
+            (false, KernelPath::Auto) => m.add_scaled(row, delta, 1.0),
+            (true, KernelPath::Widened) => m.add_scaled_relu_widened(row, delta, 1.0),
+            (false, KernelPath::Widened) => m.add_scaled_widened(row, delta, 1.0),
+            (true, KernelPath::Reference) => m.add_scaled_relu_ref(row, delta, 1.0),
+            (false, KernelPath::Reference) => m.add_scaled_ref(row, delta, 1.0),
         }
     }
 

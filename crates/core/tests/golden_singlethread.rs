@@ -52,6 +52,13 @@ const GOLDEN_STEPS: u64 = 20_000;
 /// printed value and update this constant *in the same commit*, saying why.
 const GOLDEN_HASH: u64 = 0xefda_8764_c84c_43bb;
 
+/// The pinned hash for the sharded (HogBatch-style) update path. The
+/// sharded stream is *intentionally different* from the Hogwild stream —
+/// per-step RNG derivation and window-stale reads — so it gets its own
+/// golden constant. Unlike `GOLDEN_HASH`, this value must hold for every
+/// thread count (see `tests/sharded_determinism.rs`).
+const SHARDED_GOLDEN_HASH: u64 = 0xb862_d827_26c4_3305;
+
 #[test]
 fn kernel_paths_are_bit_identical_and_match_golden_hash() {
     let graphs = tiny_graphs();
@@ -79,6 +86,37 @@ fn kernel_paths_are_bit_identical_and_match_golden_hash() {
         h, GOLDEN_HASH,
         "single-thread training stream changed: hash {h:#018x} (expected {GOLDEN_HASH:#018x}). \
          If this is intentional, update GOLDEN_HASH and explain why in the commit."
+    );
+}
+
+/// The sharded-update path is frozen by its own golden hash. Window seeds
+/// derive from the *global* step index `(steps_done + window_start)`, so a
+/// run split into chunks at window-boundary multiples (4096 steps)
+/// reproduces the exact full-run window sequence — checkpoint/resume at
+/// those boundaries is invisible to the sharded stream.
+#[test]
+fn sharded_path_matches_its_own_golden_hash() {
+    let graphs = tiny_graphs();
+    let mut cfg = golden_config();
+    cfg.sharded_updates = true;
+
+    let trainer = GemTrainer::new(&graphs, cfg.clone()).unwrap();
+    trainer.run(GOLDEN_STEPS, 1);
+    let h = model_hash(&trainer.model());
+    assert_eq!(
+        h, SHARDED_GOLDEN_HASH,
+        "sharded training stream changed: hash {h:#018x} (expected {SHARDED_GOLDEN_HASH:#018x}). \
+         If this is intentional, update SHARDED_GOLDEN_HASH and explain why in the commit."
+    );
+
+    let window_aligned = 2 * 4096;
+    let chunked = GemTrainer::new(&graphs, cfg).unwrap();
+    chunked.run(window_aligned, 1);
+    chunked.run(GOLDEN_STEPS - window_aligned, 1);
+    assert_eq!(
+        model_hash(&chunked.model()),
+        SHARDED_GOLDEN_HASH,
+        "window-aligned chunked sharded run diverged from the single-run stream"
     );
 }
 

@@ -1,0 +1,114 @@
+//! Cross-thread-count determinism of the sharded (HogBatch-style) update
+//! path: with `TrainConfig::sharded_updates` set, the merged model must be
+//! **bit-identical for 1, 2 and 4 worker threads** — and equal to the
+//! pinned `SHARDED_GOLDEN_HASH` of `golden_singlethread.rs`.
+//!
+//! That is the whole point of the sharded path (classic Hogwild is only
+//! deterministic single-thread): step `j` of a window derives its RNG from
+//! `(seed, global step)` regardless of which worker runs it, updates are
+//! logged prescaled, and the merge replays them in global step order with
+//! each row owned by exactly one merger.
+//!
+//! Each thread count runs in its own subprocess (pattern borrowed from
+//! `trace_noninterference.rs`): the SIMD backend cache and fail-point
+//! registry are process-global, so fresh processes also prove the hash
+//! holds from a cold start at each thread count.
+
+use gem_core::{GemTrainer, TrainConfig};
+use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+use std::process::Command;
+
+const CHILD_ENV: &str = "GEM_SHARDED_DETERMINISM_CHILD";
+
+/// Must match `golden_singlethread.rs` (same stream, same pin).
+const GOLDEN_STEPS: u64 = 20_000;
+const SHARDED_GOLDEN_HASH: u64 = 0xb862_d827_26c4_3305;
+
+/// FNV-1a over the f32 bit patterns of every embedding table (identical to
+/// `golden_singlethread.rs`).
+fn model_hash(m: &gem_core::GemModel) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for table in [&m.users, &m.events, &m.regions, &m.time_slots, &m.words] {
+        for v in table.iter() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+fn tiny_graphs() -> TrainingGraphs {
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(99));
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[])
+}
+
+fn sharded_golden_config() -> TrainConfig {
+    let mut cfg = TrainConfig::gem_p(4242);
+    cfg.dim = 24;
+    cfg.sigmoid_lut = false;
+    cfg.sharded_updates = true;
+    cfg
+}
+
+/// Child mode: train the sharded golden config with the thread count named
+/// by the env var and print the model hash.
+#[test]
+fn child_emit_sharded_hash() {
+    let Ok(threads) = std::env::var(CHILD_ENV) else {
+        return; // Only meaningful when spawned by the driver test below.
+    };
+    let threads: usize = threads.parse().expect("thread count in env var");
+    let graphs = tiny_graphs();
+    let trainer = GemTrainer::new(&graphs, sharded_golden_config()).unwrap();
+    trainer.run(GOLDEN_STEPS, threads);
+    println!("HASH:{:016x}", model_hash(&trainer.model()));
+}
+
+/// Extract `PREFIX:<value>` from interleaved harness output.
+fn field<'a>(stdout: &'a str, prefix: &str, len: usize) -> &'a str {
+    let pos = stdout
+        .find(prefix)
+        .unwrap_or_else(|| panic!("no {prefix} marker in child output:\n{stdout}"));
+    &stdout[pos + prefix.len()..pos + prefix.len() + len]
+}
+
+#[test]
+fn sharded_hash_is_identical_across_thread_counts() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let golden = format!("{SHARDED_GOLDEN_HASH:016x}");
+    for threads in [1usize, 2, 4] {
+        let out = Command::new(&exe)
+            .args(["child_emit_sharded_hash", "--exact", "--nocapture"])
+            .env(CHILD_ENV, threads.to_string())
+            .output()
+            .expect("spawn child test");
+        assert!(
+            out.status.success(),
+            "{threads}-thread child failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert_eq!(
+            field(&stdout, "HASH:", 16),
+            golden,
+            "{threads}-thread sharded run diverged from the pinned sharded golden hash"
+        );
+    }
+}
+
+/// In-process cross-check (no subprocess): 3 threads — a count that divides
+/// nothing evenly in the test sizes — still lands on the pinned hash, and a
+/// second 3-thread trainer agrees bit-for-bit.
+#[test]
+fn odd_thread_count_matches_in_process() {
+    let graphs = tiny_graphs();
+    let a = GemTrainer::new(&graphs, sharded_golden_config()).unwrap();
+    a.run(GOLDEN_STEPS, 3);
+    assert_eq!(model_hash(&a.model()), SHARDED_GOLDEN_HASH);
+}

@@ -26,7 +26,7 @@ pub mod geometric;
 pub mod noise;
 pub mod rng;
 
-pub use alias::{AliasError, AliasTable};
+pub use alias::{AliasError, AliasTable, AliasView};
 pub use gaussian::{gaussian, GaussianSampler};
 pub use geometric::TruncatedGeometric;
 pub use noise::DegreeNoise;

@@ -102,10 +102,11 @@ pub mod substrate {
 /// One-stop imports for applications.
 pub mod prelude {
     pub use gem_baselines::{Cbpf, CbpfConfig, CfaprE, Pcmf, PcmfConfig, PerConfig, PerModel};
+    pub use gem_core::simd::{backend as simd_backend, cpu_feature_name};
     pub use gem_core::{
         Checkpoint, Checkpointer, EventScorer, GemModel, GemTrainer, GraphChoice, LoadedCheckpoint,
-        NoiseKind, PersistError, RectifyMode, SamplingDirection, TrainConfig, TrainError,
-        TrainJournal, TrainerMetrics,
+        NoiseKind, PersistError, RectifyMode, SamplingDirection, SimdBackend, TrainConfig,
+        TrainError, TrainJournal, TrainerMetrics,
     };
     pub use gem_ebsn::{
         ChronoSplit, EbsnDataset, Event, EventId, GraphBuildConfig, GroundTruth, PartnerScenario,
@@ -129,5 +130,12 @@ mod tests {
         assert_eq!(cfg.dim, 60);
         let synth = SynthConfig::tiny(1);
         assert!(synth.num_users > 0);
+        // SIMD introspection reaches the facade: the dispatched backend is
+        // one of the three named states.
+        assert!(matches!(
+            simd_backend(),
+            SimdBackend::Scalar | SimdBackend::Avx2 | SimdBackend::Neon
+        ));
+        assert!(!cpu_feature_name().is_empty());
     }
 }
