@@ -1,0 +1,584 @@
+//! Open-loop load generator for the `gem-serverd` serving daemon.
+//!
+//! Usage: `cargo run --release -p gem-bench --bin server_throughput \
+//!         [--smoke] [--scale 60 --steps 2000 --seed 7]`
+//!
+//! Spawns a real `gem-serverd` subprocess (ephemeral port, discovered from
+//! its `LISTENING` line), then drives it **open-loop**: request arrival
+//! times are a seeded Poisson process laid out in advance, and each
+//! request's latency is measured from its *scheduled* arrival — not from
+//! send — so queueing delay under overload is charged to the server, the
+//! way real clients experience it (no coordinated omission).
+//!
+//! The sweep walks target arrival rates into overload. The daemon is
+//! deliberately started small (one admission shard, low capacity, few
+//! workers) so the overload point actually exercises the shedding and
+//! deadline-degradation paths:
+//!
+//! - nominal points use as many connections as the shard capacity, so a
+//!   healthy daemon must serve them with **zero 5xx**;
+//! - the overload point uses more connections than capacity, so admission
+//!   control MUST shed (503) and/or deadline-degrade, keeping the p99 of
+//!   *completed* requests bounded while the excess is rejected.
+//!
+//! A churn thread posts `events/add` / `events/retire` throughout, so the
+//! maintenance thread republishes generations mid-sweep. The run ends with
+//! a drain leg: a request is put in flight, SIGTERM goes to the daemon,
+//! and the bench asserts the in-flight response still completes and the
+//! daemon exits 0.
+//!
+//! With `--smoke` the sweep shrinks to one nominal + one overload point
+//! and the gates above are asserted (CI `server-smoke` job). Both modes
+//! write `BENCH_server.json` (schema in EXPERIMENTS.md) and a JSONL
+//! journal (`journal_server_bench.jsonl`).
+
+use gem_bench::Args;
+use rand::RngExt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+const SIGTERM: i32 = 15;
+
+/// Daemon shape used by every phase: one admission shard of capacity 2,
+/// with enough serving workers (16) that the worker pool is never the
+/// bottleneck ahead of admission. Nominal phases use <= capacity
+/// connections, so a healthy daemon can never shed them structurally;
+/// the overload phase uses 16 connections, so concurrency above the cap
+/// reaches the admission check and MUST shed.
+const SHARDS: usize = 1;
+const SHARD_CAPACITY: usize = 2;
+const WORKERS: usize = 16;
+const NOMINAL_CONNS: usize = 2;
+const OVERLOAD_CONNS: usize = 16;
+const DEADLINE_US: u64 = 1_000;
+
+struct DaemonProc {
+    child: Child,
+    addr: String,
+    num_users: usize,
+}
+
+/// Locate the `gem-serverd` binary: `$GEM_SERVERD` override, else a
+/// sibling of this bench binary in the same target directory.
+fn daemon_binary() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("GEM_SERVERD") {
+        return path.into();
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("target dir");
+    let candidate = dir.join("gem-serverd");
+    assert!(
+        candidate.exists(),
+        "gem-serverd not found at {candidate:?}; build it first (cargo build -p gem-server) \
+         or point $GEM_SERVERD at it"
+    );
+    candidate
+}
+
+fn spawn_daemon(args: &Args) -> DaemonProc {
+    let scale = args.get("scale", 60usize);
+    let steps = args.get("steps", 2_000u64);
+    let seed = args.get("seed", 7u64);
+    let mut child = Command::new(daemon_binary())
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--scale",
+            &scale.to_string(),
+            "--steps",
+            &steps.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--workers",
+            &WORKERS.to_string(),
+            "--shards",
+            &SHARDS.to_string(),
+            "--shard-capacity",
+            &SHARD_CAPACITY.to_string(),
+            "--deadline-us",
+            &DEADLINE_US.to_string(),
+            "--staleness-budget",
+            "64",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn gem-serverd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line =
+            lines.next().expect("daemon exited before LISTENING").expect("read daemon stdout");
+        if let Some(addr) = line.strip_prefix("LISTENING ") {
+            break addr.to_string();
+        }
+    };
+    // The daemon reports its user universe in the 404 envelope; probe it
+    // instead of re-deriving the synth pipeline's survivor count here.
+    let (status, body) = one_shot(&addr, "GET", "/recommend?user=4000000000", "");
+    assert_eq!(status, 404, "user-count probe: {body}");
+    let num_users: usize = body
+        .split("(have ")
+        .nth(1)
+        .and_then(|rest| rest.split(')').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable user-count probe reply: {body}"));
+    DaemonProc { child, addr, num_users }
+}
+
+/// One request on a fresh connection (setup/probe path, not the timed
+/// load path).
+fn one_shot(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    let status = reply.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    (status, reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default())
+}
+
+/// Read exactly one HTTP response off a keep-alive connection; returns
+/// `(status, body_contains_degraded_true)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, bool)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "peer closed"));
+    }
+    let status: u16 = line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed
+            .strip_prefix("Content-Length: ")
+            .or_else(|| trimmed.strip_prefix("content-length: "))
+        {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let degraded =
+        content_length > 0 && String::from_utf8_lossy(&body).contains("\"degraded\":true");
+    Ok((status, degraded))
+}
+
+/// One measured point of the open-loop sweep.
+struct Phase {
+    target_rps: f64,
+    connections: usize,
+    duration: Duration,
+}
+
+#[derive(Default)]
+struct PhaseResult {
+    target_rps: f64,
+    connections: usize,
+    duration_s: f64,
+    scheduled: usize,
+    completed_2xx: usize,
+    degraded: usize,
+    shed_503: usize,
+    other_5xx: usize,
+    transport_errors: usize,
+    achieved_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Run one open-loop phase: a pre-laid Poisson arrival schedule is dealt
+/// round-robin onto `connections` persistent keep-alive senders; each
+/// request's latency runs from its scheduled arrival to response receipt.
+fn run_phase(addr: &str, num_users: usize, phase: &Phase, seed: u64) -> PhaseResult {
+    let mut rng = gem_sampling::rng_from_seed(seed);
+    let horizon = phase.duration.as_secs_f64();
+    let mut arrivals: Vec<(f64, u32)> = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.random::<f64>();
+        t += -(1.0 - u).ln() / phase.target_rps;
+        if t >= horizon {
+            break;
+        }
+        arrivals.push((t, (rng.random::<f64>() * num_users as f64) as u32));
+    }
+    let scheduled = arrivals.len();
+
+    let start = Instant::now() + Duration::from_millis(50);
+    let workers: Vec<_> = (0..phase.connections)
+        .map(|w| {
+            let mine: Vec<(f64, u32)> =
+                arrivals.iter().skip(w).step_by(phase.connections).copied().collect();
+            let addr = addr.to_string();
+            std::thread::spawn(move || sender_loop(&addr, start, &mine))
+        })
+        .collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(scheduled);
+    let mut result = PhaseResult {
+        target_rps: phase.target_rps,
+        connections: phase.connections,
+        duration_s: horizon,
+        scheduled,
+        ..PhaseResult::default()
+    };
+    for worker in workers {
+        let (lat, ok, degraded, shed, bad5xx, errors) = worker.join().expect("sender panicked");
+        latencies_ms.extend(lat);
+        result.completed_2xx += ok;
+        result.degraded += degraded;
+        result.shed_503 += shed;
+        result.other_5xx += bad5xx;
+        result.transport_errors += errors;
+    }
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    result.achieved_rps = result.completed_2xx as f64 / horizon;
+    result.p50_ms = percentile(&latencies_ms, 0.50);
+    result.p95_ms = percentile(&latencies_ms, 0.95);
+    result.p99_ms = percentile(&latencies_ms, 0.99);
+    result.max_ms = latencies_ms.last().copied().unwrap_or(0.0);
+    result
+}
+
+type SenderTally = (Vec<f64>, usize, usize, usize, usize, usize);
+
+/// One persistent connection working its slice of the arrival schedule.
+/// Latencies (ms, scheduled-arrival -> response) are recorded for
+/// completed 2xx only; shed/5xx/errors are tallied separately.
+fn sender_loop(addr: &str, start: Instant, schedule: &[(f64, u32)]) -> SenderTally {
+    let connect = || -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok((stream, reader))
+    };
+    let (mut latencies, mut ok, mut degraded, mut shed, mut bad5xx, mut errors) =
+        (Vec::with_capacity(schedule.len()), 0, 0, 0, 0, 0);
+    let Ok((mut stream, mut reader)) = connect() else {
+        return (latencies, ok, degraded, shed, bad5xx, errors + schedule.len());
+    };
+    for &(offset, user) in schedule {
+        let due = start + Duration::from_secs_f64(offset);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let raw = format!("GET /recommend?user={user}&n=10 HTTP/1.1\r\nHost: b\r\n\r\n");
+        let outcome = stream.write_all(raw.as_bytes()).and_then(|()| read_response(&mut reader));
+        match outcome {
+            Ok((status, was_degraded)) => {
+                let latency_ms = due.elapsed().as_secs_f64() * 1e3;
+                match status {
+                    200..=299 => {
+                        ok += 1;
+                        degraded += was_degraded as usize;
+                        latencies.push(latency_ms);
+                    }
+                    503 => shed += 1,
+                    500..=599 => bad5xx += 1,
+                    _ => errors += 1,
+                }
+            }
+            Err(_) => {
+                errors += 1;
+                match connect() {
+                    Ok(fresh) => (stream, reader) = fresh,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    (latencies, ok, degraded, shed, bad5xx, errors)
+}
+
+/// Background churn: toggle a band of event ids through add/retire so the
+/// maintenance thread keeps publishing new generations during the sweep.
+/// Returns ops sent.
+fn churn_burst(addr: &str, events: std::ops::Range<u32>, rounds: usize) -> usize {
+    let mut sent = 0;
+    for round in 0..rounds {
+        for x in events.clone() {
+            let verb = if round % 2 == 0 { "add" } else { "retire" };
+            let (status, body) = one_shot(addr, "POST", &format!("/events/{verb}?event={x}"), "");
+            assert_eq!(status, 202, "churn {verb} {x}: {body}");
+            sent += 1;
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    sent
+}
+
+/// Drain leg: put a request in flight, SIGTERM the daemon, assert the
+/// in-flight response completes and the daemon exits 0.
+fn drain_leg(daemon: &mut DaemonProc) -> (bool, bool, f64) {
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect for drain");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Prime the keep-alive connection with one completed round trip so a
+    // serving worker owns it — otherwise the SIGTERM can win the race
+    // against accept() and the "in-flight" request was never in flight.
+    stream
+        .write_all(b"GET /recommend?user=2&n=10 HTTP/1.1\r\nHost: b\r\n\r\n")
+        .expect("send priming request");
+    let primed = read_response(&mut reader).expect("priming response");
+    assert_eq!(primed.0, 200, "priming request failed");
+    stream
+        .write_all(b"GET /recommend?user=1&n=10 HTTP/1.1\r\nHost: b\r\n\r\n")
+        .expect("send in-flight request");
+
+    let sigterm_at = Instant::now();
+    #[cfg(unix)]
+    unsafe {
+        assert_eq!(kill(daemon.child.id() as i32, SIGTERM), 0, "kill(SIGTERM) failed");
+    }
+
+    let inflight_ok = matches!(read_response(&mut reader), Ok((200, _)));
+    let exit_ok = loop {
+        match daemon.child.try_wait().expect("try_wait") {
+            Some(status) => break status.success(),
+            None if sigterm_at.elapsed() > Duration::from_secs(10) => {
+                let _ = daemon.child.kill();
+                break false;
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    (exit_ok, inflight_ok, sigterm_at.elapsed().as_secs_f64() * 1e3)
+}
+
+fn phase_json(r: &PhaseResult, overload: bool) -> String {
+    format!(
+        concat!(
+            "    {{ \"target_rps\": {:.0}, \"connections\": {}, \"duration_s\": {:.1}, ",
+            "\"overload\": {}, \"scheduled\": {}, \"completed_2xx\": {}, ",
+            "\"achieved_rps\": {:.1}, \"degraded\": {}, \"degraded_fraction\": {:.4}, ",
+            "\"shed_503\": {}, \"other_5xx\": {}, \"transport_errors\": {}, ",
+            "\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3} }}"
+        ),
+        r.target_rps,
+        r.connections,
+        r.duration_s,
+        overload,
+        r.scheduled,
+        r.completed_2xx,
+        r.achieved_rps,
+        r.degraded,
+        r.degraded as f64 / r.completed_2xx.max(1) as f64,
+        r.shed_503,
+        r.other_5xx,
+        r.transport_errors,
+        r.p50_ms,
+        r.p95_ms,
+        r.p99_ms,
+        r.max_ms,
+    )
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let seed = args.get("seed", 7u64);
+
+    let phases: Vec<Phase> = if smoke {
+        vec![
+            Phase {
+                target_rps: 300.0,
+                connections: NOMINAL_CONNS,
+                duration: Duration::from_secs(2),
+            },
+            Phase {
+                target_rps: 4_000.0,
+                connections: OVERLOAD_CONNS,
+                duration: Duration::from_secs(2),
+            },
+        ]
+    } else {
+        vec![
+            Phase {
+                target_rps: 250.0,
+                connections: NOMINAL_CONNS,
+                duration: Duration::from_secs(4),
+            },
+            Phase {
+                target_rps: 1_000.0,
+                connections: NOMINAL_CONNS,
+                duration: Duration::from_secs(4),
+            },
+            Phase {
+                target_rps: 2_500.0,
+                connections: NOMINAL_CONNS,
+                duration: Duration::from_secs(4),
+            },
+            Phase {
+                target_rps: 8_000.0,
+                connections: OVERLOAD_CONNS,
+                duration: Duration::from_secs(4),
+            },
+        ]
+    };
+
+    println!("server_throughput{}: spawning gem-serverd", if smoke { " --smoke" } else { "" });
+    let mut daemon = spawn_daemon(&args);
+    println!("  daemon on {} ({} users)", daemon.addr, daemon.num_users);
+
+    // Churn before and between phases: the sweep measures a daemon whose
+    // maintenance thread is live, not an idle index. (The first live
+    // events of the synth split sit in a contiguous low id band; toggling
+    // a slice of them is guaranteed-valid churn.)
+    let churn_events = 0u32..8;
+    let mut churn_ops = 0;
+
+    let mut results: Vec<(PhaseResult, bool)> = Vec::new();
+    for (i, phase) in phases.iter().enumerate() {
+        let overload = phase.connections > SHARD_CAPACITY;
+        churn_ops += churn_burst(&daemon.addr, churn_events.clone(), 2);
+        println!(
+            "  [{}/{}] open-loop {} rps x {}s on {} conns{}",
+            i + 1,
+            phases.len(),
+            phase.target_rps,
+            phase.duration.as_secs(),
+            phase.connections,
+            if overload { " (overload)" } else { "" },
+        );
+        let result = run_phase(&daemon.addr, daemon.num_users, phase, seed + i as u64);
+        println!(
+            "      {}/{} completed ({:.0} rps), degraded {}, shed {}, 5xx {}, err {}; \
+             p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms",
+            result.completed_2xx,
+            result.scheduled,
+            result.achieved_rps,
+            result.degraded,
+            result.shed_503,
+            result.other_5xx,
+            result.transport_errors,
+            result.p50_ms,
+            result.p95_ms,
+            result.p99_ms,
+        );
+        results.push((result, overload));
+    }
+
+    println!("  drain leg: SIGTERM with a request in flight");
+    let (exit_ok, inflight_ok, drain_ms) = drain_leg(&mut daemon);
+    println!("      exit_ok={exit_ok} inflight_completed={inflight_ok} drain={drain_ms:.0} ms");
+
+    // JSONL journal (one record per phase + the drain), same data as the
+    // aggregate JSON, for diffing runs over time.
+    let mut journal = gem_obs::Journal::create("journal_server_bench.jsonl")
+        .expect("create journal_server_bench.jsonl");
+    for (r, overload) in &results {
+        journal.append(
+            &gem_obs::JournalRecord::new()
+                .str("journal", "server_bench")
+                .f64("target_rps", r.target_rps)
+                .u64("connections", r.connections as u64)
+                .u64("overload", *overload as u64)
+                .u64("completed_2xx", r.completed_2xx as u64)
+                .u64("degraded", r.degraded as u64)
+                .u64("shed_503", r.shed_503 as u64)
+                .u64("other_5xx", r.other_5xx as u64)
+                .f64("p99_ms", r.p99_ms),
+        );
+    }
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "server_drain_leg")
+            .u64("exit_ok", exit_ok as u64)
+            .u64("inflight_completed", inflight_ok as u64)
+            .f64("drain_ms", drain_ms),
+    );
+    assert_eq!(journal.write_errors(), 0, "server bench journal hit I/O errors");
+
+    let sweep_json: Vec<String> =
+        results.iter().map(|(r, overload)| phase_json(r, *overload)).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"server_throughput\",\n",
+            "  \"smoke\": {smoke},\n",
+            "{host},\n",
+            "  \"daemon\": {{\n",
+            "    \"scale\": {scale}, \"steps\": {steps}, \"workers\": {workers},\n",
+            "    \"shards\": {shards}, \"shard_capacity\": {capacity},\n",
+            "    \"deadline_us\": {deadline}, \"staleness_budget\": 64,\n",
+            "    \"num_users\": {num_users}\n",
+            "  }},\n",
+            "  \"churn_ops\": {churn_ops},\n",
+            "  \"open_loop_sweep\": [\n{sweep}\n  ],\n",
+            "  \"drain\": {{ \"sigterm_exit_ok\": {exit_ok}, ",
+            "\"inflight_completed\": {inflight_ok}, \"drain_ms\": {drain_ms:.1} }}\n",
+            "}}\n",
+        ),
+        smoke = smoke,
+        host = gem_bench::host_json("  "),
+        scale = args.get("scale", 60usize),
+        steps = args.get("steps", 2_000u64),
+        workers = WORKERS,
+        shards = SHARDS,
+        capacity = SHARD_CAPACITY,
+        deadline = DEADLINE_US,
+        num_users = daemon.num_users,
+        churn_ops = churn_ops,
+        sweep = sweep_json.join(",\n"),
+        exit_ok = exit_ok,
+        inflight_ok = inflight_ok,
+        drain_ms = drain_ms,
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("  wrote BENCH_server.json + journal_server_bench.jsonl");
+
+    // --- Gates (asserted in smoke mode; reported in full mode) ---------
+    let nominal_5xx: usize =
+        results.iter().filter(|(_, o)| !o).map(|(r, _)| r.shed_503 + r.other_5xx).sum();
+    let (overload_row, _) =
+        results.iter().find(|(_, o)| *o).expect("sweep always includes an overload point");
+    let shed_or_degraded = overload_row.shed_503 + overload_row.degraded;
+    if smoke {
+        assert_eq!(nominal_5xx, 0, "5xx at nominal load");
+        assert!(
+            shed_or_degraded > 0,
+            "overload point neither shed nor degraded: admission/deadline paths never engaged"
+        );
+        assert!(
+            overload_row.p99_ms < 500.0,
+            "p99 of completed requests under overload is unbounded ({:.1} ms): \
+             load shedding is not protecting accepted traffic",
+            overload_row.p99_ms
+        );
+        assert!(overload_row.completed_2xx > 0, "overload point completed nothing");
+        assert!(exit_ok, "daemon did not exit cleanly on SIGTERM");
+        assert!(inflight_ok, "in-flight request was dropped during drain");
+        println!(
+            "smoke OK: zero 5xx nominal, overload shed/degraded {shed_or_degraded}, \
+             p99 {:.1} ms bounded, clean SIGTERM drain",
+            overload_row.p99_ms
+        );
+    }
+}

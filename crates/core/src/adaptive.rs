@@ -14,11 +14,22 @@
 //!    (σ_f = per-dimension spread over the candidate set),
 //! 3. return the node currently ranked `s`-th on dimension `f`.
 //!
-//! The per-dimension rankings and σ are recomputed every
-//! `|V|·log₂|V|` draws (amortised `O(K)` per draw, Algorithm 1 lines 4–15).
-//! Under Hogwild the refresh is guarded by a try-lock: one worker rebuilds
-//! while the rest keep sampling from the previous (slightly stale) rankings,
-//! which is exactly the approximation the paper makes anyway.
+//! The per-dimension rankings and σ carry a `|V|·log₂|V|`-draw recompute
+//! budget (amortised `O(K)` per draw, Algorithm 1 lines 4–15). The *cadence*
+//! is step-indexed, not draw-counted: the trainer converts the draw budget
+//! into a global-step interval once at construction
+//! ([`AdaptiveState::set_step_interval`]) and calls
+//! [`AdaptiveState::refresh_if_due`] at step-indexed check points (multiples
+//! of the tightest active interval, at most one tally flush apart; sharded
+//! window merges). An earlier revision bumped a shared
+//! `draws_since_refresh` counter on every draw, which made the refresh
+//! schedule depend on thread count and interleaving — the ROADMAP-flagged
+//! bug that blocked sharded GEM-A determinism.
+//!
+//! Refreshes are double-buffered: the claiming thread builds the new
+//! rankings *outside* the lock while samplers keep reading the previous
+//! generation, then swaps under a brief write lock — sampling from slightly
+//! stale rankings is exactly the approximation the paper makes anyway.
 
 use crate::matrix::AtomicMatrix;
 use gem_obs::{CachePadded, Counter, Histogram, Tracer};
@@ -29,10 +40,10 @@ use std::sync::RwLock;
 use std::time::Instant;
 
 /// Observability hooks for adaptive-ranking refreshes: how often the
-/// rankings are rebuilt and how long each rebuild stalls the refreshing
-/// worker. This is the measured baseline for the ROADMAP item
-/// "adaptive-sampler refresh off the hot path" — before moving the rebuild
-/// to a background thread, we need to know what it costs in place.
+/// rankings are rebuilt and how long each rebuild takes. With refreshes off
+/// the draw hot path (step-indexed boundaries, built double-buffered by the
+/// claiming thread or the Hogwild background refresher), the histogram now
+/// measures pure rebuild cost, not worker stall.
 ///
 /// Disabled by default (every hook a no-op); the trainer installs live
 /// handles via [`AdaptiveState::set_obs`] when metrics or tracing are
@@ -90,12 +101,20 @@ pub struct AdaptiveState {
     candidates: Vec<u32>,
     dim: usize,
     geometric: TruncatedGeometric,
+    /// The paper's recompute budget in *draws*: `n·⌈log₂n⌉`. Kept as the
+    /// reference quantity the trainer converts into a step cadence.
     refresh_interval: u64,
-    /// Bumped by every worker on every draw — the hottest shared write in
-    /// GEM-A training. Cache-line-padded so those writes never invalidate
-    /// the line holding the read-mostly fields around it (`geometric`,
-    /// `refresh_interval`, the `rankings` lock word).
-    draws_since_refresh: CachePadded<AtomicU64>,
+    /// Refresh cadence in *global steps* (0 = never refresh). Set once by
+    /// the trainer at construction from `refresh_interval` and this state's
+    /// expected draws per step, so the schedule is a pure function of the
+    /// step index — identical for every thread count.
+    step_interval: u64,
+    /// Global step index at which the next refresh is due (`u64::MAX` when
+    /// disabled). Claimed via compare-exchange so exactly one caller
+    /// performs each scheduled refresh. Cache-line-padded: boundary checks
+    /// from several threads must not invalidate the read-mostly fields
+    /// around it (`geometric`, the `rankings` lock word).
+    next_refresh_at: CachePadded<AtomicU64>,
     rankings: RwLock<Rankings>,
     /// Refresh observability hooks (disabled by default; read-only on the
     /// draw path, touched only inside the refresh critical section).
@@ -132,12 +151,16 @@ impl AdaptiveState {
         let dim = matrix.dim();
         let log2n = (n.max(2) as f64).log2().ceil() as u64;
         let rankings = RwLock::new(Self::compute(matrix, &candidates));
+        let refresh_interval = (n as u64) * log2n;
         Self {
             candidates,
             dim,
             geometric: TruncatedGeometric::new(n, lambda),
-            refresh_interval: (n as u64) * log2n,
-            draws_since_refresh: CachePadded::new(AtomicU64::new(0)),
+            refresh_interval,
+            // Until the trainer installs a cadence, one draw per step is
+            // assumed: the draw budget doubles as the step interval.
+            step_interval: refresh_interval,
+            next_refresh_at: CachePadded::new(AtomicU64::new(refresh_interval)),
             rankings,
             obs: RefreshObs::disabled(),
         }
@@ -181,67 +204,99 @@ impl AdaptiveState {
         Rankings { by_dim, sigma }
     }
 
-    /// Recompute the rankings if enough draws have accumulated. Under
-    /// contention only one thread refreshes; the others continue with the
-    /// stale rankings.
-    pub fn maybe_refresh(&self, matrix: &AtomicMatrix) {
-        let drawn = self.draws_since_refresh.fetch_add(1, Ordering::Relaxed);
-        if drawn < self.refresh_interval {
-            return;
-        }
-        // A poisoned lock means a *previous* refresher panicked mid-rebuild;
-        // the stale rankings it left are exactly as usable as the stale
-        // rankings every non-refreshing worker reads anyway, so recover the
-        // guard instead of cascading the panic through every worker.
-        let guard = match self.rankings.try_write() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        };
-        if let Some(mut guard) = guard {
-            // Re-check after acquiring: another thread may have refreshed.
-            if self.draws_since_refresh.load(Ordering::Relaxed) >= self.refresh_interval {
-                if gem_obs::faults::should_fail("train.adaptive_refresh") {
-                    panic!("injected fault: train.adaptive_refresh");
-                }
-                // Timing is gated on the hooks: an unobserved trainer pays
-                // no clock reads here (and nothing at all on the draw path).
-                let started = self.obs.active().then(|| (Instant::now(), self.obs.tracer.now_ns()));
-                *guard = Self::compute(matrix, &self.candidates);
-                self.draws_since_refresh.store(0, Ordering::Relaxed);
-                if let Some((wall, start_ns)) = started {
-                    let ns = wall.elapsed().as_nanos() as u64;
-                    self.obs.refreshes.inc();
-                    self.obs.refresh_ns.record(ns);
-                    self.obs.tracer.record_span(
-                        "train.adaptive_refresh",
-                        "train",
-                        start_ns,
-                        ns,
-                        &[("candidates", self.candidates.len() as u64)],
-                    );
-                }
-            }
-        }
+    /// The paper's recompute budget in draws (`n·⌈log₂n⌉`) — the quantity
+    /// the trainer divides by expected draws per step to derive the step
+    /// cadence.
+    pub fn draw_interval(&self) -> u64 {
+        self.refresh_interval
     }
 
-    /// Force an immediate refresh (used by tests and by the trainer right
-    /// after initialisation).
+    /// Install the refresh cadence in global steps. `every == 0` disables
+    /// refreshes entirely (a state whose side is never drawn from). Resets
+    /// the schedule: the first refresh is due at step `every`.
+    pub fn set_step_interval(&mut self, every: u64) {
+        self.step_interval = every;
+        let first = if every == 0 { u64::MAX } else { every };
+        self.next_refresh_at.store(first, Ordering::Relaxed);
+    }
+
+    /// The installed refresh cadence in global steps (0 = disabled).
+    pub fn step_interval(&self) -> u64 {
+        self.step_interval
+    }
+
+    /// Recompute the rankings if the step-indexed schedule says a refresh
+    /// is due at `global_step`. Exactly one caller wins the compare-exchange
+    /// claim per scheduled refresh; everyone else returns immediately and
+    /// keeps sampling the previous generation. The winner builds the new
+    /// rankings *outside* the lock (double buffer) and swaps them in under
+    /// a brief write lock. Returns whether this call refreshed.
+    ///
+    /// The schedule is a pure function of the step index — `next = (step /
+    /// every + 1) · every` — so when callers present thread-count-independent
+    /// step indices (tally-flush and window boundaries), the refresh
+    /// sequence is identical for every thread count.
+    pub fn refresh_if_due(&self, global_step: u64, matrix: &AtomicMatrix) -> bool {
+        let due = self.next_refresh_at.load(Ordering::Relaxed);
+        if global_step < due {
+            return false;
+        }
+        let next = (global_step / self.step_interval + 1) * self.step_interval;
+        if self
+            .next_refresh_at
+            .compare_exchange(due, next, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            // Another thread claimed this scheduled refresh.
+            return false;
+        }
+        if gem_obs::faults::should_fail("train.adaptive_refresh") {
+            panic!("injected fault: train.adaptive_refresh");
+        }
+        // Timing is gated on the hooks: an unobserved trainer pays no clock
+        // reads here (and nothing at all on the draw path).
+        let started = self.obs.active().then(|| (Instant::now(), self.obs.tracer.now_ns()));
+        let fresh = Self::compute(matrix, &self.candidates);
+        // A poisoned lock means a previous refresher panicked mid-swap; the
+        // stale rankings it left are exactly as usable as the stale rankings
+        // every non-refreshing worker reads anyway, so recover the guard
+        // instead of cascading the panic through every worker.
+        *self.rankings.write().unwrap_or_else(|e| e.into_inner()) = fresh;
+        if let Some((wall, start_ns)) = started {
+            let ns = wall.elapsed().as_nanos() as u64;
+            self.obs.refreshes.inc();
+            self.obs.refresh_ns.record(ns);
+            self.obs.tracer.record_span(
+                "train.adaptive_refresh",
+                "train",
+                start_ns,
+                ns,
+                &[("candidates", self.candidates.len() as u64)],
+            );
+        }
+        true
+    }
+
+    /// Force an immediate refresh (used by tests and by checkpoint restore).
+    /// Leaves the step-indexed schedule untouched.
     pub fn refresh_now(&self, matrix: &AtomicMatrix) {
         *self.rankings.write().unwrap_or_else(|e| e.into_inner()) =
             Self::compute(matrix, &self.candidates);
-        self.draws_since_refresh.store(0, Ordering::Relaxed);
     }
 
-    /// Draws since the last refresh — persisted by checkpoints so a resumed
-    /// run refreshes on the same cadence it would have continued on.
-    pub(crate) fn draws(&self) -> u64 {
-        self.draws_since_refresh.load(Ordering::Relaxed)
+    /// The step index the next refresh is due at — persisted by checkpoints
+    /// so a resumed run refreshes on the same schedule it would have
+    /// continued on.
+    pub(crate) fn next_refresh_at(&self) -> u64 {
+        self.next_refresh_at.load(Ordering::Relaxed)
     }
 
-    /// Restore the draw counter from a checkpoint.
-    pub(crate) fn set_draws(&self, v: u64) {
-        self.draws_since_refresh.store(v, Ordering::Relaxed);
+    /// Restore the refresh schedule from a checkpoint. A disabled state
+    /// (`step_interval == 0`) stays disabled no matter what the checkpoint
+    /// slot holds — e.g. one written by an older draw-counting build.
+    pub(crate) fn set_next_refresh_at(&self, v: u64) {
+        let v = if self.step_interval == 0 { u64::MAX } else { v };
+        self.next_refresh_at.store(v, Ordering::Relaxed);
     }
 
     /// Draw one noise node for the given context vector (Algorithm 1 lines
@@ -255,7 +310,7 @@ impl AdaptiveState {
     /// contribute the largest (most adversarial) `v_c·v_k`.
     pub fn sample<R: Rng>(&self, context: &[f32], rng: &mut R) -> u32 {
         debug_assert_eq!(context.len(), self.dim);
-        // Poison recovery: see `maybe_refresh` — stale rankings from a
+        // Poison recovery: see `refresh_if_due` — stale rankings from a
         // panicked refresher are within the Hogwild staleness contract.
         let rankings = self.rankings.read().unwrap_or_else(|e| e.into_inner());
         let mut total = 0.0f64;
@@ -383,10 +438,11 @@ impl std::fmt::Debug for AdaptiveState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "AdaptiveState(n={}, dim={}, refresh_every={})",
+            "AdaptiveState(n={}, dim={}, draw_budget={}, step_every={})",
             self.candidates.len(),
             self.dim,
-            self.refresh_interval
+            self.refresh_interval,
+            self.step_interval
         )
     }
 }
@@ -572,7 +628,7 @@ mod tests {
 
     #[test]
     fn refresh_obs_records_count_duration_and_span() {
-        let m = descending_matrix(4, 1); // interval = 4 * 2 = 8
+        let m = descending_matrix(4, 1); // draw budget = 4 * 2 = 8
         let mut state = AdaptiveState::new(&m, 1.0);
         let reg = gem_obs::MetricsRegistry::new();
         let tracer = Tracer::new();
@@ -581,9 +637,9 @@ mod tests {
             reg.histogram("train.adaptive_refresh_ns"),
             tracer.clone(),
         ));
-        for _ in 0..=state.refresh_interval {
-            state.maybe_refresh(&m);
-        }
+        state.set_step_interval(8);
+        assert!(!state.refresh_if_due(7, &m), "not due before the interval");
+        assert!(state.refresh_if_due(8, &m), "due exactly at the interval");
         let snap = reg.snapshot();
         assert_eq!(snap.counter("train.adaptive_refreshes"), 1);
         assert_eq!(snap.histogram("train.adaptive_refresh_ns").unwrap().count, 1);
@@ -596,17 +652,35 @@ mod tests {
     }
 
     #[test]
-    fn maybe_refresh_fires_after_interval() {
-        let m = descending_matrix(4, 1); // interval = 4 * 2 = 8
-        let state = AdaptiveState::new(&m, 1.0);
+    fn step_cadence_fires_once_per_interval_and_reschedules() {
+        let m = descending_matrix(4, 1);
+        let mut state = AdaptiveState::new(&m, 1.0);
+        state.set_step_interval(8);
         for i in 0..4 {
             m.set(i, 0, i as f32); // reverse the order
         }
-        // Tick past the interval.
-        for _ in 0..=state.refresh_interval {
-            state.maybe_refresh(&m);
+        assert!(state.refresh_if_due(9, &m), "step 9 is past the first due step");
+        {
+            let r = state.rankings.read().unwrap();
+            assert_eq!(r.by_dim[0], 3, "refresh should expose the new top node");
         }
-        let r = state.rankings.read().unwrap();
-        assert_eq!(r.by_dim[0], 3, "refresh should expose the new top node");
+        // The claim rescheduled to the next multiple of the interval after
+        // the observed step: (9 / 8 + 1) * 8 = 16.
+        assert!(!state.refresh_if_due(9, &m), "already refreshed for this interval");
+        assert!(!state.refresh_if_due(15, &m));
+        assert!(state.refresh_if_due(16, &m));
+        // The schedule is step-indexed: a late check refreshes once, not
+        // once per missed interval.
+        assert!(state.refresh_if_due(1000, &m));
+        assert!(!state.refresh_if_due(1000, &m));
+    }
+
+    #[test]
+    fn zero_step_interval_disables_refreshes() {
+        let m = descending_matrix(4, 1);
+        let mut state = AdaptiveState::new(&m, 1.0);
+        state.set_step_interval(0);
+        assert_eq!(state.step_interval(), 0);
+        assert!(!state.refresh_if_due(u64::MAX - 1, &m), "disabled state never refreshes");
     }
 }

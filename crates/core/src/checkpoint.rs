@@ -51,8 +51,12 @@ pub struct Checkpoint {
     pub seed: u64,
     /// Steps completed when the snapshot was taken (a chunk boundary).
     pub steps: u64,
-    /// `draws_since_refresh` of each adaptive sampler, `[graph][side]`
-    /// flattened; all zeros for non-adaptive variants.
+    /// Each adaptive sampler's refresh schedule — the global step index
+    /// its next rankings refresh is due at — `[graph][side]` flattened;
+    /// all zeros for non-adaptive variants. (Field name kept from the
+    /// draw-counting era for on-disk format compatibility; values from old
+    /// checkpoints are treated as already-due schedules, which merely
+    /// triggers one refresh at the next boundary.)
     pub adaptive_draws: [u64; 10],
     /// The embedding matrices.
     pub model: GemModel,

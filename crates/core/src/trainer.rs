@@ -102,6 +102,10 @@ pub struct GemTrainer<'g> {
     /// Adaptive sampler state per (graph, side) over that side's
     /// non-zero-degree nodes.
     adaptive: [[Option<AdaptiveState>; 2]; 5],
+    /// Cadence (in global steps) at which the step loops present step
+    /// indices to the adaptive refresh schedule: the tightest active
+    /// `step_interval`, capped at [`TALLY_FLUSH`]. 0 = no active schedule.
+    refresh_check: u64,
     /// Precomputed sigmoid table (used when `config.sigmoid_lut`);
     /// read-only, shared by all workers.
     lut: SigmoidLut,
@@ -492,7 +496,7 @@ impl<'g> GemTrainer<'g> {
         }
         let graph_table = AliasTable::new(&graph_weights).map_err(TrainError::Sampler)?;
 
-        let adaptive: [[Option<AdaptiveState>; 2]; 5] = if config.noise == NoiseKind::Adaptive {
+        let mut adaptive: [[Option<AdaptiveState>; 2]; 5] = if config.noise == NoiseKind::Adaptive {
             std::array::from_fn(|gi| {
                 let g = graphs[gi];
                 std::array::from_fn(|side| {
@@ -521,6 +525,41 @@ impl<'g> GemTrainer<'g> {
         } else {
             Default::default()
         };
+        // Step-indexed refresh cadence (see `adaptive.rs`): convert each
+        // state's `n·⌈log₂n⌉`-draw budget into global steps by dividing by
+        // its expected draws per step — the owning graph's sampling share
+        // times `M` negatives. A pure function of the config, so the
+        // schedule is identical for every thread count. Sides that are
+        // never drawn from (left side under unidirectional sampling, zero
+        // sampling mass) get a disabled schedule.
+        let total_mass: f64 = graph_weights.iter().sum();
+        for (gi, per_graph) in adaptive.iter_mut().enumerate() {
+            for (side, state) in per_graph.iter_mut().enumerate() {
+                let Some(state) = state else { continue };
+                let share = graph_weights[gi] / total_mass;
+                let drawn_from = side == 1 || config.direction == SamplingDirection::Bidirectional;
+                if !drawn_from || share <= 0.0 {
+                    state.set_step_interval(0);
+                } else {
+                    let draws_per_step = share * config.negatives as f64;
+                    let every = (state.draw_interval() as f64 / draws_per_step).ceil().max(1.0);
+                    state.set_step_interval(every as u64);
+                }
+            }
+        }
+        // How often the step loops must *present* a step index to the
+        // schedule: the tightest active interval, capped at one tally flush.
+        // Checking only at flush boundaries would quantize a sub-flush
+        // cadence up to 4096 steps and starve small fixtures of refreshes
+        // (0 = no active schedule, never check).
+        let refresh_check = adaptive
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|s| s.step_interval())
+            .filter(|&e| e > 0)
+            .min()
+            .map_or(0, |m| m.min(TALLY_FLUSH));
 
         let kernels = if config.reference_kernels {
             KernelPath::Reference
@@ -537,6 +576,7 @@ impl<'g> GemTrainer<'g> {
             edge_tables,
             noise_tables,
             adaptive,
+            refresh_check,
             lut: SigmoidLut::new(),
             kernels,
             steps_done: CachePadded::new(AtomicU64::new(0)),
@@ -603,6 +643,41 @@ impl<'g> GemTrainer<'g> {
         &self.config
     }
 
+    /// Whether any adaptive sampler state exists (GEM-A): gates the
+    /// background refresher thread and the boundary refresh passes.
+    fn has_adaptive(&self) -> bool {
+        self.adaptive.iter().flatten().any(|s| s.is_some())
+    }
+
+    /// Refresh every adaptive sampler whose step-indexed schedule is due at
+    /// `global_step` (see [`AdaptiveState::refresh_if_due`]). Called at
+    /// step-indexed check points only — `refresh_check` multiples, sharded
+    /// window merges, chunk ends — never from the draw hot path.
+    fn refresh_adaptive_due(&self, global_step: u64) {
+        for (gi, per_graph) in self.adaptive.iter().enumerate() {
+            for (side, state) in per_graph.iter().enumerate() {
+                let Some(state) = state else { continue };
+                let kind = if side == 0 {
+                    self.graphs[gi].left_kind()
+                } else {
+                    self.graphs[gi].right_kind()
+                };
+                state.refresh_if_due(global_step, self.embeddings.of(kind));
+            }
+        }
+    }
+
+    /// First refresh-check point strictly after `step` (`u64::MAX` when no
+    /// adaptive schedule is active). A pure function of the global step
+    /// index, so chunked / checkpointed / profiled runs check — and
+    /// therefore refresh — at identical points.
+    fn next_refresh_check_after(&self, step: u64) -> u64 {
+        match self.refresh_check {
+            0 => u64::MAX,
+            c => (step / c + 1) * c,
+        }
+    }
+
     /// Progress so far.
     pub fn progress(&self) -> TrainProgress {
         TrainProgress { steps: self.steps_done.load(Ordering::Relaxed) }
@@ -628,13 +703,14 @@ impl<'g> GemTrainer<'g> {
         }
     }
 
-    /// Fallible [`GemTrainer::run`]: each Hogwild worker executes under
-    /// `catch_unwind`, so a panicking worker (a bug, or the armed
-    /// `train.worker_panic` / `train.adaptive_refresh` fail points) is
-    /// *contained* — the remaining workers finish their quotas, every
-    /// flushed tally survives in the metrics, and the panic comes back as
-    /// [`TrainError::WorkerPanicked`] instead of unwinding through the
-    /// caller's stack. On failure the shared step counter is **not**
+    /// Fallible [`GemTrainer::run`]: each Hogwild worker — and, for GEM-A,
+    /// the background adaptive-refresh thread (reported as worker index
+    /// `threads`) — executes under `catch_unwind`, so a panicking thread (a
+    /// bug, or the armed `train.worker_panic` / `train.adaptive_refresh`
+    /// fail points) is *contained* — the remaining workers finish their
+    /// quotas, every flushed tally survives in the metrics, and the panic
+    /// comes back as [`TrainError::WorkerPanicked`] instead of unwinding
+    /// through the caller's stack. On failure the shared step counter is **not**
     /// advanced (the chunk is half-applied and unusable for deterministic
     /// continuation) and the trainer is poisoned: subsequent runs return
     /// [`TrainError::Poisoned`] until [`GemTrainer::resume_from`] restores
@@ -663,6 +739,11 @@ impl<'g> GemTrainer<'g> {
             let tables = self.worker_tables();
             let mut tally = StepTally::default();
             let result = catch_unwind(AssertUnwindSafe(|| {
+                // Adaptive refresh at step-indexed check points (one per
+                // active interval, at most one flush apart): deterministic,
+                // so single-thread GEM-A stays reproducible. GEM-P pays one
+                // u64 compare per step.
+                let mut next_check = self.next_refresh_check_after(chunk);
                 for i in 0..steps {
                     tally.observe(self.step_impl(
                         &mut rng,
@@ -680,7 +761,15 @@ impl<'g> GemTrainer<'g> {
                             panic!("injected fault: train.worker_panic");
                         }
                     }
+                    let global = chunk + i + 1;
+                    if global >= next_check {
+                        self.refresh_adaptive_due(global);
+                        next_check = self.next_refresh_check_after(global);
+                    }
                 }
+                // Chunk-end pass so a due refresh never slips past a chunk
+                // boundary (idempotent if the loop already covered it).
+                self.refresh_adaptive_due(chunk + steps);
             }));
             // Flush *outside* the caught closure: partial progress up to the
             // panic still reaches the metrics and journal.
@@ -690,59 +779,121 @@ impl<'g> GemTrainer<'g> {
                     Some((0, panic_message(payload.as_ref())));
             }
         } else {
-            std::thread::scope(|scope| {
-                for t in 0..threads {
-                    let quota = steps / threads as u64
-                        + if (t as u64) < steps % threads as u64 { 1 } else { 0 };
-                    let seed = split_seed(base, t as u64 + 1);
-                    let failure = &failure;
-                    scope.spawn(move || {
-                        // Worker-lifetime span: each worker thread records
-                        // into its own ring, so worker timelines land on
-                        // separate rows of the Chrome trace.
-                        let mut worker_span = self.tracer.span("train.worker", "train");
-                        worker_span.arg("worker", t as u64);
-                        worker_span.arg("quota", quota);
-                        let mut rng = rng_from_seed(seed);
-                        let mut bufs = StepBuffers::new(self.config.dim);
-                        // Private sampling tables: positive-edge draws touch
-                        // only this worker's memory (see [`WorkerTables`]).
-                        let tables = self.worker_tables();
-                        let mut tally = StepTally::default();
+            // Shared progress estimate for the background refresher: each
+            // worker adds its steps at `bump` granularity — the tightest
+            // active refresh interval, at most one tally flush — so a
+            // sub-flush schedule is not quantized up to 4096 steps.
+            let bump = match self.refresh_check {
+                0 => TALLY_FLUSH,
+                c => c,
+            };
+            let live_steps = CachePadded::new(AtomicU64::new(chunk));
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|outer| {
+                // Background refresher (GEM-A only): owns every
+                // adaptive-ranking rebuild so Hogwild workers never stall on
+                // one — rebuilds are double-buffered, so samplers keep
+                // reading the previous rankings until the swap. Workers
+                // unpark it at every tally flush; it refreshes whatever the
+                // step-indexed schedule says is due at the reported
+                // progress. Its panics (e.g. the `train.adaptive_refresh`
+                // fail point) are contained exactly like a worker's,
+                // reported with worker index `threads`.
+                let refresher = self.has_adaptive().then(|| {
+                    let (failure, live_steps, stop) = (&failure, &live_steps, &stop);
+                    outer.spawn(move || {
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            for i in 0..quota {
-                                // Workers share the global decay clock
-                                // approximately: worker `t` takes step
-                                // indices `chunk + t, chunk + t + threads,
-                                // ...`, so the workers jointly cover
-                                // `chunk..chunk + steps` and every index
-                                // drives the learning-rate schedule exactly
-                                // once.
-                                let step_idx = chunk + t as u64 + i * threads as u64;
-                                tally.observe(self.step_impl(
-                                    &mut rng,
-                                    &mut bufs,
-                                    &tables,
-                                    step_idx,
-                                    &mut NoProf,
-                                    &mut DirectApply,
-                                ));
-                                if tally.steps == TALLY_FLUSH {
-                                    tally.flush_into(&self.metrics);
-                                    if faults::should_fail("train.worker_panic") {
-                                        panic!("injected fault: train.worker_panic");
-                                    }
+                            loop {
+                                self.refresh_adaptive_due(live_steps.load(Ordering::Relaxed));
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
                                 }
+                                std::thread::park_timeout(std::time::Duration::from_millis(1));
                             }
+                            // Chunk-end pass so a due refresh never slips
+                            // past a chunk boundary.
+                            self.refresh_adaptive_due(chunk + steps);
                         }));
-                        tally.flush_into(&self.metrics);
                         if let Err(payload) = result {
                             let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
                             if slot.is_none() {
-                                *slot = Some((t, panic_message(payload.as_ref())));
+                                *slot = Some((threads, panic_message(payload.as_ref())));
                             }
                         }
-                    });
+                    })
+                });
+                let refresher_thread = refresher.as_ref().map(|h| h.thread().clone());
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let quota = steps / threads as u64
+                            + if (t as u64) < steps % threads as u64 { 1 } else { 0 };
+                        let seed = split_seed(base, t as u64 + 1);
+                        let failure = &failure;
+                        let live_steps = &live_steps;
+                        let refresher_thread = refresher_thread.clone();
+                        scope.spawn(move || {
+                            // Worker-lifetime span: each worker thread records
+                            // into its own ring, so worker timelines land on
+                            // separate rows of the Chrome trace.
+                            let mut worker_span = self.tracer.span("train.worker", "train");
+                            worker_span.arg("worker", t as u64);
+                            worker_span.arg("quota", quota);
+                            let mut rng = rng_from_seed(seed);
+                            let mut bufs = StepBuffers::new(self.config.dim);
+                            // Private sampling tables: positive-edge draws touch
+                            // only this worker's memory (see [`WorkerTables`]).
+                            let tables = self.worker_tables();
+                            let mut tally = StepTally::default();
+                            let mut since_bump = 0u64;
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                for i in 0..quota {
+                                    // Workers share the global decay clock
+                                    // approximately: worker `t` takes step
+                                    // indices `chunk + t, chunk + t + threads,
+                                    // ...`, so the workers jointly cover
+                                    // `chunk..chunk + steps` and every index
+                                    // drives the learning-rate schedule exactly
+                                    // once.
+                                    let step_idx = chunk + t as u64 + i * threads as u64;
+                                    tally.observe(self.step_impl(
+                                        &mut rng,
+                                        &mut bufs,
+                                        &tables,
+                                        step_idx,
+                                        &mut NoProf,
+                                        &mut DirectApply,
+                                    ));
+                                    if tally.steps == TALLY_FLUSH {
+                                        tally.flush_into(&self.metrics);
+                                        if faults::should_fail("train.worker_panic") {
+                                            panic!("injected fault: train.worker_panic");
+                                        }
+                                    }
+                                    if let Some(rt) = &refresher_thread {
+                                        since_bump += 1;
+                                        if since_bump == bump {
+                                            since_bump = 0;
+                                            live_steps.fetch_add(bump, Ordering::Relaxed);
+                                            rt.unpark();
+                                        }
+                                    }
+                                }
+                            }));
+                            tally.flush_into(&self.metrics);
+                            if let Err(payload) = result {
+                                let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
+                                if slot.is_none() {
+                                    *slot = Some((t, panic_message(payload.as_ref())));
+                                }
+                            }
+                        });
+                    }
+                });
+                // Workers are done: stop the refresher (it makes one final
+                // chunk-boundary pass on the way out).
+                stop.store(true, Ordering::Relaxed);
+                if let Some(rt) = &refresher_thread {
+                    rt.unpark();
                 }
             });
         }
@@ -775,9 +926,10 @@ impl<'g> GemTrainer<'g> {
     /// 1/2/4 threads to one hash) and hot rows stop ping-ponging between
     /// cores mid-window — at the price of window-stale reads (one window =
     /// one [`TALLY_FLUSH`] cadence, the same staleness order Hogwild
-    /// already tolerates). The adaptive sampler's refresh cadence remains
-    /// draw-count-based and is the one part not determinism-pinned across
-    /// thread counts (GEM-P/PTE configs are fully deterministic).
+    /// already tolerates). The adaptive sampler refreshes at window
+    /// boundaries on its step-indexed schedule, so sharded GEM-A is
+    /// determinism-pinned across thread counts too (the GEM-A sharded
+    /// golden in `tests/sharded_determinism.rs`).
     ///
     /// Fail points, panic containment, poisoning and checkpoint semantics
     /// match [`GemTrainer::try_run`]: the `train.worker_panic` fail point
@@ -846,6 +998,24 @@ impl<'g> GemTrainer<'g> {
                         scope.spawn(move || self.replay_window(logs, wlen, threads, me));
                     }
                 });
+            }
+            // Boundary refresh: the merged matrices and the global step
+            // index at a window boundary are both bit-identical for every
+            // thread count, so the sharded GEM-A refresh sequence — and
+            // therefore the whole sharded stream — is thread-count
+            // deterministic (pinned by `tests/sharded_determinism.rs`).
+            // Contained like a worker panic so the armed
+            // `train.adaptive_refresh` fail point poisons the trainer
+            // instead of unwinding through the caller.
+            let refreshed = catch_unwind(AssertUnwindSafe(|| {
+                self.refresh_adaptive_due(chunk + window_start + wlen);
+            }));
+            if let Err(payload) = refreshed {
+                let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some((threads, panic_message(payload.as_ref())));
+                }
+                break;
             }
             window_start += wlen;
         }
@@ -952,6 +1122,9 @@ impl<'g> GemTrainer<'g> {
         let tables = self.worker_tables();
         let mut prof = PhaseProf::new();
         let mut tally = StepTally::default();
+        // Mirror the unprofiled single-thread run's refresh check points so
+        // profiled GEM-A consumes the identical stream.
+        let mut next_check = self.next_refresh_check_after(chunk);
         for i in 0..steps {
             prof.begin();
             tally.observe(self.step_impl(
@@ -965,8 +1138,14 @@ impl<'g> GemTrainer<'g> {
             if tally.steps == TALLY_FLUSH {
                 tally.flush_into(&self.metrics);
             }
+            let global = chunk + i + 1;
+            if global >= next_check {
+                self.refresh_adaptive_due(global);
+                next_check = self.next_refresh_check_after(global);
+            }
         }
         tally.flush_into(&self.metrics);
+        self.refresh_adaptive_due(chunk + steps);
         self.steps_done.fetch_add(steps, Ordering::Relaxed);
         prof.breakdown.steps = steps;
         // Emit the aggregate breakdown as three synthetic back-to-back
@@ -1276,9 +1455,9 @@ impl<'g> GemTrainer<'g> {
         rng: &mut SeededRng,
     ) -> Option<u32> {
         let graph = self.graphs[gi];
-        let (count, kind) = match side {
-            Side::Left => (graph.left_count(), graph.left_kind()),
-            Side::Right => (graph.right_count(), graph.right_kind()),
+        let count = match side {
+            Side::Left => graph.left_count(),
+            Side::Right => graph.right_count(),
         };
         if count <= 1 {
             return None;
@@ -1292,8 +1471,9 @@ impl<'g> GemTrainer<'g> {
                     table.sample(rng) as u32
                 }
                 NoiseKind::Adaptive => {
+                    // Rankings refresh elsewhere (step-indexed boundaries /
+                    // the background refresher); the draw path only reads.
                     let state = self.adaptive[gi][side as usize].as_ref()?;
-                    state.maybe_refresh(self.embeddings.of(kind));
                     state.sample(context, rng)
                 }
             };
@@ -1324,7 +1504,9 @@ impl<'g> GemTrainer<'g> {
     /// Snapshot everything a resumed run needs: the model matrices, the
     /// step counter (which determines every future chunk's derived seed),
     /// the master seed (for mismatch detection at restore time), and the
-    /// adaptive samplers' draw counters.
+    /// adaptive samplers' refresh schedules (the step index each one's next
+    /// refresh is due at — stored in the checkpoint's historically named
+    /// `adaptive_draws` slots).
     ///
     /// Taken at a chunk boundary this is a *complete* description of a
     /// single-thread run's future: per-chunk RNG streams are derived from
@@ -1337,7 +1519,7 @@ impl<'g> GemTrainer<'g> {
             seed: self.config.seed,
             steps: self.steps_done.load(Ordering::Relaxed),
             adaptive_draws: std::array::from_fn(|i| {
-                self.adaptive[i / 2][i % 2].as_ref().map(|s| s.draws()).unwrap_or(0)
+                self.adaptive[i / 2][i % 2].as_ref().map(|s| s.next_refresh_at()).unwrap_or(0)
             }),
             model: self.model(),
         }
@@ -1347,8 +1529,8 @@ impl<'g> GemTrainer<'g> {
     /// matrices are overwritten, the step counter rewinds/advances to the
     /// checkpointed value (so the next chunk derives the same seed the
     /// crashed run would have), adaptive rankings are rebuilt from the
-    /// restored matrices and their draw counters continue the pre-crash
-    /// refresh cadence.
+    /// restored matrices and their refresh schedules continue the
+    /// pre-crash step-indexed cadence.
     ///
     /// # Errors
     /// [`TrainError::Restore`] when the checkpoint belongs to a different
@@ -1390,7 +1572,7 @@ impl<'g> GemTrainer<'g> {
                     self.graphs[gi].right_kind()
                 };
                 state.refresh_now(self.embeddings.of(kind));
-                state.set_draws(ckpt.adaptive_draws[gi * 2 + side]);
+                state.set_next_refresh_at(ckpt.adaptive_draws[gi * 2 + side]);
             }
         }
         self.poisoned.store(false, Ordering::Relaxed);

@@ -112,3 +112,67 @@ fn odd_thread_count_matches_in_process() {
     a.run(GOLDEN_STEPS, 3);
     assert_eq!(model_hash(&a.model()), SHARDED_GOLDEN_HASH);
 }
+
+// --- Sharded GEM-A: the adaptive refresh cadence is step-indexed. ---
+//
+// Historically the adaptive sampler counted *draws* on a shared atomic, so
+// its refresh schedule depended on thread interleaving and sharded GEM-A
+// could not be determinism-pinned. With the cadence derived from the global
+// step index and refreshes performed at window boundaries (where matrices
+// are bit-identical across thread counts), GEM-A gets its own cross-thread
+// golden.
+
+const ADAPTIVE_CHILD_ENV: &str = "GEM_SHARDED_ADAPTIVE_CHILD";
+
+/// Pinned hash of the sharded GEM-A stream. Regenerate (child test prints
+/// it) and update *in the same commit* on any deliberate stream change.
+const SHARDED_ADAPTIVE_GOLDEN_HASH: u64 = 0xd63f_e7a3_6b0a_28d2;
+
+fn sharded_adaptive_config() -> TrainConfig {
+    let mut cfg = TrainConfig::gem_a(4242);
+    cfg.dim = 24;
+    cfg.sigmoid_lut = false;
+    cfg.sharded_updates = true;
+    cfg
+}
+
+/// Child mode: train sharded GEM-A with the thread count named by the env
+/// var and print the model hash.
+#[test]
+fn child_emit_sharded_adaptive_hash() {
+    let Ok(threads) = std::env::var(ADAPTIVE_CHILD_ENV) else {
+        return; // Only meaningful when spawned by the driver test below.
+    };
+    let threads: usize = threads.parse().expect("thread count in env var");
+    let graphs = tiny_graphs();
+    let trainer = GemTrainer::new(&graphs, sharded_adaptive_config()).unwrap();
+    trainer.run(GOLDEN_STEPS, threads);
+    println!("HASH:{:016x}", model_hash(&trainer.model()));
+}
+
+#[test]
+fn sharded_adaptive_hash_is_identical_across_thread_counts() {
+    if std::env::var(ADAPTIVE_CHILD_ENV).is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let golden = format!("{SHARDED_ADAPTIVE_GOLDEN_HASH:016x}");
+    for threads in [1usize, 2, 4] {
+        let out = Command::new(&exe)
+            .args(["child_emit_sharded_adaptive_hash", "--exact", "--nocapture"])
+            .env(ADAPTIVE_CHILD_ENV, threads.to_string())
+            .output()
+            .expect("spawn child test");
+        assert!(
+            out.status.success(),
+            "{threads}-thread GEM-A child failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert_eq!(
+            field(&stdout, "HASH:", 16),
+            golden,
+            "{threads}-thread sharded GEM-A run diverged from the pinned adaptive golden hash"
+        );
+    }
+}

@@ -137,9 +137,9 @@ pub struct CheckpointProvenance {
 /// removes all per-query allocation (beyond the returned result vector).
 #[derive(Debug, Default)]
 pub struct ServeScratch {
-    q: Vec<f32>,
-    ta: TaScratch,
-    brute: BruteScratch,
+    pub(crate) q: Vec<f32>,
+    pub(crate) ta: TaScratch,
+    pub(crate) brute: BruteScratch,
 }
 
 impl ServeScratch {
@@ -735,6 +735,35 @@ mod tests {
         assert_eq!(snap.counter("serve.degraded"), degraded);
         assert_eq!(snap.counter("serve.queries"), 3);
         assert_eq!(snap.counter("serve.invalid_users"), 1);
+    }
+
+    /// Regression: a zero/expired budget must come back as a well-formed
+    /// empty `Degraded` response — not an unpolled full TA round — and the
+    /// expiry must land in `serve.degraded`. Before the fix the deadline
+    /// was first polled after 7 full rounds, so tiny spaces finished Exact
+    /// and the degradation counter stayed at zero under hard overload.
+    #[test]
+    fn expired_deadline_is_empty_degraded_and_counted() {
+        let reg = gem_obs::MetricsRegistry::new();
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let e = RecommendationEngine::build_with_metrics(
+            model,
+            &partners,
+            &events,
+            2,
+            crate::EngineMetrics::register(&reg),
+        );
+        for u in 0..3u32 {
+            let got = e.try_recommend_deadline(UserId(u), 3, Duration::ZERO).unwrap();
+            assert!(got.is_degraded(), "u={u}: zero budget served {got:?}");
+            assert!(got.recommendations.is_empty(), "u={u}");
+            assert_eq!(got.stats, TaStats::default(), "u={u}");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.deadline_queries"), 3);
+        assert_eq!(snap.counter("serve.degraded"), 3);
     }
 
     // --- engine construction from a checkpoint directory ---

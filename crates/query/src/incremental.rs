@@ -1,0 +1,788 @@
+//! Incremental TA-index maintenance under event churn.
+//!
+//! EBSN events are short-lived: they are announced, fill up, happen, and
+//! disappear, at a cadence far faster than a full engine rebuild (prune →
+//! transform → index) wants to run. This module keeps a *base* TA index
+//! immutable and absorbs churn into two small overlays:
+//!
+//! * a **removed set** — base candidate pairs that are no longer part of
+//!   any partner's pruned top-k (their event retired, or they were evicted
+//!   by a better new event). The base TA search filters them out; the
+//!   threshold proof stays valid because removal only shrinks the
+//!   candidate set.
+//! * a **delta list** — candidate pairs that entered a partner's pruned
+//!   top-k after the base was built, stored as pre-transformed `2K+1`
+//!   points. Deltas are scanned exhaustively per query (they are small by
+//!   construction — past the staleness budget the owner rebuilds) and
+//!   merged with the base TA results.
+//!
+//! The maintained invariant is exactly the §IV pruning rule: after any
+//! sequence of [`IncrementalEngine::add_event`] /
+//! [`IncrementalEngine::retire_event`] calls, the served candidate set
+//! equals `top_k_events_per_partner(model, partners, live_events, k)` —
+//! the same pairs, with bitwise-identical scores, as an engine rebuilt
+//! from scratch on the final event set (property-tested below). Delta
+//! scores are computed with the same `A + B + C` decomposition as the TA
+//! random access, so base and delta candidates are directly comparable.
+//!
+//! Ownership is split for the serving daemon: one maintenance thread owns
+//! the mutable [`IncrementalEngine`] master and periodically publishes an
+//! immutable [`EngineSnapshot`] (an `Arc` over the shared base plus copies
+//! of the small overlays) that any number of serving threads query
+//! concurrently.
+
+use crate::engine::{DeadlineRecommendations, Recommendation, ServeError, ServeScratch};
+use crate::metrics::EngineMetrics;
+use crate::ta::{TaCompletion, TaIndex, TaStats};
+use crate::transform::TransformedSpace;
+use gem_core::math::dot;
+use gem_core::{EventScorer, GemModel};
+use gem_ebsn::{EventId, UserId};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An incremental-maintenance error. Like [`ServeError`], maintenance
+/// errors are per-operation: one bad event id must never poison the
+/// maintenance thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintError {
+    /// The event id is outside the model's event matrix: there is no
+    /// embedding to score it with. (Cold-start events need a model refresh,
+    /// not an index patch.)
+    UnknownEvent {
+        /// The offending event id.
+        event: EventId,
+        /// Number of events the serving model knows about.
+        num_events: usize,
+    },
+}
+
+impl std::fmt::Display for MaintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaintError::UnknownEvent { event, num_events } => {
+                write!(f, "unknown event {event:?}: model has {num_events} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaintError {}
+
+/// Immutable base generation: model, transformed space and TA index built
+/// from one pruning pass. Shared by the master and all live snapshots.
+pub(crate) struct IndexBase {
+    pub(crate) model: GemModel,
+    pub(crate) space: TransformedSpace,
+    pub(crate) index: TaIndex,
+    pub(crate) partners: Vec<UserId>,
+}
+
+/// Ranking order for per-partner top-k entries: descending score, ties by
+/// ascending event id — identical to `prune::top_k_events_per_partner`.
+fn cmp_entry(a: &(f32, EventId), b: &(f32, EventId)) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// The per-partner pruned top-`take` over `events`, in ranking order.
+/// Selection and order match `prune::top_k_events_per_partner` bit for bit.
+fn partner_top(
+    model: &GemModel,
+    partner: UserId,
+    events: &[EventId],
+    take: usize,
+) -> Vec<(f32, EventId)> {
+    let mut scored: Vec<(f32, EventId)> =
+        events.iter().map(|&x| (model.score_event(partner, x) as f32, x)).collect();
+    scored.sort_unstable_by(cmp_entry);
+    scored.truncate(take);
+    scored
+}
+
+/// Mutable master of the incrementally-maintained engine. Owned by one
+/// maintenance thread; serving threads query [`EngineSnapshot`]s published
+/// via [`Self::snapshot`].
+pub struct IncrementalEngine {
+    base: Arc<IndexBase>,
+    metrics: EngineMetrics,
+    top_k: usize,
+    /// Live event ids, ascending.
+    live: Vec<EventId>,
+    /// Per-partner pruned top-k (aligned with `base.partners`), each in
+    /// ranking order. Invariant: `tops[i] == partner_top(model, partners[i],
+    /// live, min(top_k, live.len()))`.
+    tops: Vec<Vec<(f32, EventId)>>,
+    /// `(partner, event)` raw-id pairs present in the base space.
+    base_pairs: HashSet<(u32, u32)>,
+    /// Base pairs currently masked out of queries.
+    removed: HashSet<(u32, u32)>,
+    /// Overlay pairs not present in the base, plus their transformed
+    /// points (row-major, `2K+1` each) and a lookup by raw-id pair.
+    delta_pairs: Vec<(UserId, EventId)>,
+    delta_points: Vec<f32>,
+    delta_slot: HashMap<(u32, u32), usize>,
+    /// Add/retire operations absorbed since the last (re)build.
+    ops_since_rebuild: usize,
+}
+
+impl IncrementalEngine {
+    /// Build the initial base generation from `events`, pruned to each
+    /// partner's top-`top_k`.
+    pub fn build(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k: usize,
+        metrics: EngineMetrics,
+    ) -> Self {
+        let mut live: Vec<EventId> = events.to_vec();
+        live.sort_unstable();
+        live.dedup();
+        let take = top_k.min(live.len());
+        let tops: Vec<Vec<(f32, EventId)>> =
+            partners.iter().map(|&p| partner_top(&model, p, &live, take)).collect();
+        let (base, base_pairs) = Self::base_from_tops(model, partners.to_vec(), &tops, &metrics);
+        Self {
+            base,
+            metrics,
+            top_k,
+            live,
+            tops,
+            base_pairs,
+            removed: HashSet::new(),
+            delta_pairs: Vec::new(),
+            delta_points: Vec::new(),
+            delta_slot: HashMap::new(),
+            ops_since_rebuild: 0,
+        }
+    }
+
+    fn base_from_tops(
+        model: GemModel,
+        partners: Vec<UserId>,
+        tops: &[Vec<(f32, EventId)>],
+        metrics: &EngineMetrics,
+    ) -> (Arc<IndexBase>, HashSet<(u32, u32)>) {
+        let candidates: Vec<(UserId, EventId)> = partners
+            .iter()
+            .zip(tops)
+            .flat_map(|(&p, top)| top.iter().map(move |&(_, x)| (p, x)))
+            .collect();
+        let base_pairs: HashSet<(u32, u32)> = candidates.iter().map(|&(p, x)| (p.0, x.0)).collect();
+        let space = TransformedSpace::build(&model, &candidates);
+        let index = TaIndex::build(&space);
+        metrics.build_candidate_pairs.set(space.len() as f64);
+        (Arc::new(IndexBase { model, space, index, partners }), base_pairs)
+    }
+
+    /// The model the engine serves.
+    pub fn model(&self) -> &GemModel {
+        &self.base.model
+    }
+
+    /// Live event ids, ascending.
+    pub fn live_events(&self) -> &[EventId] {
+        &self.live
+    }
+
+    /// Add/retire operations absorbed since the last full (re)build.
+    pub fn staleness(&self) -> usize {
+        self.ops_since_rebuild
+    }
+
+    /// Candidate pairs currently served from the delta overlay.
+    pub fn delta_len(&self) -> usize {
+        self.delta_pairs.len()
+    }
+
+    /// Base pairs currently masked out of queries.
+    pub fn removed_len(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// True once the absorbed churn exceeds `budget` operations: the
+    /// overlays have grown enough that the per-query delta scan and
+    /// removed-set filtering stop being cheap, and the owner should fold
+    /// them into a fresh base via [`Self::rebuild`].
+    pub fn needs_rebuild(&self, budget: usize) -> bool {
+        self.ops_since_rebuild > budget
+    }
+
+    /// Record an event as live and patch every partner's pruned top-k.
+    ///
+    /// Returns `Ok(true)` if the event was added, `Ok(false)` if it was
+    /// already live (idempotent), and an error for an id outside the
+    /// model's event matrix.
+    pub fn add_event(&mut self, x: EventId) -> Result<bool, MaintError> {
+        if x.index() >= self.base.model.num_events() {
+            return Err(MaintError::UnknownEvent {
+                event: x,
+                num_events: self.base.model.num_events(),
+            });
+        }
+        let Err(pos) = self.live.binary_search(&x) else {
+            return Ok(false);
+        };
+        self.live.insert(pos, x);
+        let take = self.top_k.min(self.live.len());
+        for i in 0..self.base.partners.len() {
+            let p = self.base.partners[i];
+            let entry = (self.base.model.score_event(p, x) as f32, x);
+            if self.tops[i].len() < take {
+                // The top held every live event (|live| ≤ k): it grows.
+                insert_ranked(&mut self.tops[i], entry);
+                self.mark_present(p, x);
+            } else if take > 0 {
+                let worst = *self.tops[i].last().expect("top is non-empty when take > 0");
+                if cmp_entry(&entry, &worst).is_lt() {
+                    insert_ranked(&mut self.tops[i], entry);
+                    let evicted = self.tops[i].pop().expect("overflow entry");
+                    self.mark_absent(p, evicted.1);
+                    self.mark_present(p, x);
+                }
+            }
+        }
+        self.ops_since_rebuild += 1;
+        self.metrics.maint_adds.inc();
+        Ok(true)
+    }
+
+    /// Retire a live event and refill the pruned top-k of every partner
+    /// that was serving it.
+    ///
+    /// Returns `Ok(true)` if the event was retired, `Ok(false)` if it was
+    /// not live (idempotent — retiring twice is a no-op, not an error).
+    pub fn retire_event(&mut self, x: EventId) -> Result<bool, MaintError> {
+        let Ok(pos) = self.live.binary_search(&x) else {
+            return Ok(false);
+        };
+        self.live.remove(pos);
+        let take = self.top_k.min(self.live.len());
+        for i in 0..self.base.partners.len() {
+            let Some(at) = self.tops[i].iter().position(|e| e.1 == x) else {
+                continue;
+            };
+            let p = self.base.partners[i];
+            self.tops[i].remove(at);
+            self.mark_absent(p, x);
+            if self.tops[i].len() < take {
+                // |live| > k: exactly one slot opened up — promote the best
+                // live event not already in the top (same ranking order as
+                // the pruning pass, so the invariant is restored exactly).
+                let top = &self.tops[i];
+                let refill = self
+                    .live
+                    .iter()
+                    .filter(|&&e| !top.iter().any(|t| t.1 == e))
+                    .map(|&e| (self.base.model.score_event(p, e) as f32, e))
+                    .min_by(cmp_entry);
+                if let Some(entry) = refill {
+                    insert_ranked(&mut self.tops[i], entry);
+                    self.mark_present(p, entry.1);
+                }
+            }
+        }
+        self.ops_since_rebuild += 1;
+        self.metrics.maint_retires.inc();
+        Ok(true)
+    }
+
+    /// Fold all absorbed churn into a fresh base generation: the overlays
+    /// empty out and [`Self::staleness`] resets to zero. Served results are
+    /// unchanged (the overlays already expressed the same candidate set);
+    /// only the per-query cost of carrying them is reclaimed.
+    pub fn rebuild(&mut self) {
+        let model = self.base.model.clone();
+        let partners = self.base.partners.clone();
+        let (base, base_pairs) = Self::base_from_tops(model, partners, &self.tops, &self.metrics);
+        self.base = base;
+        self.base_pairs = base_pairs;
+        self.removed.clear();
+        self.delta_pairs.clear();
+        self.delta_points.clear();
+        self.delta_slot.clear();
+        self.ops_since_rebuild = 0;
+        self.metrics.maint_rebuilds.inc();
+    }
+
+    /// Publish an immutable queryable view of the current state. Cheap:
+    /// the base is `Arc`-shared and only the small overlays are copied, so
+    /// the maintenance thread can publish per churn batch while serving
+    /// threads keep querying older snapshots undisturbed.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.metrics.maint_delta_pairs.set(self.delta_pairs.len() as f64);
+        self.metrics.maint_removed_pairs.set(self.removed.len() as f64);
+        EngineSnapshot {
+            base: Arc::clone(&self.base),
+            removed: Arc::new(self.removed.clone()),
+            delta_pairs: Arc::new(self.delta_pairs.clone()),
+            delta_points: Arc::new(self.delta_points.clone()),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Record `(p, x)` as part of the served candidate set.
+    fn mark_present(&mut self, p: UserId, x: EventId) {
+        let key = (p.0, x.0);
+        if self.base_pairs.contains(&key) {
+            self.removed.remove(&key);
+        } else if !self.delta_slot.contains_key(&key) {
+            let k = self.base.model.dim;
+            let pv = self.base.model.user_vec(p);
+            let xv = self.base.model.event_vec(x);
+            self.delta_slot.insert(key, self.delta_pairs.len());
+            self.delta_pairs.push((p, x));
+            self.delta_points.extend_from_slice(xv);
+            self.delta_points.extend_from_slice(pv);
+            self.delta_points.push(dot(pv, xv));
+            debug_assert_eq!(self.delta_points.len(), self.delta_pairs.len() * (2 * k + 1));
+        }
+    }
+
+    /// Record `(p, x)` as no longer part of the served candidate set.
+    fn mark_absent(&mut self, p: UserId, x: EventId) {
+        let key = (p.0, x.0);
+        if self.base_pairs.contains(&key) {
+            self.removed.insert(key);
+        } else if let Some(slot) = self.delta_slot.remove(&key) {
+            let dim = 2 * self.base.model.dim + 1;
+            let last = self.delta_pairs.len() - 1;
+            self.delta_pairs.swap_remove(slot);
+            if slot != last {
+                let (head, tail) = self.delta_points.split_at_mut(last * dim);
+                head[slot * dim..(slot + 1) * dim].copy_from_slice(&tail[..dim]);
+                let moved = self.delta_pairs[slot];
+                self.delta_slot.insert((moved.0 .0, moved.1 .0), slot);
+            }
+            self.delta_points.truncate(last * dim);
+        }
+    }
+}
+
+/// Insert `entry` into a ranking-ordered vector at its rank position.
+fn insert_ranked(top: &mut Vec<(f32, EventId)>, entry: (f32, EventId)) {
+    let at = top.partition_point(|e| cmp_entry(e, &entry).is_lt());
+    top.insert(at, entry);
+}
+
+/// Immutable queryable view published by [`IncrementalEngine::snapshot`].
+///
+/// Cloning is cheap (`Arc` bumps); snapshots are `Send + Sync` and meant to
+/// sit behind an atomically swapped generation cell in the serving daemon.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    base: Arc<IndexBase>,
+    removed: Arc<HashSet<(u32, u32)>>,
+    delta_pairs: Arc<Vec<(UserId, EventId)>>,
+    delta_points: Arc<Vec<f32>>,
+    metrics: EngineMetrics,
+}
+
+impl EngineSnapshot {
+    /// Number of users the serving model knows about.
+    pub fn num_users(&self) -> usize {
+        self.base.model.num_users()
+    }
+
+    /// Candidate pairs served by this snapshot (base minus removed plus
+    /// delta).
+    pub fn num_candidates(&self) -> usize {
+        self.base.space.len() - self.removed.len() + self.delta_pairs.len()
+    }
+
+    /// Exact top-`n` event-partner recommendations for `user` via the base
+    /// TA search merged with the delta overlay. Records the usual
+    /// `serve.*` metrics.
+    pub fn try_top_n(
+        &self,
+        user: UserId,
+        n: usize,
+        scratch: &mut ServeScratch,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        let (results, _, _) = self.search(user, n, None, scratch)?;
+        Ok(results)
+    }
+
+    /// Deadline-bounded [`Self::try_top_n`]: the base TA search runs with a
+    /// wall-clock deadline of `now + budget` and may degrade to a verified
+    /// prefix; the delta overlay is always scanned in full (it is small by
+    /// the staleness budget, and skipping it could serve retired-adjacent
+    /// stale pairs above fresh ones). Expiries count into `serve.degraded`.
+    pub fn try_top_n_deadline(
+        &self,
+        user: UserId,
+        n: usize,
+        budget: Duration,
+        scratch: &mut ServeScratch,
+    ) -> Result<DeadlineRecommendations, ServeError> {
+        let deadline = Instant::now() + budget;
+        let (recommendations, stats, completion) = self.search(user, n, Some(deadline), scratch)?;
+        Ok(DeadlineRecommendations { recommendations, stats, completion })
+    }
+
+    fn search(
+        &self,
+        user: UserId,
+        n: usize,
+        deadline: Option<Instant>,
+        scratch: &mut ServeScratch,
+    ) -> Result<(Vec<Recommendation>, TaStats, TaCompletion), ServeError> {
+        let model = &self.base.model;
+        if user.index() >= model.num_users() {
+            self.metrics.invalid_users.inc();
+            return Err(ServeError::UnknownUser { user, num_users: model.num_users() });
+        }
+        let started = if self.metrics.is_enabled() { Some(Instant::now()) } else { None };
+        TransformedSpace::query_vector_into(model, user, &mut scratch.q);
+        let removed = &*self.removed;
+        let filter = |p: UserId, x: EventId| p != user && !removed.contains(&(p.0, x.0));
+        let (mut results, mut stats, completion) = match deadline {
+            None => {
+                let (r, s) = self.base.index.top_n_with(
+                    &self.base.space,
+                    &scratch.q,
+                    n,
+                    filter,
+                    &mut scratch.ta,
+                );
+                (r, s, TaCompletion::Exact)
+            }
+            Some(d) => self.base.index.top_n_deadline_with(
+                &self.base.space,
+                &scratch.q,
+                n,
+                filter,
+                d,
+                &mut scratch.ta,
+            ),
+        };
+        // Delta overlay: exhaustive scan with the same A + B + C
+        // decomposition as the TA random access, so delta scores are
+        // bitwise comparable with base scores.
+        let k = model.dim;
+        let u = &scratch.q[0..k];
+        let qw = scratch.q[2 * k];
+        let dim = 2 * k + 1;
+        for (j, &(p, x)) in self.delta_pairs.iter().enumerate() {
+            if p == user {
+                continue;
+            }
+            let row = &self.delta_points[j * dim..(j + 1) * dim];
+            let score = dot(u, &row[0..k]) + dot(u, &row[k..2 * k]) + row[2 * k] * qw;
+            stats.scored += 1;
+            results.push((score, p, x));
+        }
+        if !self.delta_pairs.is_empty() {
+            results.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2))));
+            results.truncate(n);
+        }
+        if let Some(t0) = started {
+            self.metrics.query_ns_ta.record_duration(t0.elapsed());
+            self.metrics.queries.inc();
+            if deadline.is_some() {
+                self.metrics.deadline_queries.inc();
+                if completion == TaCompletion::Degraded {
+                    self.metrics.degraded.inc();
+                }
+            }
+            self.metrics.ta_scored.add(stats.scored as u64);
+            self.metrics.ta_sorted_accesses.add(stats.sorted_accesses as u64);
+        }
+        let recommendations = results
+            .into_iter()
+            .map(|(score, partner, event)| Recommendation { partner, event, score })
+            .collect();
+        Ok((recommendations, stats, completion))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Method, RecommendationEngine};
+    use crate::transform::toy_model;
+    use rand::RngExt;
+
+    fn random_model(nu: u32, nx: u32, dim: usize, seed: u64) -> GemModel {
+        let mut rng = gem_sampling::rng_from_seed(seed);
+        let users: Vec<f32> = (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let events: Vec<f32> = (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        GemModel::from_raw(dim, users, events, vec![], vec![], vec![])
+    }
+
+    /// Oracle: an engine rebuilt from scratch on the current live set.
+    fn scratch_engine(
+        model: &GemModel,
+        partners: &[UserId],
+        live: &[EventId],
+        k: usize,
+    ) -> RecommendationEngine {
+        RecommendationEngine::build(model.clone(), partners, live, k)
+    }
+
+    fn assert_matches_scratch(inc: &IncrementalEngine, partners: &[UserId], n: usize) {
+        let oracle = scratch_engine(inc.model(), partners, inc.live_events(), inc.top_k);
+        let snap = inc.snapshot();
+        let mut scratch = ServeScratch::new();
+        for &UserId(u) in partners {
+            let got = snap.try_top_n(UserId(u), n, &mut scratch).unwrap();
+            let (want, _) = oracle.try_recommend(UserId(u), n, Method::Ta).unwrap();
+            assert_eq!(got.len(), want.len(), "user {u}");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g.score - w.score).abs() < 1e-5,
+                    "user {u} rank {i}: incremental {g:?} vs scratch {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_build_matches_scratch_engine() {
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let inc = IncrementalEngine::build(model, &partners, &events, 2, EngineMetrics::disabled());
+        assert_matches_scratch(&inc, &partners, 5);
+        assert_eq!(inc.staleness(), 0);
+    }
+
+    #[test]
+    fn add_and_retire_track_the_scratch_engine() {
+        let nu = 20u32;
+        let nx = 15u32;
+        let model = random_model(nu, nx, 6, 11);
+        let partners: Vec<UserId> = (0..nu).map(UserId).collect();
+        let initial: Vec<EventId> = (0..6).map(EventId).collect();
+        let mut inc =
+            IncrementalEngine::build(model, &partners, &initial, 4, EngineMetrics::disabled());
+        for x in 6..12u32 {
+            assert_eq!(inc.add_event(EventId(x)), Ok(true));
+            assert_matches_scratch(&inc, &partners, 8);
+        }
+        for x in [0u32, 7, 3, 11] {
+            assert_eq!(inc.retire_event(EventId(x)), Ok(true));
+            assert_matches_scratch(&inc, &partners, 8);
+        }
+        assert_eq!(inc.staleness(), 10);
+    }
+
+    #[test]
+    fn add_is_idempotent_and_validates_ids() {
+        let model = toy_model(); // 2 events
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let mut inc =
+            IncrementalEngine::build(model, &partners, &[EventId(0)], 2, EngineMetrics::disabled());
+        assert_eq!(inc.add_event(EventId(0)), Ok(false));
+        assert_eq!(inc.add_event(EventId(1)), Ok(true));
+        assert_eq!(inc.add_event(EventId(1)), Ok(false));
+        assert_eq!(
+            inc.add_event(EventId(9)),
+            Err(MaintError::UnknownEvent { event: EventId(9), num_events: 2 })
+        );
+        assert_eq!(inc.retire_event(EventId(9)), Ok(false)); // never live
+        assert_eq!(inc.staleness(), 1);
+    }
+
+    #[test]
+    fn retiring_every_event_serves_empty_results() {
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let mut inc =
+            IncrementalEngine::build(model, &partners, &events, 2, EngineMetrics::disabled());
+        assert_eq!(inc.retire_event(EventId(0)), Ok(true));
+        assert_eq!(inc.retire_event(EventId(1)), Ok(true));
+        assert!(inc.live_events().is_empty());
+        let snap = inc.snapshot();
+        let mut scratch = ServeScratch::new();
+        let recs = snap.try_top_n(UserId(0), 5, &mut scratch).unwrap();
+        assert!(recs.is_empty());
+        // And events can come back afterwards.
+        assert_eq!(inc.add_event(EventId(1)), Ok(true));
+        assert_matches_scratch(&inc, &partners, 5);
+    }
+
+    #[test]
+    fn rebuild_resets_staleness_and_preserves_results() {
+        let nu = 12u32;
+        let model = random_model(nu, 10, 4, 23);
+        let partners: Vec<UserId> = (0..nu).map(UserId).collect();
+        let initial: Vec<EventId> = (0..5).map(EventId).collect();
+        let mut inc =
+            IncrementalEngine::build(model, &partners, &initial, 3, EngineMetrics::disabled());
+        for x in 5..10u32 {
+            inc.add_event(EventId(x)).unwrap();
+        }
+        inc.retire_event(EventId(2)).unwrap();
+        assert!(inc.needs_rebuild(5));
+        let before = {
+            let snap = inc.snapshot();
+            let mut s = ServeScratch::new();
+            partners.iter().map(|&p| snap.try_top_n(p, 6, &mut s).unwrap()).collect::<Vec<_>>()
+        };
+        assert!(inc.delta_len() > 0);
+        inc.rebuild();
+        assert_eq!((inc.staleness(), inc.delta_len(), inc.removed_len()), (0, 0, 0));
+        assert!(!inc.needs_rebuild(5));
+        let snap = inc.snapshot();
+        let mut s = ServeScratch::new();
+        for (&p, want) in partners.iter().zip(&before) {
+            let got = snap.try_top_n(p, 6, &mut s).unwrap();
+            assert_eq!(got.len(), want.len(), "{p:?}");
+            for (g, w) in got.iter().zip(want) {
+                assert!((g.score - w.score).abs() < 1e-6, "{p:?}: {g:?} vs {w:?}");
+            }
+        }
+        assert_matches_scratch(&inc, &partners, 6);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_churn() {
+        let model = random_model(10, 8, 4, 31);
+        let partners: Vec<UserId> = (0..10).map(UserId).collect();
+        let initial: Vec<EventId> = (0..4).map(EventId).collect();
+        let mut inc =
+            IncrementalEngine::build(model, &partners, &initial, 3, EngineMetrics::disabled());
+        let old = inc.snapshot();
+        let mut s = ServeScratch::new();
+        let before = old.try_top_n(UserId(0), 5, &mut s).unwrap();
+        inc.add_event(EventId(7)).unwrap();
+        inc.retire_event(EventId(1)).unwrap();
+        // The old snapshot still serves the old candidate set.
+        let after = old.try_top_n(UserId(0), 5, &mut s).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn maintenance_metrics_are_recorded() {
+        let reg = gem_obs::MetricsRegistry::new();
+        let model = random_model(8, 8, 4, 43);
+        let partners: Vec<UserId> = (0..8).map(UserId).collect();
+        let initial: Vec<EventId> = (0..4).map(EventId).collect();
+        let mut inc =
+            IncrementalEngine::build(model, &partners, &initial, 2, EngineMetrics::register(&reg));
+        inc.add_event(EventId(5)).unwrap();
+        inc.add_event(EventId(6)).unwrap();
+        inc.retire_event(EventId(0)).unwrap();
+        let _ = inc.snapshot();
+        inc.rebuild();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("maint.adds"), 2);
+        assert_eq!(snap.counter("maint.retires"), 1);
+        assert_eq!(snap.counter("maint.rebuilds"), 1);
+    }
+
+    #[test]
+    fn deadline_query_degrades_but_stays_consistent() {
+        let nu = 200u32;
+        let nx = 60u32;
+        let model = random_model(nu, nx, 8, 53);
+        let partners: Vec<UserId> = (0..nu).map(UserId).collect();
+        let initial: Vec<EventId> = (0..40).map(EventId).collect();
+        let mut inc =
+            IncrementalEngine::build(model, &partners, &initial, 30, EngineMetrics::disabled());
+        for x in 40..nx {
+            inc.add_event(EventId(x)).unwrap();
+        }
+        let snap = inc.snapshot();
+        let mut s = ServeScratch::new();
+        let exact = snap.try_top_n(UserId(3), 10, &mut s).unwrap();
+        let generous =
+            snap.try_top_n_deadline(UserId(3), 10, Duration::from_secs(60), &mut s).unwrap();
+        assert_eq!(generous.completion, TaCompletion::Exact);
+        assert_eq!(generous.recommendations, exact);
+        let expired = snap.try_top_n_deadline(UserId(3), 10, Duration::ZERO, &mut s).unwrap();
+        assert!(expired.is_degraded());
+        // The delta overlay is always scanned, so even a zero budget serves
+        // a well-formed (sorted, bounded) ranking from the overlay alone.
+        assert!(expired.recommendations.len() <= 10);
+        for w in expired.recommendations.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(expired.recommendations.iter().all(|r| r.partner != UserId(3)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::engine::{Method, RecommendationEngine};
+    use proptest::prelude::*;
+    use rand::RngExt;
+
+    proptest! {
+        /// Satellite invariant: *any* sequence of add/retire operations
+        /// leaves the incremental engine serving exactly what an engine
+        /// rebuilt from scratch on the final live set serves.
+        #[test]
+        fn churn_sequence_equals_scratch_rebuild(
+            dim in 2usize..5,
+            nu in 4u32..16,
+            nx in 3u32..14,
+            k in 1usize..6,
+            n in 1usize..8,
+            seed in 0u64..500,
+            ops in prop::collection::vec((0u32..2, 0u32..14), 0..24),
+        ) {
+            let mut rng = gem_sampling::rng_from_seed(seed);
+            let users: Vec<f32> =
+                (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+            let events: Vec<f32> =
+                (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+            let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+            let partners: Vec<UserId> = (0..nu).map(UserId).collect();
+            // Start from an arbitrary prefix of the event pool.
+            let initial: Vec<EventId> = (0..nx / 2).map(EventId).collect();
+            let mut inc = IncrementalEngine::build(
+                model.clone(),
+                &partners,
+                &initial,
+                k,
+                EngineMetrics::disabled(),
+            );
+            let mut live: std::collections::BTreeSet<EventId> =
+                initial.iter().copied().collect();
+            for &(op, raw) in &ops {
+                let add = op == 0;
+                let x = EventId(raw);
+                if add {
+                    let want = raw < nx && !live.contains(&x);
+                    prop_assert_eq!(inc.add_event(x).ok() == Some(true), want);
+                    if want { live.insert(x); }
+                } else {
+                    let want = live.remove(&x);
+                    prop_assert_eq!(inc.retire_event(x), Ok(want));
+                }
+            }
+            let final_live: Vec<EventId> = live.iter().copied().collect();
+            prop_assert_eq!(inc.live_events(), &final_live[..]);
+            let oracle = RecommendationEngine::build(model, &partners, &final_live, k);
+            let snap = inc.snapshot();
+            let mut scratch = ServeScratch::new();
+            for &u in [0u32, nu / 2, nu - 1].iter() {
+                let got = snap.try_top_n(UserId(u), n, &mut scratch).unwrap();
+                let (want, _) = oracle.try_recommend(UserId(u), n, Method::Ta).unwrap();
+                prop_assert_eq!(got.len(), want.len(), "user {}", u);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    prop_assert!(
+                        (g.score - w.score).abs() < 1e-5,
+                        "user {} rank {}: incremental {:?} vs scratch {:?}", u, i, g, w
+                    );
+                }
+            }
+            // Folding the overlays into a fresh base must not change results.
+            inc.rebuild();
+            let snap = inc.snapshot();
+            for &u in [0u32, nu - 1].iter() {
+                let got = snap.try_top_n(UserId(u), n, &mut scratch).unwrap();
+                let (want, _) = oracle.try_recommend(UserId(u), n, Method::Ta).unwrap();
+                prop_assert_eq!(got.len(), want.len(), "user {} post-rebuild", u);
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert!((g.score - w.score).abs() < 1e-5, "post-rebuild {:?} vs {:?}", g, w);
+                }
+            }
+        }
+    }
+}

@@ -24,7 +24,12 @@
 //!    to a verified prefix of the top-n instead of blowing its budget, and
 //!    [`RecommendationEngine::build_from_checkpoints`] which serves the
 //!    newest checkpoint generation that passes validation.
-//! 6. [`metrics`] — pre-registered gem-obs handles ([`EngineMetrics`]) for
+//! 6. [`incremental`] — incremental TA-index maintenance under event
+//!    churn: an [`IncrementalEngine`] master absorbs add/retire operations
+//!    into small removed/delta overlays over an immutable base index and
+//!    publishes cheap [`EngineSnapshot`]s for concurrent serving, falling
+//!    back to a full rebuild past a staleness budget.
+//! 7. [`metrics`] — pre-registered gem-obs handles ([`EngineMetrics`]) for
 //!    per-query latency, TA work counters and build-phase timings; for
 //!    time-resolved views, [`RecommendationEngine::build_traced`] +
 //!    [`ServeTracing`] additionally emit `build.*` and `serve.*` spans into
@@ -42,6 +47,7 @@
 
 pub mod brute;
 pub mod engine;
+pub mod incremental;
 pub mod metrics;
 pub mod prune;
 pub mod ta;
@@ -52,6 +58,7 @@ pub use engine::{
     CheckpointProvenance, DeadlineRecommendations, Method, Recommendation, RecommendationEngine,
     ServeError, ServeScratch, ServeTracing,
 };
+pub use incremental::{EngineSnapshot, IncrementalEngine, MaintError};
 pub use metrics::EngineMetrics;
 pub use prune::top_k_events_per_partner;
 pub use ta::{TaCompletion, TaIndex, TaScratch, TaStats};

@@ -40,6 +40,17 @@ pub struct EngineMetrics {
     pub(crate) build_index_ns: Gauge,
     /// `build.candidate_pairs` — candidate pairs after pruning, last build.
     pub(crate) build_candidate_pairs: Gauge,
+    /// `maint.adds` — events added through incremental maintenance.
+    pub(crate) maint_adds: Counter,
+    /// `maint.retires` — events retired through incremental maintenance.
+    pub(crate) maint_retires: Counter,
+    /// `maint.rebuilds` — full index rebuilds absorbed by maintenance.
+    pub(crate) maint_rebuilds: Counter,
+    /// `maint.delta_pairs` — candidate pairs currently served from the
+    /// delta overlay rather than the base TA index.
+    pub(crate) maint_delta_pairs: Gauge,
+    /// `maint.removed_pairs` — base-index pairs currently masked out.
+    pub(crate) maint_removed_pairs: Gauge,
 }
 
 impl EngineMetrics {
@@ -61,6 +72,11 @@ impl EngineMetrics {
             build_transform_ns: registry.gauge("build.transform_ns"),
             build_index_ns: registry.gauge("build.index_ns"),
             build_candidate_pairs: registry.gauge("build.candidate_pairs"),
+            maint_adds: registry.counter("maint.adds"),
+            maint_retires: registry.counter("maint.retires"),
+            maint_rebuilds: registry.counter("maint.rebuilds"),
+            maint_delta_pairs: registry.gauge("maint.delta_pairs"),
+            maint_removed_pairs: registry.gauge("maint.removed_pairs"),
         }
     }
 
@@ -80,6 +96,11 @@ impl EngineMetrics {
             build_transform_ns: Gauge::disabled(),
             build_index_ns: Gauge::disabled(),
             build_candidate_pairs: Gauge::disabled(),
+            maint_adds: Counter::disabled(),
+            maint_retires: Counter::disabled(),
+            maint_rebuilds: Counter::disabled(),
+            maint_delta_pairs: Gauge::disabled(),
+            maint_removed_pairs: Gauge::disabled(),
         }
     }
 
@@ -123,6 +144,11 @@ mod tests {
             "build.transform_ns",
             "build.index_ns",
             "build.candidate_pairs",
+            "maint.adds",
+            "maint.retires",
+            "maint.rebuilds",
+            "maint.delta_pairs",
+            "maint.removed_pairs",
         ] {
             assert!(snap.get(name).is_some(), "{name} missing");
         }

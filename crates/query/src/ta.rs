@@ -369,6 +369,12 @@ impl TaIndex {
     /// examining. The deadline is polled every few rounds, so the overrun
     /// past `deadline` is bounded by a handful of O(1) score evaluations.
     ///
+    /// A deadline that has already expired on entry returns a well-formed
+    /// *empty* [`TaCompletion::Degraded`] result without performing a
+    /// single sorted access (the clock is polled before the first round).
+    /// Queries that are trivially exact — `n == 0` or an empty candidate
+    /// space — stay [`TaCompletion::Exact`] regardless of the deadline.
+    ///
     /// # Panics
     /// Panics if `q.len() != space.dim()` or the index was built from a
     /// space of a different size.
@@ -456,11 +462,13 @@ impl TaIndex {
         let mut round = 0u32;
 
         loop {
-            // Poll the clock every 8 rounds: one `Instant::now()` per ~24
-            // sorted accesses keeps the deadline overhead off the exact
-            // path's profile while bounding the overrun.
+            // Poll the clock on round 0 and every 8 rounds thereafter: one
+            // `Instant::now()` per ~24 sorted accesses keeps the deadline
+            // overhead off the exact path's profile while bounding the
+            // overrun. Checking *before* the increment means an
+            // already-expired deadline degrades before the first sorted
+            // access instead of silently running 7 full unpolled rounds.
             if let Some(d) = deadline {
-                round = round.wrapping_add(1);
                 if round.is_multiple_of(8) && Instant::now() >= d {
                     let c_bound = if c_pos < self.by_interaction.len() {
                         c_value(self.by_interaction[c_pos]) * q[2 * k]
@@ -471,6 +479,7 @@ impl TaIndex {
                     cutoff = a_cursor.bound() + b_cursor.bound() + c_bound;
                     break;
                 }
+                round = round.wrapping_add(1);
             }
             let mut progressed = false;
             // One sorted access per list per round.
@@ -766,6 +775,36 @@ mod tests {
             }
         }
         assert!(degraded_seen, "an already-expired deadline never degraded any query");
+    }
+
+    /// Regression: a deadline already in the past must degrade *before*
+    /// the first sorted access. The old poll ordering incremented the
+    /// round counter before the `is_multiple_of(8)` check, so the first
+    /// poll happened after 7 full rounds of sorted accesses — an expired
+    /// deadline silently did real work and could even return Exact on
+    /// small spaces.
+    #[test]
+    fn already_expired_deadline_degrades_before_any_work() {
+        let mut rng = gem_sampling::rng_from_seed(61);
+        let dim = 8;
+        let nu = 120u32;
+        let nx = 40u32;
+        let users: Vec<f32> = (0..nu as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let events: Vec<f32> = (0..nx as usize * dim).map(|_| rng.random::<f32>() - 0.3).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let space = cross_space(&model, nu, nx);
+        let index = TaIndex::build(&space);
+        let mut scratch = TaScratch::new();
+        for u in 0..8u32 {
+            let q = TransformedSpace::query_vector(&model, UserId(u));
+            let deadline = std::time::Instant::now() - std::time::Duration::from_secs(1);
+            let (results, stats, completion) =
+                index.top_n_deadline_with(&space, &q, 10, |_, _| true, deadline, &mut scratch);
+            assert_eq!(completion, TaCompletion::Degraded, "u={u}");
+            assert!(results.is_empty(), "u={u}: expired deadline did work: {results:?}");
+            assert_eq!(stats.sorted_accesses, 0, "u={u}");
+            assert_eq!(stats.scored, 0, "u={u}");
+        }
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! The serving daemon: a fixed pool of accept/serve threads over a shared
+//! nonblocking `TcpListener`, fronting one [`GenerationCell`] of
+//! [`EngineSnapshot`]s that a dedicated maintenance thread republishes
+//! after absorbing event churn.
+//!
+//! # Threads
+//!
+//! - **Serving workers** (`DaemonConfig::workers`): accept a connection,
+//!   run its keep-alive loop to completion, go back to accepting. Each
+//!   request pins one snapshot generation ([`GenerationCell::load`]),
+//!   passes per-shard admission ([`crate::shard::ShardSet`]) and serves
+//!   under a wall-clock deadline via
+//!   [`EngineSnapshot::try_top_n_deadline`] — the same deadline-degraded
+//!   contract as `RecommendationEngine::try_recommend_deadline`, so
+//!   overload degrades result quality (verified prefixes) and sheds load
+//!   (503) instead of growing queues.
+//! - **Maintenance thread**: owns the mutable [`IncrementalEngine`].
+//!   `POST /events/add|retire` enqueue onto its mpsc mailbox; it drains
+//!   the mailbox in batches, applies the churn incrementally, runs a full
+//!   rebuild once [`IncrementalEngine::needs_rebuild`] crosses the
+//!   staleness budget — off the serving path; readers keep the old
+//!   generation until the swap — and publishes a fresh snapshot.
+//!
+//! # Drain
+//!
+//! A drain starts when the process receives SIGTERM/SIGINT (via
+//! [`crate::signal`], when `watch_os_signals` is set), or `POST /shutdown`
+//! arrives, or [`Daemon::shutdown`] is called. Workers stop accepting,
+//! finish the request in flight on each open connection, answer it with
+//! `Connection: close`, and exit; then the maintenance mailbox is closed,
+//! the maintenance thread drains it and returns the engine master; then
+//! the final metrics snapshot is appended to the journal (if configured).
+//!
+//! # Routes
+//!
+//! | Route | Reply |
+//! |---|---|
+//! | `GET /healthz` | `200 ok` |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /stats` | metrics snapshot as JSON |
+//! | `GET /recommend?user=U&n=N` | top-N for U, deadline-bounded |
+//! | `POST /recommend_batch?n=N` (body: comma-separated user ids) | per-user top-N, one pinned generation |
+//! | `POST /events/add?event=X` | `202`, queued for maintenance |
+//! | `POST /events/retire?event=X` | `202`, queued for maintenance |
+//! | `POST /shutdown` | `200`, starts a drain |
+
+use crate::http::{self, ParseError, Request, Response};
+use crate::shard::ShardSet;
+use crate::signal;
+use crate::swap::GenerationCell;
+use gem_ebsn::{EventId, UserId};
+use gem_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use gem_query::{EngineSnapshot, IncrementalEngine, Recommendation, ServeError, ServeScratch};
+use std::io::{self, BufReader};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Daemon::start`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Serving worker threads (each handles one connection at a time).
+    pub workers: usize,
+    /// Admission shards (users hash to shards by index).
+    pub shards: usize,
+    /// Max in-flight queries per shard before shedding with 503.
+    pub shard_capacity: usize,
+    /// Per-query deadline for `/recommend` and each batch entry.
+    pub deadline: Duration,
+    /// Churn ops absorbed incrementally before a background full rebuild.
+    pub staleness_budget: usize,
+    /// Default `n` when a request does not pass one.
+    pub top_n: usize,
+    /// Idle keep-alive read timeout (also bounds drain latency: a worker
+    /// blocked on an idle connection notices the drain within this).
+    pub idle_timeout: Duration,
+    /// Honour process-wide SIGTERM/SIGINT flags (disable in tests that
+    /// share a process).
+    pub watch_os_signals: bool,
+    /// Path for the final drain journal (metrics snapshot); `None` skips.
+    pub journal_path: Option<std::path::PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 4,
+            shards: 8,
+            shard_capacity: 64,
+            deadline: Duration::from_millis(5),
+            staleness_budget: 256,
+            top_n: 10,
+            idle_timeout: Duration::from_millis(100),
+            watch_os_signals: true,
+            journal_path: None,
+        }
+    }
+}
+
+/// Pre-registered `server.*` metric handles.
+#[derive(Debug, Clone)]
+pub(crate) struct ServerMetrics {
+    pub requests: Counter,
+    pub http_2xx: Counter,
+    pub http_4xx: Counter,
+    pub http_5xx: Counter,
+    pub overload_sheds: Counter,
+    pub batch_users: Counter,
+    pub churn_queued: Counter,
+    pub churn_rejected: Counter,
+    pub request_ns: Histogram,
+    pub generation: Gauge,
+    pub staleness: Gauge,
+    pub live_events: Gauge,
+    pub publishes: Counter,
+    pub rebuilds: Counter,
+}
+
+impl ServerMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        ServerMetrics {
+            requests: registry.counter("server.requests"),
+            http_2xx: registry.counter("server.http_2xx"),
+            http_4xx: registry.counter("server.http_4xx"),
+            http_5xx: registry.counter("server.http_5xx"),
+            overload_sheds: registry.counter("server.overload_sheds"),
+            batch_users: registry.counter("server.batch_users"),
+            churn_queued: registry.counter("server.churn_queued"),
+            churn_rejected: registry.counter("server.churn_rejected"),
+            request_ns: registry.histogram("server.request_ns"),
+            generation: registry.gauge("server.generation"),
+            staleness: registry.gauge("server.staleness"),
+            live_events: registry.gauge("server.live_events"),
+            publishes: registry.counter("server.publishes"),
+            rebuilds: registry.counter("server.rebuilds"),
+        }
+    }
+}
+
+/// Churn operations accepted over HTTP and applied by the maintenance
+/// thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintOp {
+    /// Add `event` to the live set (delta overlay until the next rebuild).
+    Add(EventId),
+    /// Retire `event` from the live set (masked until the next rebuild).
+    Retire(EventId),
+}
+
+/// State shared by every worker and the maintenance thread.
+struct Shared {
+    cell: GenerationCell<EngineSnapshot>,
+    shards: ShardSet,
+    registry: Arc<MetricsRegistry>,
+    metrics: ServerMetrics,
+    cfg: DaemonConfig,
+    shutdown: AtomicBool,
+    maint_tx: mpsc::Sender<MaintOp>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (self.cfg.watch_os_signals && signal::shutdown_requested())
+    }
+}
+
+/// A running daemon. Dropping it without [`Daemon::join`] aborts the
+/// worker threads unjoined; call `join` for a graceful drain.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+    maint: Option<JoinHandle<IncrementalEngine>>,
+}
+
+impl Daemon {
+    /// Bind `addr` (may be `host:0` for an ephemeral port), publish the
+    /// engine's first snapshot and start serving.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        engine: IncrementalEngine,
+        cfg: DaemonConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let metrics = ServerMetrics::register(&registry);
+        let (maint_tx, maint_rx) = mpsc::channel::<MaintOp>();
+        let shared = Arc::new(Shared {
+            cell: GenerationCell::new(engine.snapshot()),
+            shards: ShardSet::new(cfg.shards, cfg.shard_capacity),
+            registry,
+            metrics,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            maint_tx,
+        });
+        shared.metrics.live_events.set(engine.live_events().len() as f64);
+
+        let maint = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("gem-maint".into())
+                .spawn(move || maintenance_loop(engine, maint_rx, &shared))?
+        };
+
+        let listener = Arc::new(listener);
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let listener = Arc::clone(&listener);
+                thread::Builder::new()
+                    .name(format!("gem-serve-{i}"))
+                    .spawn(move || worker_loop(&listener, &shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(Daemon { shared, local_addr, workers, maint: Some(maint) })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.shared.cell.generation()
+    }
+
+    /// Request a drain (idempotent; workers notice within the accept/read
+    /// poll interval).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a drain has been requested by any trigger.
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Block until the process-level drain flag or this daemon's
+    /// [`Self::shutdown`] fires, polling every 20 ms.
+    pub fn wait_for_shutdown(&self) {
+        while !self.shared.draining() {
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, drain
+    /// the maintenance mailbox, write the final journal. Returns the
+    /// engine master (e.g. to checkpoint it).
+    pub fn join(mut self) -> IncrementalEngine {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // The maintenance loop polls the same drain flag, drains its
+        // mailbox one last time and exits with the engine master.
+        let maint = self.maint.take().expect("join called once");
+        let engine = maint.join().expect("maintenance thread panicked");
+        write_drain_journal(&self.shared);
+        engine
+    }
+}
+
+/// Append the final metrics snapshot to the drain journal, if configured.
+fn write_drain_journal(shared: &Shared) {
+    if let Some(path) = &shared.cfg.journal_path {
+        let mut journal = match gem_obs::Journal::create(path) {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        let snap = shared.registry.snapshot();
+        journal.append(
+            &gem_obs::JournalRecord::new()
+                .str("journal", "server_drain")
+                .u64("generation", shared.cell.generation())
+                .u64("requests", snap.counter("server.requests"))
+                .u64("http_2xx", snap.counter("server.http_2xx"))
+                .u64("http_5xx", snap.counter("server.http_5xx"))
+                .u64("overload_sheds", snap.counter("server.overload_sheds"))
+                .u64("degraded", snap.counter("serve.degraded"))
+                .u64("in_flight_at_exit", shared.shards.in_flight() as u64),
+        );
+    }
+}
+
+/// Maintenance thread body: drain the mailbox in batches, absorb churn,
+/// rebuild past the staleness budget, publish.
+fn maintenance_loop(
+    mut engine: IncrementalEngine,
+    rx: mpsc::Receiver<MaintOp>,
+    shared: &Shared,
+) -> IncrementalEngine {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(op) => {
+                apply_op(&mut engine, op, shared);
+                // Batch whatever else is already queued into one
+                // publication (and at most one rebuild).
+                while let Ok(op) = rx.try_recv() {
+                    apply_op(&mut engine, op, shared);
+                }
+                if engine.needs_rebuild(shared.cfg.staleness_budget) {
+                    engine.rebuild();
+                    shared.metrics.rebuilds.inc();
+                }
+                publish(&engine, shared);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.draining() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Final churn (if any) still gets absorbed and published, so a
+    // restart from this master sees everything that was acknowledged 202.
+    let mut dirty = false;
+    while let Ok(op) = rx.try_recv() {
+        apply_op(&mut engine, op, shared);
+        dirty = true;
+    }
+    if dirty {
+        publish(&engine, shared);
+    }
+    engine
+}
+
+fn apply_op(engine: &mut IncrementalEngine, op: MaintOp, shared: &Shared) {
+    let applied = match op {
+        MaintOp::Add(x) => engine.add_event(x),
+        MaintOp::Retire(x) => engine.retire_event(x),
+    };
+    if applied.is_err() {
+        shared.metrics.churn_rejected.inc();
+    }
+}
+
+fn publish(engine: &IncrementalEngine, shared: &Shared) {
+    let generation = shared.cell.store(engine.snapshot());
+    shared.metrics.publishes.inc();
+    shared.metrics.generation.set(generation as f64);
+    shared.metrics.staleness.set(engine.staleness() as f64);
+    shared.metrics.live_events.set(engine.live_events().len() as f64);
+}
+
+/// Worker body: accept, serve the connection's keep-alive loop, repeat
+/// until drain.
+fn worker_loop(listener: &TcpListener, shared: &Shared) {
+    let mut scratch = ServeScratch::new();
+    loop {
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
+                serve_connection(stream, shared, &mut scratch);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Serve one connection until close, error or drain. The in-flight
+/// request always gets its response; the drain only severs the connection
+/// at a request boundary.
+fn serve_connection(stream: TcpStream, shared: &Shared, scratch: &mut ServeScratch) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ParseError::Eof) => return,
+            Err(ParseError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle keep-alive connection: hang up if draining, else
+                // keep waiting for the next request.
+                if shared.draining() {
+                    return;
+                }
+                continue;
+            }
+            Err(ParseError::Io(_)) => return,
+            Err(ParseError::Malformed(status, detail)) => {
+                shared.metrics.http_4xx.inc();
+                let _ = http::write_response(&mut writer, &Response::error(status, detail), true);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let response = route(&request, shared, scratch);
+        match response.status {
+            200 | 202 => shared.metrics.http_2xx.inc(),
+            400..=499 => shared.metrics.http_4xx.inc(),
+            500..=599 => shared.metrics.http_5xx.inc(),
+            _ => {}
+        }
+        shared.metrics.request_ns.record(started.elapsed().as_nanos() as u64);
+        let close = !request.keep_alive || shared.draining();
+        if http::write_response(&mut writer, &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Dispatch a parsed request.
+fn route(req: &Request, shared: &Shared, scratch: &mut ServeScratch) -> Response {
+    shared.metrics.requests.inc();
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response::text(200, shared.registry.snapshot().to_prometheus()),
+        ("GET", "/stats") => Response::json(200, shared.registry.snapshot().to_json()),
+        ("GET", "/recommend") => recommend(req, shared, scratch),
+        ("POST", "/recommend_batch") => recommend_batch(req, shared, scratch),
+        ("POST", "/events/add") => churn(req, shared, true),
+        ("POST", "/events/retire") => churn(req, shared, false),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::text(200, "draining\n")
+        }
+        ("GET" | "POST", _) => Response::error(404, "no such route"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// `GET /recommend?user=U&n=N`: shard admission, pinned snapshot,
+/// deadline-bounded exact-or-degraded top-N.
+fn recommend(req: &Request, shared: &Shared, scratch: &mut ServeScratch) -> Response {
+    let Some(user) = req.query_param("user").and_then(|u| u.parse::<u32>().ok()) else {
+        return Response::error(400, "missing or malformed user=");
+    };
+    let Ok(n) = req.query_or("n", shared.cfg.top_n) else {
+        return Response::error(400, "malformed n=");
+    };
+    let user = UserId(user);
+    let Some(_permit) = shared.shards.try_admit(user) else {
+        shared.metrics.overload_sheds.inc();
+        return Response::error(503, "shard over capacity");
+    };
+    let snapshot = shared.cell.load();
+    match snapshot.try_top_n_deadline(user, n, shared.cfg.deadline, scratch) {
+        Ok(result) => Response::json(
+            200,
+            format!(
+                "{{\"user\":{},\"degraded\":{},\"recommendations\":{}}}\n",
+                user.0,
+                result.is_degraded(),
+                recommendations_json(&result.recommendations),
+            ),
+        ),
+        Err(ServeError::UnknownUser { num_users, .. }) => {
+            Response::error(404, &format!("unknown user {} (have {num_users})", user.0))
+        }
+    }
+}
+
+/// `POST /recommend_batch?n=N` with a comma/whitespace-separated user-id
+/// body. The whole batch is served from ONE pinned generation (see
+/// `swap.rs`); the response names it so clients can correlate.
+fn recommend_batch(req: &Request, shared: &Shared, scratch: &mut ServeScratch) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "batch body is not utf-8");
+    };
+    let mut users = Vec::new();
+    for token in body.split(|c: char| c == ',' || c.is_whitespace()).filter(|t| !t.is_empty()) {
+        match token.parse::<u32>() {
+            Ok(u) => users.push(UserId(u)),
+            Err(_) => return Response::error(400, "batch body must be user ids"),
+        }
+    }
+    if users.is_empty() {
+        return Response::error(400, "empty batch");
+    }
+    let Ok(n) = req.query_or("n", shared.cfg.top_n) else {
+        return Response::error(400, "malformed n=");
+    };
+    let (snapshot, generation) = shared.cell.load_pinned();
+    let body = batch_json(&snapshot, generation, &users, n, shared.cfg.deadline, scratch);
+    shared.metrics.batch_users.add(users.len() as u64);
+    Response::json(200, body)
+}
+
+/// Serve `users` from one already-pinned snapshot and render the batch
+/// response. Public-in-crate so the generation-pinning regression test
+/// exercises exactly the code the HTTP handler runs.
+pub fn batch_json(
+    snapshot: &EngineSnapshot,
+    generation: u64,
+    users: &[UserId],
+    n: usize,
+    deadline: Duration,
+    scratch: &mut ServeScratch,
+) -> String {
+    let mut out = String::with_capacity(64 * users.len());
+    out.push_str(&format!("{{\"generation\":{generation},\"results\":["));
+    for (i, &user) in users.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match snapshot.try_top_n_deadline(user, n, deadline, scratch) {
+            Ok(result) => out.push_str(&format!(
+                "{{\"user\":{},\"degraded\":{},\"recommendations\":{}}}",
+                user.0,
+                result.is_degraded(),
+                recommendations_json(&result.recommendations),
+            )),
+            Err(ServeError::UnknownUser { num_users, .. }) => out.push_str(&format!(
+                "{{\"user\":{},\"error\":\"unknown user (have {num_users})\"}}",
+                user.0,
+            )),
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// `POST /events/add|retire?event=X`: enqueue for the maintenance thread.
+/// 202 means "queued", not "applied" — churn is asynchronous by design.
+fn churn(req: &Request, shared: &Shared, add: bool) -> Response {
+    let Some(event) = req.query_param("event").and_then(|x| x.parse::<u32>().ok()) else {
+        return Response::error(400, "missing or malformed event=");
+    };
+    let op = if add { MaintOp::Add(EventId(event)) } else { MaintOp::Retire(EventId(event)) };
+    if shared.maint_tx.send(op).is_err() {
+        return Response::error(503, "maintenance thread is gone");
+    }
+    shared.metrics.churn_queued.inc();
+    Response::json(202, format!("{{\"queued\":true,\"event\":{event}}}\n"))
+}
+
+fn recommendations_json(recs: &[Recommendation]) -> String {
+    let mut out = String::with_capacity(8 + 48 * recs.len());
+    out.push('[');
+    for (i, r) in recs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"partner\":{},\"event\":{},\"score\":{:.6}}}",
+            r.partner.0, r.event.0, r.score
+        ));
+    }
+    out.push(']');
+    out
+}

@@ -1,0 +1,34 @@
+//! Long-running serving daemon for GEM event-partner recommendation.
+//!
+//! A zero-dependency HTTP/1.1 server (hand-rolled over std `TcpListener`,
+//! in the style of the vendored `compat/*` crates) fronting a user-sharded
+//! recommendation engine behind an atomically double-buffered `Arc` swap:
+//!
+//! - [`http`] — the protocol subset: request parsing, response writing,
+//!   keep-alive, strict limits.
+//! - [`swap`] — [`swap::GenerationCell`], the reader/writer publication
+//!   point; pins one engine generation per request or batch.
+//! - [`shard`] — per-shard admission control; overload sheds with 503
+//!   instead of queueing.
+//! - [`signal`] — zero-dep SIGTERM/SIGINT hook (direct FFI to the libc
+//!   std already links) driving the graceful drain.
+//! - [`daemon`] — the [`daemon::Daemon`]: serving workers, the
+//!   maintenance thread owning the mutable
+//!   [`gem_query::IncrementalEngine`] (incremental add/retire, background
+//!   full rebuild past the staleness budget), routes, metrics and drain.
+//!
+//! See DESIGN.md §5.6 for the architecture and the invariants, and
+//! `crates/bench/src/bin/server_throughput.rs` for the open-loop load
+//! generator that gates this daemon in CI.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod http;
+pub mod shard;
+pub mod signal;
+pub mod swap;
+
+pub use daemon::{Daemon, DaemonConfig, MaintOp};
+pub use shard::{ShardPermit, ShardSet};
+pub use swap::GenerationCell;

@@ -1,0 +1,251 @@
+//! End-to-end daemon tests over real TCP: routes, admission shedding,
+//! asynchronous churn, and the graceful drain — all against an in-process
+//! [`Daemon`] bound to an ephemeral port.
+//!
+//! `watch_os_signals` is off everywhere here: these tests share a process,
+//! so drains are triggered per-daemon (`/shutdown` or [`Daemon::shutdown`])
+//! rather than through the global signal flag (that path gets its own
+//! process in `tests/sigterm_drain.rs`).
+
+use gem_core::GemModel;
+use gem_ebsn::{EventId, UserId};
+use gem_obs::MetricsRegistry;
+use gem_query::{EngineMetrics, IncrementalEngine};
+use gem_server::{Daemon, DaemonConfig};
+use rand::RngExt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic random model; event `nx-1` gets a strongly boosted
+/// embedding so churn tests can watch it surface in recommendations.
+fn test_model(nu: u32, nx: u32, dim: usize, seed: u64) -> GemModel {
+    let mut rng = gem_sampling::rng_from_seed(seed);
+    let users: Vec<f32> = (0..nu as usize * dim).map(|_| rng.random::<f32>()).collect();
+    let mut events: Vec<f32> = (0..nx as usize * dim).map(|_| rng.random::<f32>()).collect();
+    for v in &mut events[(nx as usize - 1) * dim..] {
+        *v = 5.0;
+    }
+    GemModel::from_raw(dim, users, events, vec![], vec![], vec![])
+}
+
+fn start_daemon(cfg: DaemonConfig, live_events: u32) -> (Daemon, SocketAddr) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let model = test_model(24, 12, 6, 42);
+    let partners: Vec<UserId> = (0..24).map(UserId).collect();
+    let events: Vec<EventId> = (0..live_events).map(EventId).collect();
+    let engine =
+        IncrementalEngine::build(model, &partners, &events, 4, EngineMetrics::register(&registry));
+    let daemon = Daemon::start("127.0.0.1:0", engine, cfg, registry).expect("bind ephemeral port");
+    let addr = daemon.local_addr();
+    (daemon, addr)
+}
+
+fn test_config() -> DaemonConfig {
+    DaemonConfig { workers: 2, watch_os_signals: false, ..DaemonConfig::default() }
+}
+
+/// One-shot HTTP exchange (fresh connection, `Connection: close`).
+fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read response");
+    let status = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable status line: {reply:?}"));
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn routes_serve_health_metrics_and_recommendations() {
+    let (daemon, addr) = start_daemon(test_config(), 12);
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = http(addr, "GET", "/recommend?user=1&n=5", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"user\":1"), "{body}");
+    assert!(body.contains("\"recommendations\":["), "{body}");
+    assert!(body.contains("\"degraded\":false"), "{body}");
+
+    // Error paths are well-formed JSON envelopes with the right status.
+    assert_eq!(http(addr, "GET", "/recommend?user=999999", "").0, 404);
+    assert_eq!(http(addr, "GET", "/recommend?n=5", "").0, 400);
+    assert_eq!(http(addr, "GET", "/recommend?user=1&n=zebra", "").0, 400);
+    assert_eq!(http(addr, "GET", "/no/such/route", "").0, 404);
+    assert_eq!(http(addr, "DELETE", "/healthz", "").0, 405);
+
+    // Prometheus exposition carries both server.* and engine serve.*.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("server_requests"), "{metrics}");
+    assert!(metrics.contains("serve_queries"), "{metrics}");
+    let (status, stats) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"server.requests\""), "{stats}");
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn batch_route_pins_one_generation_and_reports_per_user() {
+    let (daemon, addr) = start_daemon(test_config(), 12);
+
+    let (status, body) = http(addr, "POST", "/recommend_batch?n=3", "0, 1,2\n3");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":"), "{body}");
+    for u in 0..4 {
+        assert!(body.contains(&format!("\"user\":{u}")), "{body}");
+    }
+
+    // Unknown users degrade per-entry, not per-batch.
+    let (status, body) = http(addr, "POST", "/recommend_batch", "1,500000");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"error\":\"unknown user"), "{body}");
+
+    assert_eq!(http(addr, "POST", "/recommend_batch", "").0, 400);
+    assert_eq!(http(addr, "POST", "/recommend_batch", "one,two").0, 400);
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn churn_is_absorbed_and_republished_without_restart() {
+    // Boosted event 11 starts OUT of the live set.
+    let (daemon, addr) = start_daemon(test_config(), 11);
+    let gen0 = daemon.generation();
+
+    let (status, body) = http(addr, "GET", "/recommend?user=0&n=3", "");
+    assert_eq!(status, 200);
+    assert!(!body.contains("\"event\":11"), "boosted event served before add: {body}");
+
+    let (status, _) = http(addr, "POST", "/events/add?event=11", "");
+    assert_eq!(status, 202);
+
+    // Churn is asynchronous: poll until the maintenance thread publishes.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, body) = http(addr, "GET", "/recommend?user=0&n=3", "");
+        assert_eq!(status, 200);
+        if body.contains("\"event\":11") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "added event never surfaced: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(daemon.generation() > gen0, "publication did not bump the generation");
+
+    // Retiring it again must remove it from every subsequent response.
+    assert_eq!(http(addr, "POST", "/events/retire?event=11", "").0, 202);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, body) = http(addr, "GET", "/recommend?user=0&n=3", "");
+        if !body.contains("\"event\":11") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "retired event still served: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    assert_eq!(http(addr, "POST", "/events/add", "").0, 400);
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn full_shards_shed_with_503_and_recover() {
+    let cfg = DaemonConfig { shard_capacity: 0, ..test_config() };
+    let (daemon, addr) = start_daemon(cfg, 12);
+
+    let (status, body) = http(addr, "GET", "/recommend?user=1", "");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"error\""), "{body}");
+
+    // Health and metrics stay reachable under full shedding.
+    assert_eq!(http(addr, "GET", "/healthz", "").0, 200);
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert!(metrics.contains("server_overload_sheds 1"), "{metrics}");
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn shutdown_route_drains_and_writes_the_journal() {
+    let journal =
+        std::env::temp_dir().join(format!("gem-serverd-drain-test-{}.jsonl", std::process::id()));
+    let cfg = DaemonConfig { journal_path: Some(journal.clone()), ..test_config() };
+    let (daemon, addr) = start_daemon(cfg, 12);
+
+    assert_eq!(http(addr, "GET", "/recommend?user=2", "").0, 200);
+    let (status, body) = http(addr, "POST", "/shutdown", "");
+    assert_eq!((status, body.as_str()), (200, "draining\n"));
+    assert!(daemon.draining());
+
+    // Churn queued before (or during) the drain is still absorbed by the
+    // maintenance thread before it hands the master back.
+    let engine = daemon.join();
+    assert_eq!(engine.live_events().len(), 12);
+
+    let drained = std::fs::read_to_string(&journal).expect("drain journal written");
+    let _ = std::fs::remove_file(&journal);
+    assert!(drained.contains("\"journal\":\"server_drain\""), "{drained}");
+    assert!(drained.contains("\"requests\""), "{drained}");
+
+    // The listener is gone: a fresh connection must fail (give the OS a
+    // moment to tear the socket down).
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if TcpStream::connect(addr).is_err() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "listener still accepting after drain");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn keep_alive_connection_serves_multiple_requests() {
+    let (daemon, addr) = start_daemon(test_config(), 12);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    for round in 0..3 {
+        let raw = format!("GET /recommend?user={round}&n=2 HTTP/1.1\r\nHost: t\r\n\r\n");
+        stream.write_all(raw.as_bytes()).unwrap();
+        // Read one full response: headers, then exactly Content-Length.
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("read header byte");
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8_lossy(&buf).into_owned();
+        assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Content-Length header");
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body).expect("read body");
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains(&format!("\"user\":{round}")), "{body}");
+    }
+
+    daemon.shutdown();
+    daemon.join();
+}

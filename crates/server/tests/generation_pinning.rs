@@ -1,0 +1,136 @@
+//! Regression test: a batch must be served from exactly ONE engine
+//! generation even while the maintenance thread swaps generations
+//! underneath it mid-batch.
+//!
+//! The old bug shape: a batch handler that re-loads the generation cell
+//! per user can serve half a batch from generation `g` and half from
+//! `g+1`, producing a response no single index state would return (a
+//! retired event for one user next to its replacement for another). The
+//! daemon's batch path ([`gem_server::daemon::batch_json`]) pins the
+//! snapshot once via [`GenerationCell::load_pinned`]; this test hammers it
+//! with a concurrent swapper and asserts every batch is internally
+//! consistent with the generation it claims.
+
+use gem_core::GemModel;
+use gem_ebsn::{EventId, UserId};
+use gem_obs::MetricsRegistry;
+use gem_query::{EngineMetrics, EngineSnapshot, IncrementalEngine, ServeScratch};
+use gem_server::{daemon::batch_json, GenerationCell};
+use rand::RngExt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const USERS: u32 = 32;
+const EVENTS: u32 = 10;
+const DIM: usize = 6;
+const TOP_N: usize = 5;
+
+/// Model where event 0 dominates every score: every user's top-5 contains
+/// event 0 whenever it is live, and never when it is retired — a per-user
+/// fingerprint of which generation served them.
+fn dominated_model(seed: u64) -> GemModel {
+    let mut rng = gem_sampling::rng_from_seed(seed);
+    let users: Vec<f32> = (0..USERS as usize * DIM).map(|_| rng.random::<f32>()).collect();
+    let mut events: Vec<f32> = (0..EVENTS as usize * DIM).map(|_| rng.random::<f32>()).collect();
+    for v in &mut events[..DIM] {
+        *v = 8.0;
+    }
+    GemModel::from_raw(DIM, users, events, vec![], vec![], vec![])
+}
+
+/// Which users' top-n contains event 0 under `snapshot`.
+fn serves_event0(snapshot: &EngineSnapshot, users: &[UserId]) -> Vec<bool> {
+    let mut scratch = ServeScratch::new();
+    users
+        .iter()
+        .map(|&u| {
+            snapshot
+                .try_top_n(u, TOP_N, &mut scratch)
+                .unwrap()
+                .iter()
+                .any(|r| r.event == EventId(0))
+        })
+        .collect()
+}
+
+#[test]
+fn batches_pin_one_generation_under_concurrent_swap() {
+    let partners: Vec<UserId> = (0..USERS).map(UserId).collect();
+    let events: Vec<EventId> = (0..EVENTS).map(EventId).collect();
+    let mut engine = IncrementalEngine::build(
+        dominated_model(7),
+        &partners,
+        &events,
+        4,
+        EngineMetrics::register(&MetricsRegistry::new()),
+    );
+    let with_event0 = engine.snapshot();
+    assert_eq!(engine.retire_event(EventId(0)), Ok(true));
+    let without_event0 = engine.snapshot();
+
+    // Fixture self-check: the two generations disagree for EVERY user, so
+    // any cross-generation mixing inside a batch is observable.
+    let users = partners.clone();
+    assert!(
+        serves_event0(&with_event0, &users).iter().all(|&b| b),
+        "fixture: event 0 must dominate every user's top-{TOP_N}"
+    );
+    assert!(
+        serves_event0(&without_event0, &users).iter().all(|&b| !b),
+        "fixture: retired event 0 must vanish from every top-{TOP_N}"
+    );
+
+    // Swapper: generation g is `with_event0` for even g, `without_event0`
+    // for odd g (store() returns 1, 2, 3, ... and we start with odd).
+    let cell = Arc::new(GenerationCell::new(with_event0.clone()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let swapper = {
+        let (cell, stop) = (Arc::clone(&cell), Arc::clone(&stop));
+        let (a, b) = (with_event0, without_event0);
+        thread::spawn(move || {
+            let mut next_without = true;
+            while !stop.load(Ordering::Relaxed) {
+                cell.store(if next_without { b.clone() } else { a.clone() });
+                next_without = !next_without;
+                thread::yield_now();
+            }
+        })
+    };
+
+    let mut scratch = ServeScratch::new();
+    let mut generations_seen = std::collections::HashSet::new();
+    for _ in 0..400 {
+        let (snapshot, generation) = cell.load_pinned();
+        let body = batch_json(
+            &snapshot,
+            generation,
+            &users,
+            TOP_N,
+            Duration::from_millis(5),
+            &mut scratch,
+        );
+        generations_seen.insert(generation);
+
+        // Split the batch body into per-user result objects and check the
+        // event-0 fingerprint of each.
+        let per_user: Vec<bool> =
+            body.split("{\"user\":").skip(1).map(|obj| obj.contains("\"event\":0,")).collect();
+        assert_eq!(per_user.len(), users.len(), "malformed batch body: {body}");
+        let expect_event0 = generation % 2 == 0;
+        let mixed = per_user.iter().filter(|&&b| b != expect_event0).count();
+        assert_eq!(
+            mixed,
+            0,
+            "generation {generation} batch mixed {mixed}/{} users from the other generation",
+            users.len()
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    swapper.join().unwrap();
+    assert!(
+        generations_seen.len() > 1,
+        "swapper never raced the batches; the test exercised nothing"
+    );
+}

@@ -1,0 +1,57 @@
+//! A real SIGTERM delivered to this process must flow through the
+//! zero-dep signal hook and drain a `watch_os_signals` daemon gracefully.
+//! Kept in its own integration binary (own process) because the signal
+//! flag is process-global.
+
+#![cfg(unix)]
+
+use gem_core::GemModel;
+use gem_ebsn::{EventId, UserId};
+use gem_obs::MetricsRegistry;
+use gem_query::{EngineMetrics, IncrementalEngine};
+use gem_server::{signal, Daemon, DaemonConfig};
+use rand::RngExt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn sigterm_drains_the_daemon() {
+    let mut rng = gem_sampling::rng_from_seed(3);
+    let dim = 6usize;
+    let users: Vec<f32> = (0..16 * dim).map(|_| rng.random::<f32>()).collect();
+    let events: Vec<f32> = (0..8 * dim).map(|_| rng.random::<f32>()).collect();
+    let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+    let partners: Vec<UserId> = (0..16).map(UserId).collect();
+    let live: Vec<EventId> = (0..8).map(EventId).collect();
+    let engine = IncrementalEngine::build(
+        model,
+        &partners,
+        &live,
+        4,
+        EngineMetrics::register(&MetricsRegistry::new()),
+    );
+
+    signal::install();
+    let cfg = DaemonConfig { workers: 2, watch_os_signals: true, ..DaemonConfig::default() };
+    let daemon =
+        Daemon::start("127.0.0.1:0", engine, cfg, Arc::new(MetricsRegistry::new())).unwrap();
+    let addr = daemon.local_addr();
+
+    // The daemon serves normally before the signal.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+
+    assert!(!daemon.draining());
+    signal::raise_for_test(signal::SIGTERM);
+    assert!(daemon.draining(), "SIGTERM did not reach the drain flag");
+
+    // join() returns (workers noticed the flag) and the engine comes back.
+    let engine = daemon.join();
+    assert_eq!(engine.live_events().len(), 8);
+}
