@@ -25,7 +25,10 @@
 //!    process (`--batch-child`): the parent saves the trained model to a
 //!    temp file, the child reloads it, rebuilds the deterministic
 //!    environment and engine, times `recommend_batch` and prints one
-//!    machine-readable line the parent parses.
+//!    machine-readable line the parent parses. On a single-core host the
+//!    multi-thread points are skipped (`"skipped": "single-core host"` in
+//!    the JSON) instead of measured: every count timeshares one core and
+//!    the flat curve misreads as "no scaling".
 //!
 //! With `--smoke` the bench instead runs a down-scaled self-check meant for
 //! CI: it asserts the instrumented engine emits metrics and that its
@@ -197,11 +200,14 @@ fn best_qps(
     best
 }
 
-/// One point of the batch thread sweep.
+/// One point of the batch thread sweep. `qps` is `None` when the point
+/// was skipped rather than measured: on a single-core host every thread
+/// count timeshares the same core, and the resulting flat curve misreads
+/// as "batch serving does not scale".
 struct SweepPoint {
     threads: usize,
-    ta_qps: f64,
-    bf_qps: f64,
+    /// `(ta_qps, bf_qps)`, or `None` for a skipped point.
+    qps: Option<(f64, f64)>,
 }
 
 /// Time only `recommend_batch` (one warmup call first).
@@ -262,9 +268,13 @@ fn run_batch_sweep(
     window: Duration,
 ) -> Vec<SweepPoint> {
     let exe = std::env::current_exe().expect("current_exe");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     threads_list
         .iter()
         .map(|&threads| {
+            if threads > 1 && cores == 1 {
+                return SweepPoint { threads, qps: None };
+            }
             let out = std::process::Command::new(&exe)
                 .args([
                     "--batch-child",
@@ -302,7 +312,7 @@ fn run_batch_sweep(
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| panic!("missing {key} in child line: {line}"))
             };
-            SweepPoint { threads, ta_qps: field("ta_qps="), bf_qps: field("bf_qps=") }
+            SweepPoint { threads, qps: Some((field("ta_qps="), field("bf_qps="))) }
         })
         .collect()
 }
@@ -524,10 +534,13 @@ fn main() {
     let sweep =
         run_batch_sweep(&sweep_threads, &model_path, scale, seed, queries, top_n, prune_k, window);
     for p in &sweep {
-        println!(
-            "  {} thread(s): GEM-TA {:.0} qps batch, GEM-BF {:.0} qps batch",
-            p.threads, p.ta_qps, p.bf_qps
-        );
+        match p.qps {
+            Some((ta, bf)) => println!(
+                "  {} thread(s): GEM-TA {ta:.0} qps batch, GEM-BF {bf:.0} qps batch",
+                p.threads
+            ),
+            None => println!("  {} thread(s): skipped (single-core host)", p.threads),
+        }
     }
     let _ = std::fs::remove_file(&model_path);
 
@@ -555,23 +568,26 @@ fn main() {
         );
     }
     for p in &sweep {
-        journal.append(
-            &gem_obs::JournalRecord::new()
-                .u64("sweep_threads", p.threads as u64)
-                .f64("ta_batch_qps", p.ta_qps)
-                .f64("bf_batch_qps", p.bf_qps),
-        );
+        let record = gem_obs::JournalRecord::new().u64("sweep_threads", p.threads as u64);
+        journal.append(&match p.qps {
+            Some((ta, bf)) => record.f64("ta_batch_qps", ta).f64("bf_batch_qps", bf),
+            None => record.str("skipped", "single-core host"),
+        });
     }
     assert_eq!(journal.write_errors(), 0, "serving journal hit I/O errors");
     println!("  journal: {} lines -> journal_serving_bench.jsonl", journal.lines_written());
 
     let sweep_json: Vec<String> = sweep
         .iter()
-        .map(|p| {
-            format!(
-                "    {{ \"serving_threads\": {}, \"ta_batch_qps\": {:.1}, \"bf_batch_qps\": {:.1} }}",
-                p.threads, p.ta_qps, p.bf_qps
-            )
+        .map(|p| match p.qps {
+            Some((ta, bf)) => format!(
+                "    {{ \"serving_threads\": {}, \"ta_batch_qps\": {ta:.1}, \"bf_batch_qps\": {bf:.1} }}",
+                p.threads
+            ),
+            None => format!(
+                "    {{ \"serving_threads\": {}, \"skipped\": \"single-core host\" }}",
+                p.threads
+            ),
         })
         .collect();
     let json = format!(

@@ -11,7 +11,11 @@
 //!    thread count in `--threads-list` (the trainer spawns its own
 //!    `std::thread::scope` workers, so the sweep runs in-process), plus
 //!    the same sweep with `sharded_updates` (the deterministic HogBatch
-//!    merge path of DESIGN.md §5.5) for comparison.
+//!    merge path of DESIGN.md §5.5) for comparison. On a single-core host
+//!    multi-thread points are *skipped*, not measured: N threads
+//!    timesharing one core produce a flat curve that reads as "no
+//!    scaling" when it really means "no cores", so those rows carry
+//!    `"skipped": "single-core host"` in the JSON instead of numbers.
 //! 2. **Kernel-variant ladder** (single-thread) — three rows:
 //!    `scalar-ref` (per-element `*_ref` kernels + exact sigmoid — the
 //!    pre-widening hot path), `widened` (unrolled/fused no-intrinsics
@@ -176,10 +180,15 @@ fn run_smoke(args: &Args) {
 
     let env = ExperimentEnv::build(City::Beijing, scale, seed);
     let cfg = Variant::GemP.config(seed);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let mut single = 0.0f64;
     let mut best_multi = 0.0f64;
     for &threads in &threads_list {
+        if threads > 1 && cores == 1 {
+            println!("  {threads} thread(s): skipped (single-core host)");
+            continue;
+        }
         let sps = steps_per_sec(&env.graphs, &cfg, steps, threads, 2);
         println!("  {threads} thread(s): {sps:.0} steps/sec");
         assert!(sps > 0.0 && sps.is_finite(), "bad steps/sec {sps} at {threads} threads");
@@ -190,7 +199,6 @@ fn run_smoke(args: &Args) {
         }
     }
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     if cores > 1 && single > 0.0 && best_multi > 0.0 {
         // Generous slack (0.8x): Hogwild scaling is asserted as "not a
         // regression", CI machines are noisy.
@@ -240,12 +248,14 @@ fn run_smoke(args: &Args) {
 
     // The sharded path must land on the same model regardless of thread
     // count *in the smoke too* (cheap spot check; the subprocess suite in
-    // gem-core pins the golden hash).
+    // gem-core pins the golden hash). On a single-core host it runs on
+    // one worker — two workers timesharing one core measure nothing.
     {
+        let sharded_threads = if cores > 1 { 2 } else { 1 };
         let mut sharded_cfg = cfg.clone();
         sharded_cfg.sharded_updates = true;
-        let sps = steps_per_sec(&env.graphs, &sharded_cfg, steps, 2, 1);
-        println!("  sharded updates (2 threads): {sps:.0} steps/sec");
+        let sps = steps_per_sec(&env.graphs, &sharded_cfg, steps, sharded_threads, 1);
+        println!("  sharded updates ({sharded_threads} thread(s)): {sps:.0} steps/sec");
         assert!(sps > 0.0 && sps.is_finite(), "bad sharded steps/sec {sps}");
     }
 
@@ -335,20 +345,28 @@ fn main() {
 
     println!("[1/3] thread scaling ({steps} steps per point, best of {trials})");
     let env = ExperimentEnv::build(City::Beijing, scale, seed);
-    let mut thread_sps: Vec<(usize, f64)> = Vec::new();
-    for &threads in &threads_list {
-        let sps = steps_per_sec(&env.graphs, &cfg, steps, threads, trials);
-        println!("  {threads} thread(s): {sps:.0} steps/sec");
-        thread_sps.push((threads, sps));
-    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // `None` marks a point skipped on a single-core host: measuring N
+    // threads timesharing one core yields a flat curve that misreads as
+    // "Hogwild does not scale".
+    let measure_sweep = |cfg: &TrainConfig, label: &str| -> Vec<(usize, Option<f64>)> {
+        threads_list
+            .iter()
+            .map(|&threads| {
+                if threads > 1 && cores == 1 {
+                    println!("  {threads} thread(s){label}: skipped (single-core host)");
+                    return (threads, None);
+                }
+                let sps = steps_per_sec(&env.graphs, cfg, steps, threads, trials);
+                println!("  {threads} thread(s){label}: {sps:.0} steps/sec");
+                (threads, Some(sps))
+            })
+            .collect()
+    };
+    let thread_sps = measure_sweep(&cfg, "");
     let mut sharded_cfg = cfg.clone();
     sharded_cfg.sharded_updates = true;
-    let mut sharded_sps: Vec<(usize, f64)> = Vec::new();
-    for &threads in &threads_list {
-        let sps = steps_per_sec(&env.graphs, &sharded_cfg, steps, threads, trials);
-        println!("  {threads} thread(s), sharded: {sps:.0} steps/sec");
-        sharded_sps.push((threads, sps));
-    }
+    let sharded_sps = measure_sweep(&sharded_cfg, ", sharded");
 
     println!("[2/3] single-thread kernel-variant ladder");
     let paths = bench_paths(&env.graphs, &cfg, steps, trials);
@@ -402,9 +420,12 @@ fn main() {
         last.steps_per_sec
     );
 
-    let sweep_json = |rows: &[(usize, f64)]| -> String {
+    let sweep_json = |rows: &[(usize, Option<f64>)]| -> String {
         rows.iter()
-            .map(|(t, s)| format!("    {{ \"threads\": {t}, \"steps_per_sec\": {s:.1} }}"))
+            .map(|(t, s)| match s {
+                Some(s) => format!("    {{ \"threads\": {t}, \"steps_per_sec\": {s:.1} }}"),
+                None => format!("    {{ \"threads\": {t}, \"skipped\": \"single-core host\" }}"),
+            })
             .collect::<Vec<_>>()
             .join(",\n")
     };

@@ -25,14 +25,33 @@ use crate::metrics::TrainerMetrics;
 use crate::model::GemModel;
 use gem_ebsn::{BipartiteGraph, NodeKind, TrainingGraphs};
 use gem_obs::{faults, CachePadded, Tracer};
+use gem_sampling::noise::DEFAULT_EXPONENT;
 use gem_sampling::{
-    rng_from_seed, split_seed, AliasError, AliasTable, AliasView, DegreeNoise, GaussianSampler,
-    SeededRng,
+    rng_from_seed, split_seed, AliasError, AliasView, CsrAliasSet, GaussianSampler, SeededRng,
 };
 use rand::RngExt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Segment layout of the trainer's packed [`CsrAliasSet`]: segment
+/// [`seg::GRAPH`] picks which relation graph a step trains on, segments
+/// `1..=5` sample a positive edge within graph `gi`, and segments `6..=15`
+/// hold the smoothed-degree noise distribution for each (graph, side).
+mod seg {
+    /// Graph-choice distribution (Algorithm 2's outer draw).
+    pub const GRAPH: usize = 0;
+    /// Positive-edge distribution of graph `gi`.
+    pub const fn edge(gi: usize) -> usize {
+        1 + gi
+    }
+    /// Degree-noise distribution of `(gi, side)` (side 0 = left, 1 = right).
+    pub const fn noise(gi: usize, side: usize) -> usize {
+        6 + gi * 2 + side
+    }
+    /// Total segments: 1 graph choice + 5 edge + 5×2 noise.
+    pub const COUNT: usize = 16;
+}
 
 /// Index of a node kind into the per-kind arrays.
 fn kind_idx(kind: NodeKind) -> usize {
@@ -96,9 +115,12 @@ pub struct GemTrainer<'g> {
     config: TrainConfig,
     graphs: [&'g BipartiteGraph; 5],
     embeddings: EmbeddingSet,
-    graph_table: AliasTable,
-    edge_tables: [Option<AliasTable>; 5],
-    noise_tables: [[Option<DegreeNoise>; 2]; 5],
+    /// Every static distribution the step loop draws from, packed into one
+    /// CSR alias family (layout in [`seg`]): graph choice, per-graph edge
+    /// sampling, and per-(graph, side) smoothed-degree noise. Replaces the
+    /// dozen-plus separately allocated `AliasTable`s of earlier revisions;
+    /// per-segment draw streams are bit-identical (golden-hash pinned).
+    tables: CsrAliasSet,
     /// Adaptive sampler state per (graph, side) over that side's
     /// non-zero-degree nodes.
     adaptive: [[Option<AdaptiveState>; 2]; 5],
@@ -134,8 +156,9 @@ pub struct GemTrainer<'g> {
 /// owning table (pinned by a gem-sampling test). Earlier revisions
 /// deep-copied the arrays per worker to keep the read-mostly lines
 /// core-local; at the million-user tier those copies dominate per-thread
-/// memory (an alias table is 12 bytes per edge), so workers now share one
-/// copy — read-only lines replicate in every core's cache anyway.
+/// memory (an alias table is 12 bytes per edge), so workers now borrow
+/// spans of the trainer's packed [`CsrAliasSet`] — read-only lines
+/// replicate in every core's cache anyway.
 struct WorkerTables<'a> {
     graph: AliasView<'a>,
     edges: [Option<AliasView<'a>>; 5],
@@ -464,37 +487,87 @@ impl<'g> GemTrainer<'g> {
         let embeddings =
             EmbeddingSet::new(counts, config.dim, config.init_std, split_seed(config.seed, 0));
 
-        let mut edge_tables: [Option<AliasTable>; 5] = Default::default();
-        let mut noise_tables: [[Option<DegreeNoise>; 2]; 5] = Default::default();
+        // Validate each graph's edge weights in graph order, replicating the
+        // standalone alias-table checks exactly (invalid weight beats zero
+        // mass; graph i's error surfaces before graph i+1 is examined).
+        // Zero total weight is not an error: no edge can ever be drawn from
+        // such a graph, so it is excluded — an empty CSR segment — and the
+        // remaining graphs train normally.
+        let mut edge_weights: [Vec<f64>; 5] = Default::default();
+        let mut edge_live = [false; 5];
         for (i, g) in graphs.iter().enumerate() {
             if g.num_edges() == 0 {
                 continue;
             }
             let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
-            edge_tables[i] = match AliasTable::new(&weights) {
-                Ok(t) => Some(t),
-                // Zero total weight: no edge can ever be drawn from this
-                // graph, so treat it like an empty one instead of failing
-                // the whole trainer.
-                Err(AliasError::ZeroMass) => continue,
-                Err(e) => return Err(TrainError::Sampler(e)),
-            };
-            noise_tables[i][0] = DegreeNoise::from_degrees(g.left_degrees()).ok();
-            noise_tables[i][1] = DegreeNoise::from_degrees(g.right_degrees()).ok();
+            if weights.len() > u32::MAX as usize {
+                return Err(TrainError::Sampler(AliasError::InvalidWeight {
+                    index: u32::MAX as usize,
+                }));
+            }
+            let mut total = 0.0f64;
+            for (j, &w) in weights.iter().enumerate() {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(TrainError::Sampler(AliasError::InvalidWeight { index: j }));
+                }
+                total += w;
+            }
+            if total <= 0.0 {
+                continue;
+            }
+            edge_weights[i] = weights;
+            edge_live[i] = true;
         }
 
-        // Graph-choice weights: a graph only participates if it produced an
-        // edge table (zero-mass graphs would otherwise be drawn and then
-        // have nothing to sample).
+        // Graph-choice weights: a graph only participates if its edge
+        // segment has mass (zero-mass graphs would otherwise be drawn and
+        // then have nothing to sample).
         let graph_weights: Vec<f64> = graphs
             .iter()
             .enumerate()
-            .map(|(i, g)| if edge_tables[i].is_some() { g.num_edges() as f64 } else { 0.0 })
+            .map(|(i, g)| if edge_live[i] { g.num_edges() as f64 } else { 0.0 })
             .collect();
         if graph_weights.iter().sum::<f64>() == 0.0 {
             return Err(TrainError::EmptyGraphs);
         }
-        let graph_table = AliasTable::new(&graph_weights).map_err(TrainError::Sampler)?;
+
+        // Smoothed-degree noise weights (`deg^0.75`, word2vec). A side whose
+        // weights come out degenerate (non-finite after smoothing, or no
+        // positive-degree node) yields an empty segment — degree-noise draws
+        // on it return `None`, exactly as the per-graph `DegreeNoise`
+        // tables' swallowed build errors used to.
+        let noise_weights: [[Vec<f64>; 2]; 5] = std::array::from_fn(|gi| {
+            std::array::from_fn(|side| {
+                if !edge_live[gi] {
+                    return Vec::new();
+                }
+                let degrees =
+                    if side == 0 { graphs[gi].left_degrees() } else { graphs[gi].right_degrees() };
+                let weights: Vec<f64> = degrees
+                    .iter()
+                    .map(|&d| if d > 0.0 { d.powf(DEFAULT_EXPONENT) } else { 0.0 })
+                    .collect();
+                if weights.iter().all(|w| w.is_finite()) {
+                    weights
+                } else {
+                    Vec::new()
+                }
+            })
+        });
+
+        // Pack everything into one CSR alias family, built in a single
+        // pass. Per-segment draw streams are bit-identical to the
+        // standalone tables this replaces (pinned by the golden hashes and
+        // a gem-sampling proptest), so the refactor is invisible to every
+        // seeded run.
+        let mut segment_slices: Vec<&[f64]> = Vec::with_capacity(seg::COUNT);
+        segment_slices.push(&graph_weights);
+        segment_slices.extend(edge_weights.iter().map(|w| w.as_slice()));
+        for per_graph in &noise_weights {
+            segment_slices.extend(per_graph.iter().map(|w| w.as_slice()));
+        }
+        let tables = CsrAliasSet::build(segment_slices)
+            .map_err(|e| TrainError::Sampler(e.to_alias_error()))?;
 
         let mut adaptive: [[Option<AdaptiveState>; 2]; 5] = if config.noise == NoiseKind::Adaptive {
             std::array::from_fn(|gi| {
@@ -572,9 +645,7 @@ impl<'g> GemTrainer<'g> {
             config,
             graphs,
             embeddings,
-            graph_table,
-            edge_tables,
-            noise_tables,
+            tables,
             adaptive,
             refresh_check,
             lut: SigmoidLut::new(),
@@ -591,8 +662,8 @@ impl<'g> GemTrainer<'g> {
     /// identical either way).
     fn worker_tables(&self) -> WorkerTables<'_> {
         WorkerTables {
-            graph: self.graph_table.view(),
-            edges: std::array::from_fn(|i| self.edge_tables[i].as_ref().map(|t| t.view())),
+            graph: self.tables.segment(seg::GRAPH).expect("graph segment live by construction"),
+            edges: std::array::from_fn(|i| self.tables.segment(seg::edge(i))),
         }
     }
 
@@ -1467,7 +1538,7 @@ impl<'g> GemTrainer<'g> {
             let k = match self.config.noise {
                 NoiseKind::Uniform => rng.random_range(0..count) as u32,
                 NoiseKind::Degree => {
-                    let table = self.noise_tables[gi][side as usize].as_ref()?;
+                    let table = self.tables.segment(seg::noise(gi, side as usize))?;
                     table.sample(rng) as u32
                 }
                 NoiseKind::Adaptive => {

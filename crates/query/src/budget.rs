@@ -1,0 +1,257 @@
+//! Memory-budgeted engine construction.
+//!
+//! The serving engine's resident size is a pure function of the pool sizes
+//! and the pruning parameter: `pairs = partners · min(k, events)` candidate
+//! pairs, each costing a known number of bytes in the candidate list, the
+//! transformed `2K+1` space and the TA index. [`MemBudget`] turns the
+//! `space_mib` number every bench already reports into a *hard constraint*
+//! at build time: the build projects its footprint up front, then verifies
+//! the actual bytes after every phase. Exceeding the budget either fails
+//! the build ([`BudgetPolicy::Fail`]) or degrades `k` to the largest value
+//! that fits ([`BudgetPolicy::DegradeK`]) — the §IV pruning knob is exactly
+//! the quality-for-space dial the paper provides, so degradation stays on
+//! the curve the evaluation section characterizes.
+
+/// What a budgeted build does when the projected footprint exceeds the
+/// limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Refuse to build: the caller wants the requested quality or nothing.
+    Fail,
+    /// Shrink the pruning parameter `k` to the largest value whose
+    /// projected footprint fits (still an error if even `k = 1` does not).
+    DegradeK,
+}
+
+/// A hard byte ceiling on the engine's candidate + space + index footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemBudget {
+    /// The ceiling, in bytes, on the sum of candidate-list, transformed
+    /// space and TA-index bytes (the model itself is not counted: it
+    /// exists regardless of how the engine is built).
+    pub limit_bytes: usize,
+    /// What to do when the projection exceeds the ceiling.
+    pub policy: BudgetPolicy,
+}
+
+impl MemBudget {
+    /// A fail-fast budget of `mib` mebibytes.
+    pub fn fail_at_mib(mib: usize) -> Self {
+        Self { limit_bytes: mib << 20, policy: BudgetPolicy::Fail }
+    }
+
+    /// A degrade-`k` budget of `mib` mebibytes.
+    pub fn degrade_at_mib(mib: usize) -> Self {
+        Self { limit_bytes: mib << 20, policy: BudgetPolicy::DegradeK }
+    }
+
+    /// Resolve the pruning parameter a budgeted build will actually use:
+    /// `requested_k` when its projection fits, a degraded `k` under
+    /// [`BudgetPolicy::DegradeK`], or [`BuildError::BudgetExceeded`].
+    pub(crate) fn resolve_k(
+        &self,
+        partners: usize,
+        events: usize,
+        dim: usize,
+        requested_k: usize,
+    ) -> Result<usize, BuildError> {
+        let needed = Projection::new(partners, events, dim, requested_k).total();
+        if needed <= self.limit_bytes {
+            return Ok(requested_k);
+        }
+        match self.policy {
+            BudgetPolicy::Fail => Err(BuildError::BudgetExceeded {
+                phase: "projection",
+                needed_bytes: needed,
+                limit_bytes: self.limit_bytes,
+            }),
+            BudgetPolicy::DegradeK => {
+                let fits = |k: usize| {
+                    Projection::new(partners, events, dim, k).total() <= self.limit_bytes
+                };
+                if requested_k == 0 || !fits(1) {
+                    return Err(BuildError::BudgetExceeded {
+                        phase: "projection",
+                        needed_bytes: Projection::new(partners, events, dim, 1.min(requested_k))
+                            .total(),
+                        limit_bytes: self.limit_bytes,
+                    });
+                }
+                // Projected bytes are monotone in k (pairs = partners ·
+                // min(k, events)): binary-search the largest fitting k.
+                let (mut lo, mut hi) = (1usize, requested_k);
+                while lo < hi {
+                    let mid = lo + (hi - lo).div_ceil(2);
+                    if fits(mid) {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                Ok(lo)
+            }
+        }
+    }
+}
+
+/// Why a budgeted engine build failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The (projected or actual) footprint exceeds the budget and the
+    /// policy does not allow — or cannot find — a degraded `k` that fits.
+    BudgetExceeded {
+        /// Which accounting step tripped: `"projection"` (before any work)
+        /// or a build phase (`"prune"`, `"transform"`, `"index"`).
+        phase: &'static str,
+        /// Bytes the step needed.
+        needed_bytes: usize,
+        /// The configured ceiling.
+        limit_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::BudgetExceeded { phase, needed_bytes, limit_bytes } => write!(
+                f,
+                "engine build exceeds memory budget at {phase}: needs {needed_bytes} bytes, \
+                 limit {limit_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Byte accounting of one (projected or completed) engine build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildReport {
+    /// The pruning parameter the caller asked for.
+    pub requested_k: usize,
+    /// The pruning parameter actually used (smaller than `requested_k`
+    /// only under [`BudgetPolicy::DegradeK`]).
+    pub effective_k: usize,
+    /// Bytes of the pruned candidate-pair list.
+    pub candidate_bytes: usize,
+    /// Bytes of the transformed `2K+1` space.
+    pub space_bytes: usize,
+    /// Bytes of the TA index.
+    pub index_bytes: usize,
+    /// Sum of the three components above.
+    pub total_bytes: usize,
+    /// The budget ceiling the build ran under (`None` for unbudgeted
+    /// builds, which record the same report through the `build.*` gauges).
+    pub limit_bytes: Option<usize>,
+}
+
+/// Conservative up-front byte projection of an engine build.
+///
+/// Every component is an exact or over-counting closed form of the real
+/// structures, so `actual ≤ projected` always holds and a build admitted by
+/// the projection cannot trip the post-phase checks:
+///
+/// * candidate list: `pairs` × 8 (two u32 ids) — exact;
+/// * transformed space: `pairs` × ((2·dim+1)·4 + 8) (point + pair id) —
+///   exact;
+/// * TA index: `pairs` × 20 (five u32-per-pair arrays) plus group
+///   book-keeping bounded by `min(pairs, events)` event groups and
+///   `min(pairs, partners)` partner groups — an upper bound, since distinct
+///   groups can collapse.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Projection {
+    /// Bytes of the candidate-pair list.
+    pub(crate) candidate_bytes: usize,
+    /// Bytes of the transformed space.
+    pub(crate) space_bytes: usize,
+    /// Bytes of the TA index (upper bound).
+    pub(crate) index_bytes: usize,
+}
+
+impl Projection {
+    pub(crate) fn new(partners: usize, events: usize, dim: usize, k: usize) -> Self {
+        let pairs = partners.saturating_mul(k.min(events));
+        let event_groups = pairs.min(events);
+        let partner_groups = pairs.min(partners);
+        Self {
+            candidate_bytes: pairs.saturating_mul(8),
+            space_bytes: pairs.saturating_mul((2 * dim + 1) * 4 + 8),
+            index_bytes: pairs
+                .saturating_mul(20)
+                .saturating_add((2 * event_groups + 2 * partner_groups + 2) * 4),
+        }
+    }
+
+    pub(crate) fn total(&self) -> usize {
+        self.candidate_bytes.saturating_add(self.space_bytes).saturating_add(self.index_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_k_passes_through_when_projection_fits() {
+        let budget = MemBudget { limit_bytes: 1 << 30, policy: BudgetPolicy::Fail };
+        assert_eq!(budget.resolve_k(100, 50, 8, 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn fail_policy_rejects_oversized_builds_with_numbers() {
+        let budget = MemBudget { limit_bytes: 1024, policy: BudgetPolicy::Fail };
+        let err = budget.resolve_k(1000, 1000, 8, 10).unwrap_err();
+        let BuildError::BudgetExceeded { phase, needed_bytes, limit_bytes } = err;
+        assert_eq!(phase, "projection");
+        assert_eq!(limit_bytes, 1024);
+        assert!(needed_bytes > 1024);
+    }
+
+    #[test]
+    fn degrade_policy_finds_the_largest_fitting_k() {
+        let (partners, events, dim) = (100usize, 1000usize, 8usize);
+        // Budget sized to admit exactly k = 7.
+        let limit = Projection::new(partners, events, dim, 7).total();
+        let budget = MemBudget { limit_bytes: limit, policy: BudgetPolicy::DegradeK };
+        assert_eq!(budget.resolve_k(partners, events, dim, 20).unwrap(), 7);
+        // And k at or under the ceiling is untouched.
+        assert_eq!(budget.resolve_k(partners, events, dim, 7).unwrap(), 7);
+        assert_eq!(budget.resolve_k(partners, events, dim, 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn degrade_policy_still_errors_when_even_k1_is_too_big() {
+        let budget = MemBudget { limit_bytes: 64, policy: BudgetPolicy::DegradeK };
+        let err = budget.resolve_k(1000, 1000, 8, 10).unwrap_err();
+        assert!(matches!(err, BuildError::BudgetExceeded { phase: "projection", .. }));
+    }
+
+    #[test]
+    fn projection_is_monotone_in_k_and_plateaus_at_the_event_count() {
+        let mut last = 0;
+        for k in 1..30 {
+            let total = Projection::new(50, 20, 8, k).total();
+            assert!(total >= last, "k {k}");
+            last = total;
+        }
+        assert_eq!(
+            Projection::new(50, 20, 8, 20).total(),
+            Projection::new(50, 20, 8, 29).total(),
+            "k beyond the event pool adds nothing"
+        );
+    }
+
+    #[test]
+    fn mib_constructors_shift_correctly() {
+        assert_eq!(MemBudget::fail_at_mib(2).limit_bytes, 2 * 1024 * 1024);
+        assert_eq!(MemBudget::fail_at_mib(2).policy, BudgetPolicy::Fail);
+        assert_eq!(MemBudget::degrade_at_mib(1).policy, BudgetPolicy::DegradeK);
+    }
+
+    #[test]
+    fn build_error_displays_the_numbers() {
+        let err = BuildError::BudgetExceeded { phase: "index", needed_bytes: 9, limit_bytes: 5 };
+        let msg = err.to_string();
+        assert!(msg.contains("index") && msg.contains('9') && msg.contains('5'), "{msg}");
+    }
+}

@@ -6,6 +6,7 @@
 //! GEM-TA or GEM-BF.
 
 use crate::brute::{BruteForce, BruteScratch};
+use crate::budget::{BuildError, BuildReport, MemBudget};
 use crate::metrics::EngineMetrics;
 use crate::prune::top_k_events_per_partner;
 use crate::ta::{TaCompletion, TaIndex, TaScratch, TaStats};
@@ -200,9 +201,64 @@ impl RecommendationEngine {
         metrics: EngineMetrics,
         tracing: ServeTracing,
     ) -> Self {
+        let (engine, _report) =
+            Self::build_phases(model, partners, events, top_k_events, metrics, tracing, None)
+                .expect("unbudgeted build cannot exceed a budget");
+        engine
+    }
+
+    /// Build under a hard memory ceiling (see [`MemBudget`]): the footprint
+    /// is projected before any work and verified after every phase, so an
+    /// over-budget build fails (or degrades `k`, per the policy) instead of
+    /// silently blowing past `space_mib`. The returned [`BuildReport`]
+    /// carries the per-component byte accounting; the same numbers land in
+    /// the `build.*_bytes` gauges of `metrics`.
+    pub fn build_within_budget(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k_events: usize,
+        budget: MemBudget,
+        metrics: EngineMetrics,
+        tracing: ServeTracing,
+    ) -> Result<(Self, BuildReport), BuildError> {
+        let effective_k =
+            budget.resolve_k(partners.len(), events.len(), model.dim, top_k_events)?;
+        let (engine, mut report) = Self::build_phases(
+            model,
+            partners,
+            events,
+            effective_k,
+            metrics,
+            tracing,
+            Some(budget),
+        )?;
+        report.requested_k = top_k_events;
+        Ok((engine, report))
+    }
+
+    /// The shared build pipeline: prune → transform → index, with spans,
+    /// gauges and (when `budget` is set) a hard byte check after each
+    /// phase. `Err` is only reachable with a budget.
+    fn build_phases(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k_events: usize,
+        metrics: EngineMetrics,
+        tracing: ServeTracing,
+        budget: Option<MemBudget>,
+    ) -> Result<(Self, BuildReport), BuildError> {
         let tracer = &tracing.tracer;
         let phase_start =
             |t: &Instant| tracer.now_ns().saturating_sub(t.elapsed().as_nanos() as u64);
+        let limit = budget.map(|b| b.limit_bytes);
+        let check = |phase: &'static str, used: usize| match limit {
+            Some(limit_bytes) if used > limit_bytes => {
+                Err(BuildError::BudgetExceeded { phase, needed_bytes: used, limit_bytes })
+            }
+            _ => Ok(()),
+        };
 
         let t0 = Instant::now();
         let candidates = top_k_events_per_partner(&model, partners, events, top_k_events);
@@ -215,6 +271,8 @@ impl RecommendationEngine {
             prune_ns,
             &[("partners", partners.len() as u64), ("events", events.len() as u64)],
         );
+        let candidate_bytes = candidates.len() * std::mem::size_of::<(UserId, EventId)>();
+        check("prune", candidate_bytes)?;
 
         let t1 = Instant::now();
         let space = TransformedSpace::build(&model, &candidates);
@@ -227,6 +285,8 @@ impl RecommendationEngine {
             transform_ns,
             &[("pairs", space.len() as u64)],
         );
+        let space_bytes = space.bytes();
+        check("transform", candidate_bytes + space_bytes)?;
 
         // Build the TA index eagerly: an engine exists to be queried.
         let t2 = Instant::now();
@@ -240,8 +300,28 @@ impl RecommendationEngine {
             index_ns,
             &[("pairs", space.len() as u64)],
         );
+        let index_bytes = index.bytes();
+        let total_bytes = candidate_bytes + space_bytes + index_bytes;
+        check("index", total_bytes)?;
+
         metrics.build_candidate_pairs.set(space.len() as f64);
-        Self { model, space, index, metrics, tracing }
+        metrics.build_space_bytes.set(space_bytes as f64);
+        metrics.build_index_bytes.set(index_bytes as f64);
+        metrics.build_total_bytes.set(total_bytes as f64);
+        metrics.build_prune_k.set(top_k_events as f64);
+        if let Some(limit_bytes) = limit {
+            metrics.build_budget_limit_bytes.set(limit_bytes as f64);
+        }
+        let report = BuildReport {
+            requested_k: top_k_events,
+            effective_k: top_k_events,
+            candidate_bytes,
+            space_bytes,
+            index_bytes,
+            total_bytes,
+            limit_bytes: limit,
+        };
+        Ok((Self { model, space, index, metrics, tracing }, report))
     }
 
     /// Build the engine from the newest *valid* generation in a checkpoint
@@ -284,6 +364,11 @@ impl RecommendationEngine {
     /// Approximate memory used by the transformed space, in bytes.
     pub fn space_bytes(&self) -> usize {
         self.space.bytes()
+    }
+
+    /// Approximate memory used by the TA index, in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.index.bytes()
     }
 
     /// The model the engine serves.
@@ -662,6 +747,101 @@ mod tests {
         assert_eq!(snap.histogram("serve.query_ns.ta").unwrap().count, 2);
         assert!(snap.counter("serve.ta_scored") > 0);
         assert!(snap.gauge("build.candidate_pairs") > 0.0);
+    }
+
+    // --- memory-budgeted builds ---
+
+    #[test]
+    fn budgeted_build_reports_actual_bytes_and_keeps_k() {
+        let reg = gem_obs::MetricsRegistry::new();
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let (e, report) = RecommendationEngine::build_within_budget(
+            model,
+            &partners,
+            &events,
+            2,
+            MemBudget::fail_at_mib(64),
+            crate::EngineMetrics::register(&reg),
+            ServeTracing::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.requested_k, 2);
+        assert_eq!(report.effective_k, 2);
+        assert_eq!(report.space_bytes, e.space_bytes());
+        assert_eq!(report.index_bytes, e.index_bytes());
+        assert_eq!(report.candidate_bytes, e.num_candidates() * 8);
+        assert_eq!(
+            report.total_bytes,
+            report.candidate_bytes + report.space_bytes + report.index_bytes
+        );
+        assert_eq!(report.limit_bytes, Some(64 << 20));
+        assert!(report.total_bytes <= 64 << 20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("build.space_bytes"), e.space_bytes() as f64);
+        assert_eq!(snap.gauge("build.index_bytes"), e.index_bytes() as f64);
+        assert_eq!(snap.gauge("build.total_bytes"), report.total_bytes as f64);
+        assert_eq!(snap.gauge("build.budget_limit_bytes"), (64 << 20) as f64);
+        assert_eq!(snap.gauge("build.prune_k"), 2.0);
+        // The budgeted engine serves like any other.
+        let (recs, _) = e.recommend(UserId(0), 2, Method::Ta);
+        assert!(!recs.is_empty());
+    }
+
+    #[test]
+    fn fail_policy_refuses_an_oversized_build() {
+        let model = toy_model();
+        let partners: Vec<UserId> = (0..3).map(UserId).collect();
+        let events: Vec<EventId> = (0..2).map(EventId).collect();
+        let budget = MemBudget { limit_bytes: 16, policy: crate::BudgetPolicy::Fail };
+        let result = RecommendationEngine::build_within_budget(
+            model,
+            &partners,
+            &events,
+            2,
+            budget,
+            crate::EngineMetrics::disabled(),
+            ServeTracing::disabled(),
+        );
+        let Err(err) = result else { panic!("oversized build must fail") };
+        let BuildError::BudgetExceeded { phase, needed_bytes, limit_bytes } = err;
+        assert_eq!(phase, "projection");
+        assert_eq!(limit_bytes, 16);
+        assert!(needed_bytes > 16);
+    }
+
+    #[test]
+    fn degrade_policy_shrinks_k_until_the_build_fits() {
+        use rand::RngExt;
+        let dim = 8;
+        let (nu, nx) = (80usize, 40usize);
+        let mut rng = gem_sampling::rng_from_seed(43);
+        let users: Vec<f32> = (0..nu * dim).map(|_| rng.random::<f32>()).collect();
+        let events: Vec<f32> = (0..nx * dim).map(|_| rng.random::<f32>()).collect();
+        let model = GemModel::from_raw(dim, users, events, vec![], vec![], vec![]);
+        let partners: Vec<UserId> = (0..nu as u32).map(UserId).collect();
+        let ev: Vec<EventId> = (0..nx as u32).map(EventId).collect();
+        // Roomy enough for a few events per partner, far too small for 40.
+        let limit = crate::budget::Projection::new(nu, nx, dim, 5).total();
+        let budget = MemBudget { limit_bytes: limit, policy: crate::BudgetPolicy::DegradeK };
+        let (e, report) = RecommendationEngine::build_within_budget(
+            model,
+            &partners,
+            &ev,
+            nx,
+            budget,
+            crate::EngineMetrics::disabled(),
+            ServeTracing::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.requested_k, nx);
+        assert_eq!(report.effective_k, 5);
+        assert!(report.total_bytes <= limit, "{} > {limit}", report.total_bytes);
+        assert_eq!(e.num_candidates(), nu * 5);
+        // Degraded, but still a working engine.
+        let (recs, _) = e.recommend(UserId(0), 5, Method::Ta);
+        assert_eq!(recs.len(), 5);
     }
 
     // --- deadline-degraded serving ---

@@ -173,6 +173,13 @@ impl IncrementalEngine {
         let space = TransformedSpace::build(&model, &candidates);
         let index = TaIndex::build(&space);
         metrics.build_candidate_pairs.set(space.len() as f64);
+        // Rebuilds re-account the resident footprint, so the scale tier's
+        // byte gauges stay truthful under churn, not just at first build.
+        metrics.build_space_bytes.set(space.bytes() as f64);
+        metrics.build_index_bytes.set(index.bytes() as f64);
+        metrics
+            .build_total_bytes
+            .set((candidates.len() * 8 + space.bytes() + index.bytes()) as f64);
         (Arc::new(IndexBase { model, space, index, partners }), base_pairs)
     }
 

@@ -29,7 +29,11 @@
 //!    into small removed/delta overlays over an immutable base index and
 //!    publishes cheap [`EngineSnapshot`]s for concurrent serving, falling
 //!    back to a full rebuild past a staleness budget.
-//! 7. [`metrics`] — pre-registered gem-obs handles ([`EngineMetrics`]) for
+//! 7. [`budget`] — memory-budgeted construction: [`MemBudget`] turns the
+//!    reported space number into a hard ceiling enforced during
+//!    [`RecommendationEngine::build_within_budget`], either failing or
+//!    degrading the pruning parameter `k` when the projection exceeds it.
+//! 8. [`metrics`] — pre-registered gem-obs handles ([`EngineMetrics`]) for
 //!    per-query latency, TA work counters and build-phase timings; for
 //!    time-resolved views, [`RecommendationEngine::build_traced`] +
 //!    [`ServeTracing`] additionally emit `build.*` and `serve.*` spans into
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+pub mod budget;
 pub mod engine;
 pub mod incremental;
 pub mod metrics;
@@ -54,6 +59,7 @@ pub mod ta;
 pub mod transform;
 
 pub use brute::{BruteForce, BruteScratch};
+pub use budget::{BudgetPolicy, BuildError, BuildReport, MemBudget};
 pub use engine::{
     CheckpointProvenance, DeadlineRecommendations, Method, Recommendation, RecommendationEngine,
     ServeError, ServeScratch, ServeTracing,

@@ -40,6 +40,18 @@ pub struct EngineMetrics {
     pub(crate) build_index_ns: Gauge,
     /// `build.candidate_pairs` — candidate pairs after pruning, last build.
     pub(crate) build_candidate_pairs: Gauge,
+    /// `build.space_bytes` — transformed-space bytes, last build.
+    pub(crate) build_space_bytes: Gauge,
+    /// `build.index_bytes` — TA-index bytes, last build.
+    pub(crate) build_index_bytes: Gauge,
+    /// `build.total_bytes` — candidate + space + index bytes, last build.
+    pub(crate) build_total_bytes: Gauge,
+    /// `build.budget_limit_bytes` — the [`crate::MemBudget`] ceiling of the
+    /// last *budgeted* build (untouched by unbudgeted builds).
+    pub(crate) build_budget_limit_bytes: Gauge,
+    /// `build.prune_k` — the effective pruning parameter of the last build
+    /// (smaller than requested when a budget degraded it).
+    pub(crate) build_prune_k: Gauge,
     /// `maint.adds` — events added through incremental maintenance.
     pub(crate) maint_adds: Counter,
     /// `maint.retires` — events retired through incremental maintenance.
@@ -72,6 +84,11 @@ impl EngineMetrics {
             build_transform_ns: registry.gauge("build.transform_ns"),
             build_index_ns: registry.gauge("build.index_ns"),
             build_candidate_pairs: registry.gauge("build.candidate_pairs"),
+            build_space_bytes: registry.gauge("build.space_bytes"),
+            build_index_bytes: registry.gauge("build.index_bytes"),
+            build_total_bytes: registry.gauge("build.total_bytes"),
+            build_budget_limit_bytes: registry.gauge("build.budget_limit_bytes"),
+            build_prune_k: registry.gauge("build.prune_k"),
             maint_adds: registry.counter("maint.adds"),
             maint_retires: registry.counter("maint.retires"),
             maint_rebuilds: registry.counter("maint.rebuilds"),
@@ -96,6 +113,11 @@ impl EngineMetrics {
             build_transform_ns: Gauge::disabled(),
             build_index_ns: Gauge::disabled(),
             build_candidate_pairs: Gauge::disabled(),
+            build_space_bytes: Gauge::disabled(),
+            build_index_bytes: Gauge::disabled(),
+            build_total_bytes: Gauge::disabled(),
+            build_budget_limit_bytes: Gauge::disabled(),
+            build_prune_k: Gauge::disabled(),
             maint_adds: Counter::disabled(),
             maint_retires: Counter::disabled(),
             maint_rebuilds: Counter::disabled(),
@@ -144,6 +166,11 @@ mod tests {
             "build.transform_ns",
             "build.index_ns",
             "build.candidate_pairs",
+            "build.space_bytes",
+            "build.index_bytes",
+            "build.total_bytes",
+            "build.budget_limit_bytes",
+            "build.prune_k",
             "maint.adds",
             "maint.retires",
             "maint.rebuilds",

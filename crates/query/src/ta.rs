@@ -288,6 +288,21 @@ fn interaction_order(space: &TransformedSpace) -> Vec<u32> {
 }
 
 impl TaIndex {
+    /// Approximate resident bytes of the index arrays (all are `u32`).
+    /// Input to the [`crate::MemBudget`] accounting of a budgeted build.
+    pub fn bytes(&self) -> usize {
+        (self.event_offsets.len()
+            + self.event_members.len()
+            + self.event_rep.len()
+            + self.partner_offsets.len()
+            + self.partner_members.len()
+            + self.partner_rep.len()
+            + self.by_interaction.len()
+            + self.event_gid.len()
+            + self.partner_gid.len())
+            * 4
+    }
+
     /// Build the offline structures (`O(n log n)` in the number of pairs).
     ///
     /// The two independent passes — first-seen group assignment (inherently

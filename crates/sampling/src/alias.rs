@@ -166,6 +166,17 @@ pub struct AliasView<'a> {
     total_weight: f64,
 }
 
+impl<'a> AliasView<'a> {
+    /// Assemble a view over externally owned prob/alias storage — the
+    /// borrow handed out per segment by [`crate::CsrAliasSet`]. Crate-only:
+    /// callers must guarantee `prob.len() == alias.len()` and that the
+    /// arrays came out of the Walker construction.
+    pub(crate) fn from_raw(prob: &'a [f64], alias: &'a [u32], total_weight: f64) -> Self {
+        debug_assert_eq!(prob.len(), alias.len());
+        AliasView { prob, alias, total_weight }
+    }
+}
+
 impl AliasView<'_> {
     /// Number of outcomes.
     pub fn len(&self) -> usize {

@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod csr;
 pub mod gaussian;
 pub mod geometric;
 pub mod noise;
 pub mod rng;
 
 pub use alias::{AliasError, AliasTable, AliasView};
+pub use csr::{CsrAliasSet, CsrError};
 pub use gaussian::{gaussian, GaussianSampler};
 pub use geometric::TruncatedGeometric;
 pub use noise::DegreeNoise;

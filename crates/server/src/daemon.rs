@@ -117,10 +117,17 @@ pub(crate) struct ServerMetrics {
     pub live_events: Gauge,
     pub publishes: Counter,
     pub rebuilds: Counter,
+    /// `server.shard.<i>.sheds` — admission rejections per shard. The
+    /// global `server.overload_sheds` stays the headline number; the
+    /// per-shard split shows *which* shard is hot (skewed user hashing).
+    pub shard_sheds: Vec<Counter>,
+    /// `server.shard.<i>.in_flight` — queries currently admitted per
+    /// shard, refreshed point-in-time at `/metrics` and `/stats` scrapes.
+    pub shard_inflight: Vec<Gauge>,
 }
 
 impl ServerMetrics {
-    fn register(registry: &MetricsRegistry) -> Self {
+    fn register(registry: &MetricsRegistry, num_shards: usize) -> Self {
         ServerMetrics {
             requests: registry.counter("server.requests"),
             http_2xx: registry.counter("server.http_2xx"),
@@ -136,6 +143,12 @@ impl ServerMetrics {
             live_events: registry.gauge("server.live_events"),
             publishes: registry.counter("server.publishes"),
             rebuilds: registry.counter("server.rebuilds"),
+            shard_sheds: (0..num_shards)
+                .map(|i| registry.counter(&format!("server.shard.{i}.sheds")))
+                .collect(),
+            shard_inflight: (0..num_shards)
+                .map(|i| registry.gauge(&format!("server.shard.{i}.in_flight")))
+                .collect(),
         }
     }
 }
@@ -166,6 +179,15 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst)
             || (self.cfg.watch_os_signals && signal::shutdown_requested())
     }
+
+    /// Copy each shard's live in-flight count into its gauge, so a scrape
+    /// sees a point-in-time split without the serving path paying for a
+    /// gauge write on every admit/release.
+    fn refresh_shard_gauges(&self) {
+        for (i, gauge) in self.metrics.shard_inflight.iter().enumerate() {
+            gauge.set(self.shards.in_flight_of(i) as f64);
+        }
+    }
 }
 
 /// A running daemon. Dropping it without [`Daemon::join`] aborts the
@@ -190,7 +212,7 @@ impl Daemon {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let metrics = ServerMetrics::register(&registry);
+        let metrics = ServerMetrics::register(&registry, cfg.shards.max(1));
         let (maint_tx, maint_rx) = mpsc::channel::<MaintOp>();
         let shared = Arc::new(Shared {
             cell: GenerationCell::new(engine.snapshot()),
@@ -426,8 +448,14 @@ fn route(req: &Request, shared: &Shared, scratch: &mut ServeScratch) -> Response
     shared.metrics.requests.inc();
     match (req.method.as_str(), req.path()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("GET", "/metrics") => Response::text(200, shared.registry.snapshot().to_prometheus()),
-        ("GET", "/stats") => Response::json(200, shared.registry.snapshot().to_json()),
+        ("GET", "/metrics") => {
+            shared.refresh_shard_gauges();
+            Response::text(200, shared.registry.snapshot().to_prometheus())
+        }
+        ("GET", "/stats") => {
+            shared.refresh_shard_gauges();
+            Response::json(200, shared.registry.snapshot().to_json())
+        }
         ("GET", "/recommend") => recommend(req, shared, scratch),
         ("POST", "/recommend_batch") => recommend_batch(req, shared, scratch),
         ("POST", "/events/add") => churn(req, shared, true),
@@ -453,6 +481,9 @@ fn recommend(req: &Request, shared: &Shared, scratch: &mut ServeScratch) -> Resp
     let user = UserId(user);
     let Some(_permit) = shared.shards.try_admit(user) else {
         shared.metrics.overload_sheds.inc();
+        if let Some(shed) = shared.metrics.shard_sheds.get(shared.shards.shard_for(user)) {
+            shed.inc();
+        }
         return Response::error(503, "shard over capacity");
     };
     let snapshot = shared.cell.load();

@@ -72,6 +72,13 @@ impl ShardSet {
     pub fn in_flight(&self) -> usize {
         self.shards.iter().map(|s| s.load(Ordering::Acquire)).sum()
     }
+
+    /// Queries currently admitted on one shard (feeds the per-shard
+    /// `server.shard.<i>.in_flight` gauges at scrape time). Out-of-range
+    /// shards read as 0.
+    pub fn in_flight_of(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, |s| s.load(Ordering::Acquire))
+    }
 }
 
 #[cfg(test)]

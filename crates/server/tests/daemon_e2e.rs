@@ -184,6 +184,36 @@ fn full_shards_shed_with_503_and_recover() {
 }
 
 #[test]
+fn per_shard_shed_counters_split_the_global_total() {
+    let cfg = DaemonConfig { shards: 2, shard_capacity: 0, ..test_config() };
+    let (daemon, addr) = start_daemon(cfg, 12);
+
+    // Users 0..4 alternate shards (user % 2); with capacity 0 every
+    // request sheds, so each shard absorbs exactly two rejections.
+    for user in 0..4 {
+        let (status, _) = http(addr, "GET", &format!("/recommend?user={user}"), "");
+        assert_eq!(status, 503);
+    }
+
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("server_overload_sheds 4"), "{metrics}");
+    assert!(metrics.contains("server_shard_0_sheds 2"), "{metrics}");
+    assert!(metrics.contains("server_shard_1_sheds 2"), "{metrics}");
+    // Nothing is admitted, so the point-in-time in-flight split reads 0.
+    assert!(metrics.contains("server_shard_0_in_flight 0"), "{metrics}");
+    assert!(metrics.contains("server_shard_1_in_flight 0"), "{metrics}");
+
+    // The JSON view carries the same per-shard names.
+    let (_, stats) = http(addr, "GET", "/stats", "");
+    assert!(stats.contains("\"server.shard.0.sheds\""), "{stats}");
+    assert!(stats.contains("\"server.shard.1.in_flight\""), "{stats}");
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
 fn shutdown_route_drains_and_writes_the_journal() {
     let journal =
         std::env::temp_dir().join(format!("gem-serverd-drain-test-{}.jsonl", std::process::id()));
