@@ -32,16 +32,23 @@
 //!    under the rank-geometric distribution is relative to candidate-set
 //!    size, and the paper's λ=200 was tuned against sets ~scale× larger.
 //! 3. **Tracing overhead** — a GEM-A twin runs the same step budget bare
-//!    and fully instrumented (metrics + tracer); best-of-trials steps/sec
-//!    must agree within 2% (re-measured a bounded number of times first,
-//!    CI machines are noisy).
+//!    and fully instrumented (metrics + tracer + streaming trace sink);
+//!    best-of-trials steps/sec must agree within 2% (re-measured a
+//!    bounded number of times first, CI machines are noisy).
 //! 4. **Three-layer trace** — the tracer that watched both training runs
 //!    also watches a [`RecommendationEngine::build_traced`] over the
 //!    GEM-A model and a burst of served queries, then everything drains
 //!    into `convergence.trace.json` (Chrome trace-event JSON: load it at
 //!    `ui.perfetto.dev` or `chrome://tracing`). The file is re-parsed
 //!    with `gem_obs::json` and must contain spans from all three layers
-//!    (`train.*`, `build.*`, `serve.*`) before the report is written.
+//!    (`train.*`, `build.*`, `serve.*`) — including the per-epoch flame
+//!    nesting (`train.run` ⊇ `train.epoch` ⊇ `train.phase.*`) — before
+//!    the report is written. The same spans also round-trip through the
+//!    bounded streaming format (`convergence.trace.bin`, convertible with
+//!    `gem-report trace`), re-read and re-validated.
+//! 5. **Dashboard** — [`gem_report`] rolls every `journal_*.jsonl` and
+//!    `BENCH_*.json` in the working directory into `report.html`, gated
+//!    on its own tag-balance check and a nonzero chart count.
 //!
 //! With `--smoke` the same pipeline runs at CI scale and *asserts* the
 //! convergence ordering, the overhead budget and the trace validity.
@@ -53,7 +60,7 @@ use gem_bench::{Args, City, ExperimentEnv, Variant};
 use gem_core::{GemTrainer, TrainJournal, TrainerMetrics};
 use gem_ebsn::{TrainingGraphs, UserId};
 use gem_eval::{eval_event_rec, EvalConfig};
-use gem_obs::{JsonValue, MetricsRegistry, TraceSink, Tracer};
+use gem_obs::{JsonValue, MetricsRegistry, TraceSink, TraceStreamWriter, Tracer};
 use gem_query::{EngineMetrics, Method, RecommendationEngine, ServeScratch, ServeTracing};
 use std::time::Instant;
 
@@ -156,9 +163,12 @@ fn epochs_to_target(accuracies: &[f64], target: f64) -> u64 {
 }
 
 /// Best-of-`trials` steps/sec, optionally fully instrumented (metrics
-/// registry + tracer). The instrumented tracer is private to this
-/// measurement: overflowing its rings costs one counter increment per
-/// span, which is the steady-state cost a long-running service pays.
+/// registry + tracer + streaming trace sink). The instrumented tracer is
+/// private to this measurement; its rings drain into a size-capped
+/// [`TraceStreamWriter`] between trials — the cadence a long-running
+/// service uses (drains ride epoch boundaries, not the hot loop), so the
+/// overhead gate measures the steady-state cost with the sink *enabled*:
+/// span recording plus ring-overflow counting inside the timed region.
 fn steps_per_sec(
     graphs: &TrainingGraphs,
     variant: Variant,
@@ -168,10 +178,16 @@ fn steps_per_sec(
     instrumented: bool,
 ) -> f64 {
     let mut trainer = GemTrainer::new(graphs, variant.config(seed)).expect("valid trainer config");
+    let mut stream = None;
     if instrumented {
         let registry = MetricsRegistry::new();
+        let tracer = Tracer::new();
         trainer =
-            trainer.with_metrics(TrainerMetrics::register(&registry)).with_tracer(Tracer::new());
+            trainer.with_metrics(TrainerMetrics::register(&registry)).with_tracer(tracer.clone());
+        let path =
+            std::env::temp_dir().join(format!("gem_overhead_{}_{seed}.trace", std::process::id()));
+        let writer = TraceStreamWriter::create(&path, 1 << 20).expect("create overhead trace");
+        stream = Some((tracer, writer, path));
     }
     trainer.run(steps / 4, 1);
     let mut best = 0.0f64;
@@ -179,6 +195,13 @@ fn steps_per_sec(
         let start = Instant::now();
         trainer.run(steps, 1);
         best = best.max(steps as f64 / start.elapsed().as_secs_f64());
+        if let Some((tracer, writer, _)) = &mut stream {
+            writer.drain(tracer).expect("drain overhead trace");
+        }
+    }
+    if let Some((_, writer, path)) = stream {
+        writer.finish().expect("finish overhead trace");
+        std::fs::remove_file(path).ok();
     }
     best
 }
@@ -257,7 +280,9 @@ fn validate_trace(path: &str) -> usize {
             "trace is missing category {required_cat:?}"
         );
     }
-    for required_name in ["train.run", "build.prune", "serve.ta"] {
+    for required_name in
+        ["train.run", "train.epoch", "train.phase.sample", "build.prune", "serve.ta"]
+    {
         assert!(
             events.iter().any(|ev| name_of(ev) == required_name),
             "trace is missing span {required_name:?}"
@@ -318,7 +343,7 @@ fn main() {
     let mut sink = TraceSink::new();
 
     println!(
-        "[1/4] journaled training (single-thread, acc@10 on {max_cases} held-out cases per epoch)"
+        "[1/5] journaled training (single-thread, acc@10 on {max_cases} held-out cases per epoch)"
     );
     let (gem_p, _) = train_journaled(
         &env,
@@ -345,7 +370,7 @@ fn main() {
         &mut sink,
     );
 
-    println!("[2/4] epochs to shared accuracy target");
+    println!("[2/5] epochs to shared accuracy target");
     // A fraction of the worse final accuracy: both curves provably cross
     // it, and the crossing order is the convergence-speed comparison (the
     // default fraction targets early training — see the module docs).
@@ -364,7 +389,7 @@ fn main() {
         );
     }
 
-    println!("[3/4] tracing overhead on the GEM-A hot path ({overhead_steps} steps)");
+    println!("[3/5] tracing overhead on the GEM-A hot path ({overhead_steps} steps)");
     let overhead_pct = tracing_overhead_pct(&env.graphs, seed, overhead_steps, trials);
     if smoke {
         assert!(
@@ -373,7 +398,7 @@ fn main() {
         );
     }
 
-    println!("[4/4] serving layer trace (build + {queries} queries over the GEM-A model)");
+    println!("[4/5] serving layer trace (build + {queries} queries over the GEM-A model)");
     trace_serving_layer(&env, &trainer_a, &tracer, prune_k, queries);
     sink.drain(&tracer);
     let trace_path = "convergence.trace.json";
@@ -383,6 +408,34 @@ fn main() {
         "  {trace_events} events ({} dropped) -> {trace_path} \
          (open at ui.perfetto.dev or chrome://tracing)",
         sink.dropped()
+    );
+
+    // Streamed twin: the same spans through the bounded rotate-and-drop-
+    // oldest chunk format, read back and revalidated so the offline
+    // converter path (`gem-report trace`) is exercised on every run.
+    let stream_path = "convergence.trace.bin";
+    let mut writer =
+        TraceStreamWriter::create(stream_path, 8 << 20).expect("create streamed trace");
+    for ev in sink.events() {
+        writer.append(ev).expect("append span to streamed trace");
+    }
+    let stream_stats = writer.finish().expect("finish streamed trace");
+    let streamed = gem_obs::read_trace_stream(std::path::Path::new(stream_path))
+        .expect("read streamed trace back");
+    assert_eq!(streamed.corrupt_chunks, 0, "freshly written streamed trace has corrupt chunks");
+    for required in ["train.run", "train.epoch", "train.phase.sample", "build.prune", "serve.ta"] {
+        assert!(
+            streamed.events.iter().any(|ev| ev.name == required),
+            "streamed trace is missing span {required:?}"
+        );
+    }
+    println!(
+        "  {} spans -> {stream_path} ({} bytes, {} chunk(s), {} evicted; convert with \
+         `gem-report trace {stream_path} out.json`)",
+        stream_stats.events_appended,
+        stream_stats.file_bytes,
+        stream_stats.chunks_written,
+        stream_stats.events_evicted,
     );
 
     let json = format!(
@@ -400,7 +453,10 @@ fn main() {
             "  \"variants\": [\n{variants}\n  ],\n",
             "  \"gem_a_minus_gem_p_epochs\": {delta},\n",
             "  \"tracing_overhead_pct\": {ovh:.3},\n",
-            "  \"trace\": {{ \"file\": \"{tf}\", \"events\": {tev}, \"dropped\": {tdrop} }}\n",
+            "  \"trace\": {{ \"file\": \"{tf}\", \"events\": {tev}, \"dropped\": {tdrop} }},\n",
+            "  \"stream_trace\": {{ \"file\": \"{sf}\", \"events\": {sev}, ",
+            "\"evicted\": {sevic}, \"ring_dropped\": {sring}, \"chunks\": {schunks}, ",
+            "\"file_bytes\": {sbytes} }}\n",
             "}}\n",
         ),
         scale = scale,
@@ -416,13 +472,32 @@ fn main() {
         tf = trace_path,
         tev = trace_events,
         tdrop = sink.dropped(),
+        sf = stream_path,
+        sev = stream_stats.events_appended,
+        sevic = stream_stats.events_evicted,
+        sring = stream_stats.ring_dropped,
+        schunks = stream_stats.chunks_written,
+        sbytes = stream_stats.file_bytes,
     );
     std::fs::write("BENCH_convergence.json", &json).expect("write BENCH_convergence.json");
     println!("\nWrote BENCH_convergence.json");
+
+    println!("[5/5] dashboard (report.html from journals + BENCH artifacts)");
+    let inputs = gem_report::discover(std::path::Path::new(".")).expect("scan working directory");
+    let report = gem_report::build_report(&inputs);
+    gem_report::check_tag_balance(&report.html).expect("report.html is well-formed");
+    assert!(!report.charts.is_empty(), "report rendered no charts");
+    std::fs::write("report.html", &report.html).expect("write report.html");
+    println!(
+        "  {} charts from {} journal(s) + {} bench artifact(s) -> report.html",
+        report.charts.len(),
+        report.journals,
+        report.benches
+    );
     if smoke {
         println!(
-            "smoke OK: GEM-A <= GEM-P epochs-to-target, overhead within 2%, trace valid, \
-             zero journal write errors"
+            "smoke OK: GEM-A <= GEM-P epochs-to-target, overhead within 2%, trace valid \
+             (in-memory + streamed), dashboard rendered, zero journal write errors"
         );
     }
 }

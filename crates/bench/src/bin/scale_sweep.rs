@@ -432,6 +432,7 @@ fn main() {
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("Wrote BENCH_scale.json ({} scale points)", results.len());
+    gem_bench::emit_report();
     if smoke {
         println!("smoke OK: full-Douban leg built within {FULL_LEG_BUDGET_MIB} MiB, TA == BF, gauges pinned");
     }

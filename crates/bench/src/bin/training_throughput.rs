@@ -495,4 +495,5 @@ fn main() {
     );
     std::fs::write("BENCH_training.json", &json).expect("write BENCH_training.json");
     println!("\nWrote BENCH_training.json");
+    gem_bench::emit_report();
 }

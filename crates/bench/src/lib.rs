@@ -257,6 +257,40 @@ pub fn host_json(indent: &str) -> String {
     )
 }
 
+/// Roll every `journal_*.jsonl` and `BENCH_*.json` in the working
+/// directory into `report.html` — the convergence dashboard
+/// (DESIGN.md §5.8). Best-effort: a throughput bench never fails because
+/// the dashboard could not render, so problems go to stderr and the
+/// bench's own artifacts stay authoritative. (`convergence_report` is the
+/// exception: it gates on the dashboard inline, with hard asserts.)
+pub fn emit_report() {
+    let inputs = match gem_report::discover(std::path::Path::new(".")) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("report.html skipped: cannot scan working directory: {e}");
+            return;
+        }
+    };
+    let report = gem_report::build_report(&inputs);
+    if report.charts.is_empty() {
+        eprintln!("report.html skipped: no renderable journals or bench artifacts here");
+        return;
+    }
+    if let Err(e) = gem_report::check_tag_balance(&report.html) {
+        eprintln!("report.html skipped: failed well-formedness self-check: {e}");
+        return;
+    }
+    match std::fs::write("report.html", &report.html) {
+        Ok(()) => println!(
+            "Wrote report.html ({} charts from {} journal(s) + {} bench artifact(s))",
+            report.charts.len(),
+            report.journals,
+            report.benches
+        ),
+        Err(e) => eprintln!("report.html skipped: write failed: {e}"),
+    }
+}
+
 /// Fixed-width table printing helpers.
 pub mod table {
     /// Print a header row followed by a separator.

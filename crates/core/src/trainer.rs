@@ -1269,15 +1269,51 @@ impl<'g> GemTrainer<'g> {
     {
         journal.ensure_baseline(self);
         let epoch = journal.epoch_steps();
+        // When traced single-thread, route each chunk through
+        // [`GemTrainer::run_profiled`] — it consumes the identical seed
+        // stream, and its synthetic `train.phase.*` spans land *inside* the
+        // per-epoch span recorded below, giving the flame view run ⊃ epoch
+        // ⊃ phase. Multi-thread (and sharded) chunks keep using `run`,
+        // whose workers emit their own `train.worker` spans.
+        let profiled = self.tracer.is_enabled() && threads <= 1 && !self.config.sharded_updates;
+        let run_start = self.tracer.now_ns();
         let mut remaining = steps;
         while remaining > 0 {
             let chunk = remaining.min(epoch);
-            self.run(chunk, threads);
+            let epoch_start = self.tracer.now_ns();
+            if profiled {
+                self.run_profiled(chunk);
+            } else {
+                self.run(chunk, threads);
+            }
+            if self.tracer.is_enabled() {
+                // Same 0-based numbering the journal line will carry.
+                let number = journal.history().len() as u64;
+                self.tracer.record_span(
+                    "train.epoch",
+                    "train",
+                    epoch_start,
+                    self.tracer.now_ns().saturating_sub(epoch_start),
+                    &[("epoch", number), ("steps", chunk)],
+                );
+            }
             journal.observe(self);
             let stats = *journal.last().expect("observe just recorded an epoch");
             after_epoch(self, &stats);
             journal.rebase_clock();
             remaining -= chunk;
+        }
+        // `run_profiled` does not emit the `train.run` umbrella that `run`
+        // does, so close one over the whole journaled run to keep the top
+        // flame layer (and trace validators that require it) intact.
+        if profiled {
+            self.tracer.record_span(
+                "train.run",
+                "train",
+                run_start,
+                self.tracer.now_ns().saturating_sub(run_start),
+                &[("steps", steps), ("threads", 1)],
+            );
         }
     }
 

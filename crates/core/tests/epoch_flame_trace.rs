@@ -1,0 +1,127 @@
+//! Per-epoch flame nesting through the streaming trace file.
+//!
+//! A traced journaled run must produce all three span layers —
+//! `train.run` ⊃ `train.epoch` ⊃ `train.phase.{sample,fetch,update}`
+//! (plus `train.worker` from multi-thread runs) — survive a round trip
+//! through the size-capped [`gem_obs::TraceStreamWriter`] file, and load
+//! as Chrome trace JSON. And the profiled routing that makes the phase
+//! layer possible must not perturb training: the traced journaled model
+//! must be bit-identical to the untraced one.
+
+use gem_core::{GemTrainer, TrainConfig, TrainJournal};
+use gem_ebsn::{ChronoSplit, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+use gem_obs::{read_trace_stream, TraceStreamWriter, Tracer};
+
+fn tiny_graphs() -> TrainingGraphs {
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::tiny(99));
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[])
+}
+
+fn config() -> TrainConfig {
+    let mut cfg = TrainConfig::gem_p(4242);
+    cfg.dim = 24;
+    cfg.sigmoid_lut = false;
+    cfg
+}
+
+fn model_hash(m: &gem_core::GemModel) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for table in [&m.users, &m.events, &m.regions, &m.time_slots, &m.words] {
+        for v in table.iter() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gem_epoch_flame_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn journaled_run_streams_all_three_span_layers() {
+    let dir = temp_dir("layers");
+    let graphs = tiny_graphs();
+    let tracer = Tracer::with_capacity(16_384);
+    let mut writer = TraceStreamWriter::create(dir.join("run.trace"), 1 << 20).unwrap();
+
+    // Single-thread journaled run: run ⊃ epoch ⊃ phase layers.
+    let trainer = GemTrainer::new(&graphs, config()).unwrap().with_tracer(tracer.clone());
+    let mut journal = TrainJournal::create(dir.join("journal.jsonl"), 2_000, "flame").unwrap();
+    trainer.run_journaled(6_000, 1, &mut journal);
+    // Multi-thread run on a fresh trainer: the worker layer.
+    let trainer_mt = GemTrainer::new(&graphs, config()).unwrap().with_tracer(tracer.clone());
+    trainer_mt.run(2_000, 2);
+    writer.drain(&tracer).unwrap();
+    let stats = writer.finish().unwrap();
+    assert_eq!(stats.dropped_total(), 0, "1 MiB cap must hold this run whole");
+
+    let trace = read_trace_stream(dir.join("run.trace")).unwrap();
+    let count = |name: &str| trace.events.iter().filter(|e| e.name == name).count();
+    assert_eq!(count("train.epoch"), 3, "6 000 steps at a 2 000 cadence is 3 epochs");
+    assert_eq!(count("train.phase.sample"), 3, "each profiled epoch emits one sample span");
+    assert_eq!(count("train.worker"), 2, "two workers, one span each");
+    assert!(count("train.run") >= 2, "journaled umbrella + multi-thread run");
+
+    // Nesting: every epoch sits inside the journaled train.run span, and
+    // each epoch's phase spans sit inside that epoch.
+    let run =
+        trace.events.iter().filter(|e| e.name == "train.run").max_by_key(|e| e.dur_ns).unwrap();
+    let contains = |outer: &gem_obs::OwnedSpanEvent, inner: &gem_obs::OwnedSpanEvent| {
+        outer.start_ns <= inner.start_ns
+            && inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns
+    };
+    for epoch in trace.events.iter().filter(|e| e.name == "train.epoch") {
+        assert!(contains(run, epoch), "epoch span escapes the run span");
+        let number = epoch.args.iter().find(|(k, _)| k == "epoch").unwrap().1;
+        let phases: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name.starts_with("train.phase.") && contains(epoch, e))
+            .collect();
+        assert_eq!(phases.len(), 3, "epoch {number} does not contain its three phase spans");
+    }
+
+    // The streamed file converts to Chrome JSON carrying every layer.
+    let json = trace.to_chrome_json();
+    let doc = gem_obs::json::parse(&json).expect("chrome export parses");
+    let names: Vec<String> = doc
+        .get("traceEvents")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str().map(str::to_string)))
+        .collect();
+    for layer in ["train.run", "train.worker", "train.epoch", "train.phase.update"] {
+        assert!(names.iter().any(|n| n == layer), "chrome export missing layer {layer}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profiled_epoch_routing_does_not_perturb_training() {
+    let dir = temp_dir("determinism");
+    let graphs = tiny_graphs();
+
+    let bare = GemTrainer::new(&graphs, config()).unwrap();
+    let mut journal = TrainJournal::create(dir.join("bare.jsonl"), 2_000, "bare").unwrap();
+    bare.run_journaled(6_000, 1, &mut journal);
+
+    let traced = GemTrainer::new(&graphs, config()).unwrap().with_tracer(Tracer::new());
+    let mut journal = TrainJournal::create(dir.join("traced.jsonl"), 2_000, "traced").unwrap();
+    traced.run_journaled(6_000, 1, &mut journal);
+
+    assert_eq!(
+        model_hash(&bare.model()),
+        model_hash(&traced.model()),
+        "tracing a journaled run changed the model"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -101,6 +101,37 @@ impl std::error::Error for JsonError {}
 /// enough that adversarial nesting cannot overflow the test stack.
 const MAX_DEPTH: usize = 128;
 
+/// A parsed JSONL (one JSON document per line) stream — see [`parse_jsonl`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JsonLines {
+    /// The documents that parsed, in file order.
+    pub values: Vec<JsonValue>,
+    /// Lines that did not parse and were skipped. A crash mid-append leaves
+    /// at most one torn final line (the [`crate::Journal`] contract), so
+    /// readers expect `skipped <= 1` for journals from a single writer.
+    pub skipped: usize,
+}
+
+/// Parse a JSONL document leniently: each non-empty line is parsed on its
+/// own; lines that fail to parse are *skipped and counted* rather than
+/// failing the whole file. This matches the journal torn-tail semantics —
+/// a `SIGKILL` mid-append tears the final line, and every consumer (the
+/// fault drill, the report generator) wants the surviving prefix.
+pub fn parse_jsonl(input: &str) -> JsonLines {
+    let mut out = JsonLines::default();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Ok(v) => out.values.push(v),
+            Err(_) => out.skipped += 1,
+        }
+    }
+    out
+}
+
 /// Parse a complete JSON document (exactly one value, then end of input).
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
@@ -415,6 +446,73 @@ mod tests {
         let err = parse("[1, 2, x]").unwrap_err();
         assert_eq!(err.offset, 7);
         assert!(err.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_every_escape_form() {
+        // The report path reads journal labels and bench host strings that
+        // may carry any escape the writers emit.
+        let v = parse(r#""tab\t nl\n cr\r quote\" back\\ slash\/ bs\b ff\f""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\t nl\n cr\r quote\" back\\ slash/ bs\u{8} ff\u{c}"));
+        let v = parse(r#"{"key": "é中𝄞"}"#).unwrap();
+        assert_eq!(v.get("key").unwrap().as_str(), Some("é中𝄞"));
+    }
+
+    #[test]
+    fn exponent_notation_numbers_parse_exactly() {
+        // Bench JSONs carry values like 3.354e-4 (LUT error) and 1e9.
+        for (text, want) in [
+            ("3.354e-4", 3.354e-4),
+            ("1E9", 1e9),
+            ("-2.5e+3", -2500.0),
+            ("0e0", 0.0),
+            ("9007199254740993", 9007199254740993f64), // > 2^53: rounds, still parses
+        ] {
+            assert_eq!(parse(text).unwrap().as_f64(), Some(want), "{text}");
+        }
+    }
+
+    #[test]
+    fn deeply_nested_arrays_up_to_the_cap() {
+        // The outermost value parses at depth 0, so MAX_DEPTH+1 nested
+        // arrays still parse; one deeper is rejected, not a stack overflow.
+        let at_cap = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&at_cap).is_ok());
+        let past_cap = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = parse(&past_cap).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        // Mixed nesting counts both containers.
+        let mixed = "{\"a\":[".repeat(80) + "1" + &"]}".repeat(80);
+        assert!(parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn jsonl_skips_and_counts_a_truncated_tail() {
+        // A SIGKILL mid-append tears the last line; the prefix survives.
+        let text = "{\"epoch\":0,\"steps\":100}\n{\"epoch\":1,\"steps\":200}\n{\"epoch\":2,\"st";
+        let lines = parse_jsonl(text);
+        assert_eq!(lines.values.len(), 2);
+        assert_eq!(lines.skipped, 1);
+        assert_eq!(lines.values[1].get("epoch").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn jsonl_ignores_blank_lines_and_keeps_order() {
+        let text = "\n{\"a\":1}\n\n   \n{\"a\":2}\n";
+        let lines = parse_jsonl(text);
+        assert_eq!(lines.skipped, 0);
+        let got: Vec<f64> =
+            lines.values.iter().map(|v| v.get("a").unwrap().as_f64().unwrap()).collect();
+        assert_eq!(got, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn jsonl_counts_interior_corruption_too() {
+        // Not just the tail: any unparseable line is skipped and counted,
+        // so a reader can distinguish "clean" from "salvaged" inputs.
+        let text = "{\"a\":1}\ngarbage here\n{\"a\":3}";
+        let lines = parse_jsonl(text);
+        assert_eq!((lines.values.len(), lines.skipped), (2, 1));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`Tracer`] / [`TraceSink`] — per-thread ring-buffered spans exported
 //!   as Chrome trace-event JSON (Perfetto / `chrome://tracing`), for
 //!   *time-resolved* views the cumulative metrics cannot give;
+//! * [`TraceStreamWriter`] / [`read_trace_stream`] — a size-capped,
+//!   CRC-framed chunked trace file for runs too long for the in-memory
+//!   sink (rotate-and-drop-oldest, drop-counted, offline Chrome export);
 //! * [`Journal`] / [`JournalRecord`] — append-only JSONL time series (the
 //!   trainer's per-epoch convergence journal);
 //! * [`faults`] — a fail-point registry (env/test-armed, no-op when
@@ -57,6 +60,7 @@ pub mod journal;
 pub mod json;
 pub mod pad;
 pub mod registry;
+pub mod stream;
 pub mod trace;
 
 pub use faults::FaultMode;
@@ -65,4 +69,8 @@ pub use journal::{Journal, JournalRecord, JournalValue};
 pub use json::{JsonError, JsonValue};
 pub use pad::CachePadded;
 pub use registry::{Counter, Gauge, MetricSnapshot, MetricsRegistry, Snapshot};
+pub use stream::{
+    read_trace_stream, OwnedSpanEvent, StreamedTrace, TraceStreamStats, TraceStreamWriter,
+    DEFAULT_CHUNK_BYTES,
+};
 pub use trace::{Span, SpanEvent, TraceSink, Tracer, DEFAULT_RING_CAPACITY, MAX_SPAN_ARGS};

@@ -465,6 +465,14 @@ impl TraceSink {
         &self.events
     }
 
+    /// Take ownership of the drained events, leaving the sink empty (the
+    /// cumulative [`TraceSink::dropped`] count is kept). This is how the
+    /// streaming writer ([`crate::TraceStreamWriter`]) moves events from
+    /// the rings to disk without holding the whole run in memory.
+    pub fn take_events(&mut self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Events lost to ring overflow across all drains so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -478,52 +486,80 @@ impl TraceSink {
     /// thread's timeline is monotone and enclosing spans precede their
     /// children. Deterministic: same events → same bytes.
     pub fn to_chrome_json(&self) -> String {
-        let mut order: Vec<usize> = (0..self.events.len()).collect();
-        order.sort_by(|&a, &b| {
-            let (x, y) = (&self.events[a], &self.events[b]);
-            x.tid
-                .cmp(&y.tid)
-                .then(x.start_ns.cmp(&y.start_ns))
-                .then(y.dur_ns.cmp(&x.dur_ns))
-                .then(x.name.cmp(y.name))
-        });
-        let mut out = String::from("{\n\"traceEvents\": [\n");
-        out.push_str(
-            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-             \"args\":{\"name\":\"ebsn-rec\"}}",
-        );
-        for &i in &order {
-            let e = &self.events[i];
-            out.push_str(",\n");
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
-                 \"ts\":{},\"dur\":{}",
-                escape_json(e.name),
-                escape_json(e.cat),
-                e.tid,
-                micros(e.start_ns),
-                micros(e.dur_ns),
-            ));
-            if !e.args.is_empty() {
-                out.push_str(",\"args\":{");
-                for (j, (k, v)) in e.args.iter().enumerate() {
-                    if j > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&format!("\"{}\":{v}", escape_json(k)));
-                }
-                out.push('}');
-            }
-            out.push('}');
-        }
-        out.push_str("\n],\n\"displayTimeUnit\": \"ms\"\n}\n");
-        out
+        render_chrome(
+            self.events
+                .iter()
+                .map(|e| ChromeRow {
+                    name: e.name,
+                    cat: e.cat,
+                    tid: e.tid,
+                    start_ns: e.start_ns,
+                    dur_ns: e.dur_ns,
+                    args: e.args.iter().map(|&(k, v)| (k, v)).collect(),
+                })
+                .collect(),
+        )
     }
 
     /// Write [`TraceSink::to_chrome_json`] to a file.
     pub fn write_chrome_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
         std::fs::write(path, self.to_chrome_json())
     }
+}
+
+/// Borrowed view of one span, ready for Chrome rendering. Shared between
+/// [`TraceSink::to_chrome_json`] (which borrows `&'static str` names) and
+/// the streaming reader (which borrows its decoded `String` tables).
+pub(crate) struct ChromeRow<'a> {
+    pub(crate) name: &'a str,
+    pub(crate) cat: &'a str,
+    pub(crate) tid: u64,
+    pub(crate) start_ns: u64,
+    pub(crate) dur_ns: u64,
+    pub(crate) args: Vec<(&'a str, u64)>,
+}
+
+/// Render rows as Chrome trace-event JSON — sorted by `(tid, ts, -dur,
+/// name)`, one metadata row, deterministic bytes. The single renderer
+/// behind both the in-memory and the streaming export paths.
+pub(crate) fn render_chrome(mut rows: Vec<ChromeRow<'_>>) -> String {
+    rows.sort_by(|x, y| {
+        x.tid
+            .cmp(&y.tid)
+            .then(x.start_ns.cmp(&y.start_ns))
+            .then(y.dur_ns.cmp(&x.dur_ns))
+            .then(x.name.cmp(y.name))
+    });
+    let mut out = String::from("{\n\"traceEvents\": [\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"ebsn-rec\"}}",
+    );
+    for e in &rows {
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{}",
+            escape_json(e.name),
+            escape_json(e.cat),
+            e.tid,
+            micros(e.start_ns),
+            micros(e.dur_ns),
+        ));
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{v}", escape_json(k)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n],\n\"displayTimeUnit\": \"ms\"\n}\n");
+    out
 }
 
 /// Nanoseconds as decimal microseconds with nanosecond precision (Chrome

@@ -31,6 +31,7 @@
 //! of the small overlays) that any number of serving threads query
 //! concurrently.
 
+use crate::budget::{BuildError, MemBudget};
 use crate::engine::{DeadlineRecommendations, Recommendation, ServeError, ServeScratch};
 use crate::metrics::EngineMetrics;
 use crate::ta::{TaCompletion, TaIndex, TaStats};
@@ -107,6 +108,13 @@ pub struct IncrementalEngine {
     base: Arc<IndexBase>,
     metrics: EngineMetrics,
     top_k: usize,
+    /// The prune-k the caller asked for. `top_k` can sit below this under a
+    /// [`MemBudget`], and [`Self::rebuild`] re-resolves back toward it when
+    /// churn shrinks the live set.
+    requested_k: usize,
+    /// The memory ceiling every full rebuild re-resolves `top_k` against
+    /// (`None` for unbudgeted engines).
+    budget: Option<MemBudget>,
     /// Live event ids, ascending.
     live: Vec<EventId>,
     /// Per-partner pruned top-k (aligned with `base.partners`), each in
@@ -136,6 +144,43 @@ impl IncrementalEngine {
         top_k: usize,
         metrics: EngineMetrics,
     ) -> Self {
+        Self::build_inner(model, partners, events, top_k, top_k, None, metrics)
+    }
+
+    /// [`Self::build`] under a hard memory ceiling: the initial prune-k is
+    /// resolved against `budget` exactly like
+    /// [`crate::RecommendationEngine::build_within_budget`], and — unlike a
+    /// plain engine — every subsequent [`Self::rebuild`] re-resolves against
+    /// the *current* live-event count, so the maintained engine degrades
+    /// (or recovers toward `top_k`) as churn moves its footprint.
+    ///
+    /// # Errors
+    /// [`BuildError::BudgetExceeded`] when even the smallest admissible
+    /// build does not fit (see [`MemBudget::resolve_k`] semantics).
+    pub fn build_within_budget(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k: usize,
+        budget: MemBudget,
+        metrics: EngineMetrics,
+    ) -> Result<Self, BuildError> {
+        let mut live: Vec<EventId> = events.to_vec();
+        live.sort_unstable();
+        live.dedup();
+        let k = budget.resolve_k(partners.len(), live.len(), model.dim, top_k)?;
+        Ok(Self::build_inner(model, partners, &live, k, top_k, Some(budget), metrics))
+    }
+
+    fn build_inner(
+        model: GemModel,
+        partners: &[UserId],
+        events: &[EventId],
+        top_k: usize,
+        requested_k: usize,
+        budget: Option<MemBudget>,
+        metrics: EngineMetrics,
+    ) -> Self {
         let mut live: Vec<EventId> = events.to_vec();
         live.sort_unstable();
         live.dedup();
@@ -143,10 +188,16 @@ impl IncrementalEngine {
         let tops: Vec<Vec<(f32, EventId)>> =
             partners.iter().map(|&p| partner_top(&model, p, &live, take)).collect();
         let (base, base_pairs) = Self::base_from_tops(model, partners.to_vec(), &tops, &metrics);
+        metrics.build_prune_k.set(top_k as f64);
+        if let Some(b) = budget {
+            metrics.build_budget_limit_bytes.set(b.limit_bytes as f64);
+        }
         Self {
             base,
             metrics,
             top_k,
+            requested_k,
+            budget,
             live,
             tops,
             base_pairs,
@@ -196,6 +247,12 @@ impl IncrementalEngine {
     /// Add/retire operations absorbed since the last full (re)build.
     pub fn staleness(&self) -> usize {
         self.ops_since_rebuild
+    }
+
+    /// The prune-k currently in force (≤ the requested k when a
+    /// [`MemBudget`] degraded the build or a rebuild).
+    pub fn prune_k(&self) -> usize {
+        self.top_k
     }
 
     /// Candidate pairs currently served from the delta overlay.
@@ -299,10 +356,31 @@ impl IncrementalEngine {
     /// empty out and [`Self::staleness`] resets to zero. Served results are
     /// unchanged (the overlays already expressed the same candidate set);
     /// only the per-query cost of carrying them is reclaimed.
+    ///
+    /// Budgeted engines ([`Self::build_within_budget`]) re-resolve the
+    /// prune-k against the *current* live-event count here — churn changes
+    /// the footprint projection, so a rebuild must not inherit the base k
+    /// blindly: adds can force a degrade, retires can win quality back. If
+    /// re-resolution fails outright (the live set grew past what even
+    /// `k = 1` affords), the current k is kept: the fold still reclaims the
+    /// overlays, and serving at the stale k beats refusing to rebuild.
+    /// The k in force is exported through the `build.prune_k` gauge.
     pub fn rebuild(&mut self) {
+        if let Some(budget) = self.budget {
+            let resolved = budget.resolve_k(
+                self.base.partners.len(),
+                self.live.len(),
+                self.base.model.dim,
+                self.requested_k,
+            );
+            if let Ok(k) = resolved {
+                self.retarget_k(k);
+            }
+        }
         let model = self.base.model.clone();
         let partners = self.base.partners.clone();
         let (base, base_pairs) = Self::base_from_tops(model, partners, &self.tops, &self.metrics);
+        self.metrics.build_prune_k.set(self.top_k as f64);
         self.base = base;
         self.base_pairs = base_pairs;
         self.removed.clear();
@@ -327,6 +405,34 @@ impl IncrementalEngine {
             delta_points: Arc::new(self.delta_points.clone()),
             metrics: self.metrics.clone(),
         }
+    }
+
+    /// Move the in-force prune-k to `k`, restoring the tops invariant for
+    /// the new value. Shrinking truncates each ranked top; growing
+    /// recomputes from the live set (rare — only after heavy retirement).
+    /// Only called from [`Self::rebuild`], which folds the result into a
+    /// fresh base immediately, so the overlays need no patching here.
+    fn retarget_k(&mut self, k: usize) {
+        use std::cmp::Ordering::*;
+        let take = k.min(self.live.len());
+        match k.cmp(&self.top_k) {
+            Equal => return,
+            Less => {
+                for top in &mut self.tops {
+                    top.truncate(take);
+                }
+            }
+            Greater => {
+                let model = &self.base.model;
+                let live = &self.live;
+                for (i, top) in self.tops.iter_mut().enumerate() {
+                    if top.len() < take {
+                        *top = partner_top(model, self.base.partners[i], live, take);
+                    }
+                }
+            }
+        }
+        self.top_k = k;
     }
 
     /// Record `(p, x)` as part of the served candidate set.
@@ -642,6 +748,52 @@ mod tests {
                 assert!((g.score - w.score).abs() < 1e-6, "{p:?}: {g:?} vs {w:?}");
             }
         }
+        assert_matches_scratch(&inc, &partners, 6);
+    }
+
+    #[test]
+    fn budgeted_rebuild_re_resolves_prune_k_against_live_churn() {
+        let reg = gem_obs::MetricsRegistry::new();
+        let (nu, nx, dim) = (10u32, 24u32, 4usize);
+        let model = random_model(nu, nx, dim, 77);
+        let partners: Vec<UserId> = (0..nu).map(UserId).collect();
+        // Ceiling sized for k = 4 over the full event pool: a small live
+        // set projects under it at the requested k = 8, a grown one must
+        // degrade at the next fold.
+        let limit = crate::budget::Projection::new(nu as usize, nx as usize, dim, 4).total();
+        let budget = MemBudget { limit_bytes: limit, policy: crate::BudgetPolicy::DegradeK };
+        let initial: Vec<EventId> = (0..2).map(EventId).collect();
+        let mut inc = IncrementalEngine::build_within_budget(
+            model,
+            &partners,
+            &initial,
+            8,
+            budget,
+            EngineMetrics::register(&reg),
+        )
+        .unwrap();
+        assert_eq!(inc.prune_k(), 8, "2 live events fit the requested k");
+        assert_eq!(reg.snapshot().gauge("build.prune_k"), 8.0);
+
+        for x in 2..nx {
+            inc.add_event(EventId(x)).unwrap();
+        }
+        // The regression: a rebuild that inherits the base k keeps serving
+        // k = 8 over 24 live events — past the ceiling. It must re-resolve
+        // against the current live count and degrade.
+        inc.rebuild();
+        assert_eq!(inc.prune_k(), 4, "rebuild over the full pool degrades to the fitting k");
+        assert_eq!(reg.snapshot().gauge("build.prune_k"), 4.0);
+        assert!(reg.snapshot().gauge("build.total_bytes") <= limit as f64);
+        assert_matches_scratch(&inc, &partners, 6);
+
+        // Retiring back under the ceiling wins the quality back.
+        for x in 3..nx {
+            inc.retire_event(EventId(x)).unwrap();
+        }
+        inc.rebuild();
+        assert_eq!(inc.prune_k(), 8, "a shrunken live set re-resolves to the requested k");
+        assert_eq!(reg.snapshot().gauge("build.prune_k"), 8.0);
         assert_matches_scratch(&inc, &partners, 6);
     }
 

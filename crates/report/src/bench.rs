@@ -1,0 +1,186 @@
+//! `BENCH_*.json` rollup: every bench artifact becomes one HTML section —
+//! a host block, the scalar facts as a definition table, and every array
+//! of records as a history table with a sparkline footer per numeric
+//! column (the "trajectory" view: thread sweeps, scale legs, open-loop
+//! rps points read left-to-right as a shape, not just numbers).
+
+use crate::svg::{escape_xml, sparkbars};
+use gem_obs::json::JsonValue;
+
+/// Render one bench document as an HTML section body.
+pub fn render_bench_section(name: &str, doc: &JsonValue) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("<h3 id=\"{0}\">{0}</h3>\n", escape_xml(name)));
+    if let Some(host) = doc.get("host") {
+        out.push_str("<p class=\"host\">");
+        for (key, label) in [
+            ("available_parallelism", "cores"),
+            ("simd_backend", "simd"),
+            ("cpu_features", "features"),
+        ] {
+            if let Some(v) = host.get(key) {
+                out.push_str(&format!("{label}: <b>{}</b> · ", escape_xml(&scalar_text(v))));
+            }
+        }
+        out.push_str("</p>\n");
+    }
+    // Top-level scalar facts (host is rendered above, arrays below).
+    let mut facts = Vec::new();
+    flatten_scalars("", doc, &mut facts);
+    facts.retain(|(k, _)| !k.starts_with("host."));
+    if !facts.is_empty() {
+        out.push_str("<table class=\"facts\"><tbody>\n");
+        for (k, v) in &facts {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td></tr>\n",
+                escape_xml(k),
+                escape_xml(v)
+            ));
+        }
+        out.push_str("</tbody></table>\n");
+    }
+    if let JsonValue::Obj(fields) = doc {
+        for (key, value) in fields {
+            if let JsonValue::Arr(items) = value {
+                out.push_str(&render_array(key, items));
+            }
+        }
+    }
+    out
+}
+
+/// Render an array field: records become a history table with sparkline
+/// footers; plain number arrays become a sparkbar + value list.
+fn render_array(key: &str, items: &[JsonValue]) -> String {
+    let mut out = String::new();
+    if items.iter().all(|i| i.as_f64().is_some()) && !items.is_empty() {
+        let values: Vec<f64> = items.iter().filter_map(|i| i.as_f64()).collect();
+        out.push_str(&format!(
+            "<p class=\"arr\"><b>{}</b> {} <span class=\"vals\">[{}]</span></p>\n",
+            escape_xml(key),
+            sparkbars(&values),
+            values.iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(", ")
+        ));
+        return out;
+    }
+    // Column set: union of scalar keys across records, first-seen order.
+    let mut columns: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<(String, String)>> = Vec::new();
+    for item in items {
+        let mut flat = Vec::new();
+        flatten_scalars("", item, &mut flat);
+        for (k, _) in &flat {
+            if !columns.contains(k) {
+                columns.push(k.clone());
+            }
+        }
+        rows.push(flat);
+    }
+    if columns.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("<h4>{}</h4>\n<table class=\"history\"><thead><tr>", escape_xml(key)));
+    for c in &columns {
+        out.push_str(&format!("<th>{}</th>", escape_xml(c)));
+    }
+    out.push_str("</tr></thead><tbody>\n");
+    for row in &rows {
+        out.push_str("<tr>");
+        for c in &columns {
+            let cell = row.iter().find(|(k, _)| k == c).map(|(_, v)| v.as_str()).unwrap_or("");
+            out.push_str(&format!("<td>{}</td>", escape_xml(cell)));
+        }
+        out.push_str("</tr>\n");
+    }
+    // Sparkline footer: the column read top-to-bottom as a bar shape.
+    out.push_str("<tr class=\"sparkrow\">");
+    for c in &columns {
+        let values: Vec<f64> = rows
+            .iter()
+            .filter_map(|row| row.iter().find(|(k, _)| k == c))
+            .filter_map(|(_, v)| v.parse::<f64>().ok())
+            .collect();
+        let spark = if values.len() == rows.len() { sparkbars(&values) } else { String::new() };
+        out.push_str(&format!("<td>{spark}</td>"));
+    }
+    out.push_str("</tr>\n</tbody></table>\n");
+    out
+}
+
+/// Recursively collect scalar leaves as dotted-path/value text pairs.
+/// Arrays are handled by [`render_array`], not flattened.
+fn flatten_scalars(prefix: &str, value: &JsonValue, out: &mut Vec<(String, String)>) {
+    match value {
+        JsonValue::Obj(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten_scalars(&path, v, out);
+            }
+        }
+        JsonValue::Arr(_) => {}
+        v => {
+            if !prefix.is_empty() {
+                out.push((prefix.to_string(), scalar_text(v)));
+            }
+        }
+    }
+}
+
+fn scalar_text(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => fmt_num(*n),
+        JsonValue::Str(s) => s.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Compact number text: integers as integers, floats to 4 decimals with
+/// trailing zeros trimmed.
+pub fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_obs::json::parse;
+
+    #[test]
+    fn records_become_history_tables_with_spark_footers() {
+        let doc = parse(
+            "{\"bench\":\"t\",\"host\":{\"available_parallelism\":8,\"simd_backend\":\"avx2\"},\
+             \"threads\":[{\"threads\":1,\"steps_per_sec\":10.5},\
+             {\"threads\":2,\"steps_per_sec\":19.0}]}",
+        )
+        .unwrap();
+        let html = render_bench_section("BENCH_t.json", &doc);
+        assert!(html.contains("<h3"));
+        assert!(html.contains("cores: <b>8</b>"));
+        assert!(html.contains("<th>steps_per_sec</th>"));
+        assert!(html.contains("<td>19</td>"));
+        assert!(html.contains("class=\"spark\""), "numeric columns get sparkbars");
+        crate::check_tag_balance(&html).expect("balanced");
+    }
+
+    #[test]
+    fn number_arrays_render_inline() {
+        let doc = parse("{\"curve\":[0.1,0.2,0.4]}").unwrap();
+        let html = render_bench_section("BENCH_c.json", &doc);
+        assert!(html.contains("[0.1, 0.2, 0.4]"));
+        assert!(html.contains("class=\"spark\""));
+    }
+
+    #[test]
+    fn fmt_num_trims() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(0.5000), "0.5");
+        assert_eq!(fmt_num(1234.56789), "1234.5679");
+    }
+}

@@ -1,0 +1,94 @@
+//! `gem-report` — generate the convergence dashboard, or convert a
+//! streamed trace file to Chrome trace-event JSON.
+//!
+//! ```text
+//! gem-report [--dir DIR] [--out report.html]   # journals + BENCH_* → HTML
+//! gem-report trace IN.trace OUT.json           # streamed trace → Chrome JSON
+//! ```
+//!
+//! The default `--dir` is the current directory — running `gem-report`
+//! from the repo root rolls up every checked-in journal and bench
+//! artifact. Exits non-zero when the report would be empty (no inputs),
+//! so CI can gate on "the dashboard actually rendered something".
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return convert_trace(&args[1..]);
+    }
+    let mut dir = PathBuf::from(".");
+    let mut out = PathBuf::from("report.html");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => dir = it.next().map(PathBuf::from).unwrap_or(dir),
+            "--out" => out = it.next().map(PathBuf::from).unwrap_or(out),
+            "--help" | "-h" => {
+                eprintln!("usage: gem-report [--dir DIR] [--out report.html]");
+                eprintln!("       gem-report trace IN.trace OUT.json");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gem-report: unknown argument {other:?} (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let inputs = match gem_report::discover(&dir) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("gem-report: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = gem_report::build_report(&inputs);
+    if report.journals == 0 && report.benches == 0 {
+        eprintln!("gem-report: no journal_*.jsonl or BENCH_*.json in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = gem_report::check_tag_balance(&report.html) {
+        eprintln!("gem-report: generated report fails its own well-formedness check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &report.html) {
+        eprintln!("gem-report: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "gem-report: {} — {} charts from {} journal(s) + {} bench artifact(s)",
+        out.display(),
+        report.charts.len(),
+        report.journals,
+        report.benches
+    );
+    ExitCode::SUCCESS
+}
+
+fn convert_trace(args: &[String]) -> ExitCode {
+    let [input, output] = args else {
+        eprintln!("usage: gem-report trace IN.trace OUT.json");
+        return ExitCode::FAILURE;
+    };
+    let trace = match gem_obs::read_trace_stream(Path::new(input)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gem-report: cannot read streamed trace {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = trace.write_chrome_json(output) {
+        eprintln!("gem-report: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "gem-report: {output} — {} span(s) from {} chunk(s), {} dropped, {} corrupt chunk(s)",
+        trace.events.len(),
+        trace.chunks,
+        trace.dropped_events,
+        trace.corrupt_chunks
+    );
+    ExitCode::SUCCESS
+}

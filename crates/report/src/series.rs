@@ -1,0 +1,119 @@
+//! Training-journal ingestion: `journal_*.jsonl` → per-epoch series.
+//!
+//! Only journals whose header line says `"journal":"train"` become chart
+//! series (the serving/scale/server bench journals have their own rollup
+//! tables). Parsing uses [`gem_obs::json::parse_jsonl`], so a torn tail —
+//! the legal crash artifact of the journal contract — is skipped and
+//! surfaced as a count, never an error.
+
+use gem_obs::json::{parse_jsonl, JsonValue};
+
+/// One training journal's per-epoch time series.
+#[derive(Debug, Clone, Default)]
+pub struct TrainSeries {
+    /// The journal header's `label` (e.g. `GEM-A`).
+    pub label: String,
+    /// Epoch cadence in steps, from the header.
+    pub epoch_steps: f64,
+    /// Epoch numbers (0-based, x-axis of every per-epoch chart).
+    pub epochs: Vec<f64>,
+    /// Steps per second, per epoch.
+    pub steps_per_sec: Vec<f64>,
+    /// Mean loss proxy, per epoch (`NaN` where the journal recorded null).
+    pub loss_proxy: Vec<f64>,
+    /// Adaptive-sampler ranking rebuilds, per epoch.
+    pub refreshes: Vec<f64>,
+    /// Milliseconds spent refreshing, per epoch.
+    pub refresh_ms: Vec<f64>,
+    /// Sum of all five matrices' `drift.*`, per epoch.
+    pub drift_total: Vec<f64>,
+    /// Per-matrix Frobenius norms, per epoch: `(matrix, values)`.
+    pub norms: Vec<(String, Vec<f64>)>,
+    /// Journal lines that failed to parse (≤ 1 for a single torn tail).
+    pub skipped_lines: usize,
+}
+
+/// The five embedding matrices, in journal field order.
+const MATRICES: [&str; 5] = ["users", "events", "regions", "times", "words"];
+
+fn num(obj: &JsonValue, key: &str) -> f64 {
+    obj.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+}
+
+/// Parse one training journal. Returns `None` when the first parseable
+/// line is not a `"journal":"train"` header (not a training journal).
+pub fn parse_train_journal(content: &str) -> Option<TrainSeries> {
+    let lines = parse_jsonl(content);
+    let header = lines.values.first()?;
+    if header.get("journal").and_then(|v| v.as_str()) != Some("train") {
+        return None;
+    }
+    let mut s = TrainSeries {
+        label: header.get("label").and_then(|v| v.as_str()).unwrap_or("unlabeled").to_string(),
+        epoch_steps: num(header, "epoch_steps"),
+        skipped_lines: lines.skipped,
+        norms: MATRICES.iter().map(|m| (m.to_string(), Vec::new())).collect(),
+        ..TrainSeries::default()
+    };
+    for line in &lines.values[1..] {
+        let Some(epoch) = line.get("epoch").and_then(|v| v.as_f64()) else {
+            continue; // Not an epoch record (e.g. a second header after append).
+        };
+        s.epochs.push(epoch);
+        s.steps_per_sec.push(num(line, "steps_per_sec"));
+        s.loss_proxy.push(num(line, "loss_proxy"));
+        s.refreshes.push(num(line, "refreshes"));
+        s.refresh_ms.push(num(line, "refresh_ms"));
+        let drift: f64 = MATRICES.iter().map(|m| num(line, &format!("drift.{m}"))).sum();
+        s.drift_total.push(drift);
+        for (i, m) in MATRICES.iter().enumerate() {
+            s.norms[i].1.push(num(line, &format!("norm.{m}")));
+        }
+    }
+    Some(s)
+}
+
+impl TrainSeries {
+    /// `(epoch, value)` points for a per-epoch field.
+    pub fn points(&self, values: &[f64]) -> Vec<(f64, f64)> {
+        self.epochs.iter().copied().zip(values.iter().copied()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JOURNAL: &str = concat!(
+        "{\"journal\":\"train\",\"label\":\"GEM-T\",\"epoch_steps\":100}\n",
+        "{\"epoch\":0,\"steps_per_sec\":50.0,\"loss_proxy\":0.9,\"refreshes\":2,",
+        "\"refresh_ms\":1.5,\"drift.users\":0,\"drift.events\":0,\"drift.regions\":0,",
+        "\"drift.times\":0,\"drift.words\":0,\"norm.users\":1,\"norm.events\":2,",
+        "\"norm.regions\":3,\"norm.times\":4,\"norm.words\":5}\n",
+        "{\"epoch\":1,\"steps_per_sec\":60.0,\"loss_proxy\":null,\"refreshes\":3,",
+        "\"refresh_ms\":2.0,\"drift.users\":0.5,\"drift.events\":1.5,\"drift.regions\":0,",
+        "\"drift.times\":0,\"drift.words\":0,\"norm.users\":1,\"norm.events\":2,",
+        "\"norm.regions\":3,\"norm.times\":4,\"norm.words\":5}\n",
+        "{\"epoch\":2,\"steps_per_sec\":6", // torn tail
+    );
+
+    #[test]
+    fn parses_epochs_and_counts_the_torn_tail() {
+        let s = parse_train_journal(JOURNAL).expect("train journal");
+        assert_eq!(s.label, "GEM-T");
+        assert_eq!(s.epoch_steps, 100.0);
+        assert_eq!(s.epochs, vec![0.0, 1.0]);
+        assert_eq!(s.steps_per_sec, vec![50.0, 60.0]);
+        assert!(s.loss_proxy[1].is_nan(), "journal null becomes a chart gap");
+        assert_eq!(s.drift_total[1], 2.0);
+        assert_eq!(s.norms.len(), 5);
+        assert_eq!(s.skipped_lines, 1);
+        assert_eq!(s.points(&s.refreshes), vec![(0.0, 2.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn non_train_journals_are_rejected() {
+        assert!(parse_train_journal("{\"journal\":\"server_bench\",\"x\":1}\n").is_none());
+        assert!(parse_train_journal("").is_none());
+    }
+}

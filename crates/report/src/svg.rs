@@ -1,0 +1,314 @@
+//! Hand-rolled inline-SVG line charts.
+//!
+//! Everything is emitted as well-formed XML with escaped text, fixed
+//! viewBox geometry and no external assets — the CI smoke job re-parses
+//! every chart with a tag-balance check, and the whole report must open
+//! from a `file://` URL on an air-gapped host. Layout contract (see
+//! DESIGN.md §5.8): a 640×320 viewBox, a fixed plot rectangle inset for
+//! axes and title, at most [`PALETTE`]`.len()` series per chart, vertical
+//! dashed *mark* lines (checkpoint / restore annotations) clipped to the
+//! x-domain, and a legend row under the title.
+
+/// Series colors, in assignment order.
+pub const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 320.0;
+/// Plot rectangle: left, top, right, bottom insets.
+const INSET: (f64, f64, f64, f64) = (64.0, 46.0, 16.0, 40.0);
+
+/// One polyline: label + `(x, y)` points in data space.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points; non-finite y values break the polyline.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A labeled vertical annotation line (checkpoint, restore, ...).
+pub struct Mark {
+    /// Data-space x position.
+    pub x: f64,
+    /// Short label drawn along the line.
+    pub label: String,
+    /// Stroke color.
+    pub color: &'static str,
+}
+
+/// A line chart under construction.
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    marks: Vec<Mark>,
+}
+
+impl Chart {
+    /// Start a chart with a title and axis labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    /// Add a polyline; points with non-finite y are skipped as gaps.
+    pub fn series(mut self, label: &str, points: Vec<(f64, f64)>) -> Self {
+        self.series.push(Series { label: label.to_string(), points });
+        self
+    }
+
+    /// Add a vertical annotation line at data-space `x`.
+    pub fn mark(mut self, x: f64, label: &str, color: &'static str) -> Self {
+        self.marks.push(Mark { x, label: label.to_string(), color });
+        self
+    }
+
+    /// True when no series contributed any finite point (render would show
+    /// an empty frame — callers drop such charts instead).
+    pub fn is_empty(&self) -> bool {
+        !self.series.iter().any(|s| s.points.iter().any(|&(x, y)| x.is_finite() && y.is_finite()))
+    }
+
+    /// Render to a self-contained `<svg>` element.
+    pub fn render(&self) -> String {
+        let (l, t, r, b) = INSET;
+        let (pw, ph) = (WIDTH - l - r, HEIGHT - t - b);
+        let finite: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let (x0, x1) = pad_range(min_max(finite.iter().map(|p| p.0)), false);
+        let (y0, y1) = pad_range(min_max(finite.iter().map(|p| p.1)), true);
+        let sx = move |x: f64| l + (x - x0) / (x1 - x0) * pw;
+        let sy = move |y: f64| t + ph - (y - y0) / (y1 - y0) * ph;
+
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {WIDTH} {HEIGHT}\" \
+             class=\"chart\" role=\"img\" aria-label=\"{}\">\n",
+            escape_xml(&self.title)
+        ));
+        out.push_str(&format!(
+            "<text x=\"{l}\" y=\"20\" class=\"title\">{}</text>\n",
+            escape_xml(&self.title)
+        ));
+        // Plot frame.
+        out.push_str(&format!(
+            "<rect x=\"{l}\" y=\"{t}\" width=\"{pw}\" height=\"{ph}\" class=\"frame\"/>\n"
+        ));
+        // Ticks + grid lines.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let (gx, gy) = (sx(fx), sy(fy));
+            out.push_str(&format!(
+                "<line x1=\"{gx:.1}\" y1=\"{t}\" x2=\"{gx:.1}\" y2=\"{:.1}\" class=\"grid\"/>\n",
+                t + ph
+            ));
+            out.push_str(&format!(
+                "<line x1=\"{l}\" y1=\"{gy:.1}\" x2=\"{:.1}\" y2=\"{gy:.1}\" class=\"grid\"/>\n",
+                l + pw
+            ));
+            out.push_str(&format!(
+                "<text x=\"{gx:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"middle\">{}</text>\n",
+                t + ph + 14.0,
+                format_tick(fx)
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"end\">{}</text>\n",
+                l - 6.0,
+                gy + 4.0,
+                format_tick(fy)
+            ));
+        }
+        // Axis labels.
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" class=\"axis\" text-anchor=\"middle\">{}</text>\n",
+            l + pw / 2.0,
+            HEIGHT - 8.0,
+            escape_xml(&self.x_label)
+        ));
+        out.push_str(&format!(
+            "<text x=\"14\" y=\"{:.1}\" class=\"axis\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 14 {:.1})\">{}</text>\n",
+            t + ph / 2.0,
+            t + ph / 2.0,
+            escape_xml(&self.y_label)
+        ));
+        // Marks under the data lines.
+        for m in &self.marks {
+            if !(x0..=x1).contains(&m.x) {
+                continue;
+            }
+            let gx = sx(m.x);
+            out.push_str(&format!(
+                "<line x1=\"{gx:.1}\" y1=\"{t}\" x2=\"{gx:.1}\" y2=\"{:.1}\" class=\"mark\" \
+                 stroke=\"{}\"/>\n",
+                t + ph,
+                m.color
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" class=\"marklabel\" fill=\"{}\" \
+                 transform=\"rotate(-90 {:.1} {:.1})\">{}</text>\n",
+                gx - 3.0,
+                t + 12.0,
+                m.color,
+                gx - 3.0,
+                t + 12.0,
+                escape_xml(&m.label)
+            ));
+        }
+        // Series polylines + legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .filter(|&&(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            if !pts.is_empty() {
+                out.push_str(&format!(
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" class=\"line\"/>\n",
+                    pts.join(" ")
+                ));
+            }
+            let lx = l + 120.0 * i as f64;
+            out.push_str(&format!(
+                "<line x1=\"{lx:.1}\" y1=\"32\" x2=\"{:.1}\" y2=\"32\" stroke=\"{color}\" \
+                 class=\"line\"/>\n",
+                lx + 18.0
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"36\" class=\"legend\">{}</text>\n",
+                lx + 22.0,
+                escape_xml(&s.label)
+            ));
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// A tiny inline bar sparkline for bench tables: one bar per value, scaled
+/// to the max. Returns an empty string when `values` holds no positive
+/// finite number.
+pub fn sparkbars(values: &[f64]) -> String {
+    let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return String::new();
+    }
+    let bw = 8.0;
+    let h = 16.0;
+    let w = values.len() as f64 * (bw + 2.0);
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" width=\"{w}\" \
+         height=\"{h}\" class=\"spark\" role=\"img\" aria-label=\"sparkline\">"
+    );
+    for (i, &v) in values.iter().enumerate() {
+        let vh = if v.is_finite() && v > 0.0 { (v / max * (h - 2.0)).max(1.0) } else { 1.0 };
+        out.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{bw}\" height=\"{vh:.1}\" class=\"bar\"/>",
+            i as f64 * (bw + 2.0),
+            h - vh
+        ));
+    }
+    out.push_str("</svg>");
+    out
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+/// Widen a degenerate or empty range so the scale transforms stay finite.
+fn pad_range((lo, hi): (f64, f64), pad: bool) -> (f64, f64) {
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if lo == hi {
+        return (lo - 0.5, hi + 0.5);
+    }
+    if pad {
+        let span = hi - lo;
+        (lo - 0.05 * span, hi + 0.05 * span)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Compact tick formatting: SI suffixes above 10⁴, trimmed decimals below.
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.0}k", v / 1e3)
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Escape text for XML/HTML content and attribute positions.
+pub fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_balanced_escaped_svg() {
+        let svg = Chart::new("Acc@10 <overlay> & \"marks\"", "epoch", "accuracy")
+            .series("GEM-A", vec![(0.0, 0.1), (1.0, 0.5), (2.0, 0.6)])
+            .series("GEM-P", vec![(0.0, 0.1), (1.0, 0.3), (2.0, 0.5)])
+            .mark(1.0, "ckpt", "#888888")
+            .render();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(!svg.contains("<overlay>"), "title must be escaped");
+        assert!(svg.contains("&lt;overlay&gt;"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        crate::check_tag_balance(&svg).expect("balanced");
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_produce_nan_coordinates() {
+        let svg = Chart::new("flat", "x", "y").series("s", vec![(0.0, 2.0), (1.0, 2.0)]).render();
+        assert!(!svg.contains("NaN") && !svg.contains("inf"), "{svg}");
+        let empty = Chart::new("none", "x", "y").series("s", vec![]);
+        assert!(empty.is_empty());
+        assert!(!empty.render().contains("NaN"));
+    }
+
+    #[test]
+    fn sparkbars_scale_to_the_max() {
+        let svg = sparkbars(&[1.0, 2.0, 4.0]);
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert_eq!(sparkbars(&[]), "");
+        assert_eq!(sparkbars(&[0.0, f64::NAN]), "");
+    }
+}

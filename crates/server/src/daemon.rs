@@ -35,7 +35,7 @@
 //!
 //! | Route | Reply |
 //! |---|---|
-//! | `GET /healthz` | `200 ok` |
+//! | `GET /healthz` | `200` JSON: status, uptime, generation, staleness, live events |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `GET /stats` | metrics snapshot as JSON |
 //! | `GET /recommend?user=U&n=N` | top-N for U, deadline-bounded |
@@ -53,7 +53,7 @@ use gem_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use gem_query::{EngineSnapshot, IncrementalEngine, Recommendation, ServeError, ServeScratch};
 use std::io::{self, BufReader};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -172,6 +172,12 @@ struct Shared {
     cfg: DaemonConfig,
     shutdown: AtomicBool,
     maint_tx: mpsc::Sender<MaintOp>,
+    /// Daemon start time, for `/healthz` uptime.
+    started: Instant,
+    /// Milliseconds since `started` at the last snapshot publication —
+    /// `/healthz` turns this into publication staleness so probes can
+    /// alert on a wedged maintenance thread, not just a dead socket.
+    last_publish_ms: AtomicU64,
 }
 
 impl Shared {
@@ -222,6 +228,8 @@ impl Daemon {
             cfg,
             shutdown: AtomicBool::new(false),
             maint_tx,
+            started: Instant::now(),
+            last_publish_ms: AtomicU64::new(0),
         });
         shared.metrics.live_events.set(engine.live_events().len() as f64);
 
@@ -373,6 +381,7 @@ fn publish(engine: &IncrementalEngine, shared: &Shared) {
     shared.metrics.generation.set(generation as f64);
     shared.metrics.staleness.set(engine.staleness() as f64);
     shared.metrics.live_events.set(engine.live_events().len() as f64);
+    shared.last_publish_ms.store(shared.started.elapsed().as_millis() as u64, Ordering::Relaxed);
 }
 
 /// Worker body: accept, serve the connection's keep-alive loop, repeat
@@ -447,7 +456,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared, scratch: &mut ServeScrat
 fn route(req: &Request, shared: &Shared, scratch: &mut ServeScratch) -> Response {
     shared.metrics.requests.inc();
     match (req.method.as_str(), req.path()) {
-        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/healthz") => health(shared),
         ("GET", "/metrics") => {
             shared.refresh_shard_gauges();
             Response::text(200, shared.registry.snapshot().to_prometheus())
@@ -467,6 +476,27 @@ fn route(req: &Request, shared: &Shared, scratch: &mut ServeScratch) -> Response
         ("GET" | "POST", _) => Response::error(404, "no such route"),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// `GET /healthz`: a JSON body probes can alert on, not just a bare 200 —
+/// a stale `generation`/`staleness_s` pair distinguishes "maintenance
+/// thread wedged" from "healthy but idle" (idle daemons republish nothing,
+/// so staleness only matters alongside queued churn).
+fn health(shared: &Shared) -> Response {
+    let uptime_ms = shared.started.elapsed().as_millis() as u64;
+    let publish_ms = shared.last_publish_ms.load(Ordering::Relaxed);
+    let staleness_ms = uptime_ms.saturating_sub(publish_ms);
+    let body = format!(
+        "{{\"status\":\"{}\",\"uptime_s\":{:.3},\"generation\":{},\"staleness_s\":{:.3},\
+         \"staleness_ops\":{},\"live_events\":{}}}\n",
+        if shared.draining() { "draining" } else { "ok" },
+        uptime_ms as f64 / 1e3,
+        shared.cell.generation(),
+        staleness_ms as f64 / 1e3,
+        shared.metrics.staleness.get() as u64,
+        shared.metrics.live_events.get() as u64,
+    );
+    Response::json(200, body)
 }
 
 /// `GET /recommend?user=U&n=N`: shard admission, pinned snapshot,

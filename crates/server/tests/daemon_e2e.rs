@@ -71,7 +71,17 @@ fn routes_serve_health_metrics_and_recommendations() {
     let (daemon, addr) = start_daemon(test_config(), 12);
 
     let (status, body) = http(addr, "GET", "/healthz", "");
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200, "{body}");
+    let health = gem_obs::json::parse(&body).expect("healthz body is JSON");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"), "{body}");
+    assert!(health.get("uptime_s").and_then(|v| v.as_f64()).unwrap() >= 0.0, "{body}");
+    assert!(health.get("staleness_s").and_then(|v| v.as_f64()).unwrap() >= 0.0, "{body}");
+    assert!(health.get("generation").and_then(|v| v.as_f64()).unwrap() >= 0.0, "{body}");
+    assert_eq!(
+        health.get("live_events").and_then(|v| v.as_f64()),
+        Some(12.0),
+        "healthz must report the engine's live-event count: {body}"
+    );
 
     let (status, body) = http(addr, "GET", "/recommend?user=1&n=5", "");
     assert_eq!(status, 200, "{body}");
