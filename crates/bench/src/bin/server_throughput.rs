@@ -32,12 +32,26 @@
 //! write `BENCH_server.json` (schema in EXPERIMENTS.md) and a JSONL
 //! journal (`journal_server_bench.jsonl`).
 
+use gem_bench::net::{connect_with_retry, RetryPolicy};
 use gem_bench::Args;
 use rand::RngExt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Connect retries spent across the whole run (journaled; a healthy local
+/// daemon needs zero, a restarting one a handful).
+static CONNECT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Bench-wide connect: bounded exponential-backoff retry with per-attempt
+/// timeouts, instead of aborting the run on one refused connection.
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let (stream, retries) = connect_with_retry(addr, &RetryPolicy::default())?;
+    CONNECT_RETRIES.fetch_add(retries as u64, Ordering::Relaxed);
+    Ok(stream)
+}
 
 #[cfg(unix)]
 extern "C" {
@@ -135,8 +149,7 @@ fn spawn_daemon(args: &Args) -> DaemonProc {
 /// One request on a fresh connection (setup/probe path, not the timed
 /// load path).
 fn one_shot(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut stream = connect(addr).expect("connect");
     let raw = format!(
         "{method} {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
@@ -273,9 +286,7 @@ type SenderTally = (Vec<f64>, usize, usize, usize, usize, usize);
 /// completed 2xx only; shed/5xx/errors are tallied separately.
 fn sender_loop(addr: &str, start: Instant, schedule: &[(f64, u32)]) -> SenderTally {
     let connect = || -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let stream = connect(addr)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok((stream, reader))
     };
@@ -337,8 +348,7 @@ fn churn_burst(addr: &str, events: std::ops::Range<u32>, rounds: usize) -> usize
 /// Drain leg: put a request in flight, SIGTERM the daemon, assert the
 /// in-flight response completes and the daemon exits 0.
 fn drain_leg(daemon: &mut DaemonProc) -> (bool, bool, f64) {
-    let mut stream = TcpStream::connect(&daemon.addr).expect("connect for drain");
-    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut stream = connect(&daemon.addr).expect("connect for drain");
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     // Prime the keep-alive connection with one completed round trip so a
     // serving worker owns it — otherwise the SIGTERM can win the race
@@ -512,7 +522,8 @@ fn main() {
             .str("journal", "server_drain_leg")
             .u64("exit_ok", exit_ok as u64)
             .u64("inflight_completed", inflight_ok as u64)
-            .f64("drain_ms", drain_ms),
+            .f64("drain_ms", drain_ms)
+            .u64("connect_retries", CONNECT_RETRIES.load(Ordering::Relaxed)),
     );
     assert_eq!(journal.write_errors(), 0, "server bench journal hit I/O errors");
 
@@ -531,6 +542,7 @@ fn main() {
             "    \"num_users\": {num_users}\n",
             "  }},\n",
             "  \"churn_ops\": {churn_ops},\n",
+            "  \"connect_retries\": {connect_retries},\n",
             "  \"open_loop_sweep\": [\n{sweep}\n  ],\n",
             "  \"drain\": {{ \"sigterm_exit_ok\": {exit_ok}, ",
             "\"inflight_completed\": {inflight_ok}, \"drain_ms\": {drain_ms:.1} }}\n",
@@ -546,6 +558,7 @@ fn main() {
         deadline = DEADLINE_US,
         num_users = daemon.num_users,
         churn_ops = churn_ops,
+        connect_retries = CONNECT_RETRIES.load(Ordering::Relaxed),
         sweep = sweep_json.join(",\n"),
         exit_ok = exit_ok,
         inflight_ok = inflight_ok,

@@ -1,0 +1,738 @@
+//! Chaos soak drill for the serving daemon's durability story.
+//!
+//! Usage: `cargo run --release -p gem-bench --bin soak_drill \
+//!         [--smoke] [--scale 200 --steps 1500 --dim 8 --seed 7]`
+//!
+//! Drives a real `gem-serverd` subprocess through the failure modes the
+//! churn WAL and validated hot-reload exist for (DESIGN.md §5.9):
+//!
+//! 1. **WAL overhead** — two identical nominal open-loop serving legs
+//!    (with a concurrent churn stream), one against a WAL-less daemon and
+//!    one against a WAL-enabled daemon. The completion-ratio difference is
+//!    the steady-state durability tax; the smoke gate holds it under 2%.
+//! 2. **Crash + replay** — a Poisson-bursty churn stream where every
+//!    `202` is fingerprinted into a client-side mirror; mid-burst the
+//!    daemon gets SIGKILL, the WAL tail is additionally torn with garbage
+//!    bytes, and after restart the drill asserts the served live-event set
+//!    equals the mirror **exactly** (zero acknowledged-op loss) within a
+//!    bounded recovery time.
+//! 3. **Fault-injected appends** — the restarted daemon runs with
+//!    `GEM_FAILPOINTS=wal.append=1;wal.fsync=1`: the injected failures
+//!    must surface as `500` (never `202`), client retries must converge,
+//!    and a second SIGKILL/restart must still reproduce the mirror.
+//! 4. **Validated reload** — missing, corrupt and dim-mismatched model
+//!    files (and one injected `server.reload` fault) are rejected with
+//!    4xx/5xx while the old generation keeps answering; a valid reload
+//!    then swaps generations with the live set preserved.
+//! 5. **Drain** — SIGTERM still exits cleanly after all of the above.
+//!
+//! Writes `BENCH_soak.json` (schema in EXPERIMENTS.md) and
+//! `journal_soak_bench.jsonl`; with `--smoke` every gate above is a hard
+//! assert (CI `soak-smoke` job).
+
+use gem_bench::net::{connect_with_retry, RetryPolicy};
+use gem_bench::Args;
+use gem_core::{save_model_v3, GemTrainer, TrainConfig};
+use gem_ebsn::{ChronoSplit, EventId, GraphBuildConfig, SplitRatios, SynthConfig, TrainingGraphs};
+use gem_server::live_fingerprint;
+use rand::RngExt;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+const SIGTERM: i32 = 15;
+const SIGKILL: i32 = 9;
+
+/// Connect retries spent across the run (journaled, like server_throughput).
+static CONNECT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let (stream, retries) = connect_with_retry(addr, &RetryPolicy::default())?;
+    CONNECT_RETRIES.fetch_add(retries as u64, Ordering::Relaxed);
+    Ok(stream)
+}
+
+/// One request on a fresh connection.
+fn one_shot(addr: &str, method: &str, target: &str) -> (u16, String) {
+    let mut stream = connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: soak\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    let status = reply.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    (status, reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default())
+}
+
+/// Read one HTTP response off a keep-alive connection; returns the status.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<u16> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "peer closed"));
+    }
+    let status: u16 = line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed
+            .strip_prefix("Content-Length: ")
+            .or_else(|| trimmed.strip_prefix("content-length: "))
+        {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(status)
+}
+
+/// Extract the number following `"key":` in a flat JSON body (the daemon's
+/// `/stats` and `/healthz` formats). `None` when absent or non-numeric.
+fn json_num(body: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract `sub` from the histogram object following `"key":` in `/stats`.
+fn json_hist(body: &str, key: &str, sub: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let obj_end = body[at..].find('}').map_or(body.len(), |e| at + e + 1);
+    json_num(&body[at..obj_end], sub)
+}
+
+struct DaemonProc {
+    child: Child,
+    addr: String,
+}
+
+fn daemon_binary() -> PathBuf {
+    if let Ok(path) = std::env::var("GEM_SERVERD") {
+        return path.into();
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("target dir");
+    let candidate = dir.join("gem-serverd");
+    assert!(
+        candidate.exists(),
+        "gem-serverd not found at {candidate:?}; build it first (cargo build -p gem-server) \
+         or point $GEM_SERVERD at it"
+    );
+    candidate
+}
+
+/// Spawn `gem-serverd` over a saved model, returning once `LISTENING` and
+/// `/healthz` both answer. `recovery` is spawn -> first healthy reply —
+/// for restart legs this bounds model load + engine build + WAL replay.
+fn spawn_daemon(
+    model: &Path,
+    live_events: usize,
+    wal: Option<&Path>,
+    failpoints: Option<&str>,
+) -> (DaemonProc, Duration) {
+    let spawn_at = Instant::now();
+    let mut cmd = Command::new(daemon_binary());
+    cmd.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--model",
+        model.to_str().expect("model path utf-8"),
+        "--live-events",
+        &live_events.to_string(),
+        "--workers",
+        "6",
+        "--shards",
+        "2",
+        "--shard-capacity",
+        "64",
+        "--deadline-us",
+        "5000",
+        "--staleness-budget",
+        "48",
+    ]);
+    if let Some(wal) = wal {
+        cmd.args(["--wal", wal.to_str().expect("wal path utf-8")]);
+    }
+    if let Some(spec) = failpoints {
+        cmd.env("GEM_FAILPOINTS", spec);
+    }
+    let mut child =
+        cmd.stdout(Stdio::piped()).stderr(Stdio::inherit()).spawn().expect("spawn gem-serverd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line =
+            lines.next().expect("daemon exited before LISTENING").expect("read daemon stdout");
+        if let Some(addr) = line.strip_prefix("LISTENING ") {
+            break addr.to_string();
+        }
+    };
+    let (status, body) = one_shot(&addr, "GET", "/healthz");
+    assert_eq!(status, 200, "daemon never became healthy: {body}");
+    (DaemonProc { child, addr }, spawn_at.elapsed())
+}
+
+fn sigkill(daemon: &mut DaemonProc) {
+    #[cfg(unix)]
+    unsafe {
+        assert_eq!(kill(daemon.child.id() as i32, SIGKILL), 0, "kill -9 failed");
+    }
+    let _ = daemon.child.wait();
+}
+
+/// SIGTERM and wait for a clean exit.
+fn sigterm_drain(daemon: &mut DaemonProc) -> bool {
+    #[cfg(unix)]
+    unsafe {
+        assert_eq!(kill(daemon.child.id() as i32, SIGTERM), 0, "kill(SIGTERM) failed");
+    }
+    let started = Instant::now();
+    loop {
+        match daemon.child.try_wait().expect("try_wait") {
+            Some(status) => return status.success(),
+            None if started.elapsed() > Duration::from_secs(10) => {
+                let _ = daemon.child.kill();
+                return false;
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// The served live-event set per `GET /events/live`, cross-checked against
+/// the fingerprint the route claims for itself.
+fn served_live(addr: &str) -> BTreeSet<u32> {
+    let (status, body) = one_shot(addr, "GET", "/events/live");
+    assert_eq!(status, 200, "/events/live: {body}");
+    let ids: BTreeSet<u32> = body
+        .split_once("\"live\":[")
+        .map(|(_, rest)| rest.split(']').next().unwrap_or(""))
+        .into_iter()
+        .flat_map(|list| list.split(',').filter_map(|t| t.trim().parse().ok()))
+        .collect();
+    let sorted: Vec<EventId> = ids.iter().copied().map(EventId).collect();
+    let claimed = json_num(&body, "fingerprint").unwrap_or(-1.0) as u64;
+    assert_eq!(
+        claimed,
+        live_fingerprint(&sorted),
+        "/events/live fingerprint disagrees with its own id list"
+    );
+    ids
+}
+
+/// Fingerprint of a client-side mirror set.
+fn mirror_fp(mirror: &BTreeSet<u32>) -> u64 {
+    let sorted: Vec<EventId> = mirror.iter().copied().map(EventId).collect();
+    live_fingerprint(&sorted)
+}
+
+/// One churn op with bounded retries (injected WAL faults answer 500; a
+/// client that wants the durability promise retries until it has a 202).
+/// Updates `mirror` only on ack. Returns the number of 500s absorbed.
+fn churn_acked(addr: &str, mirror: &mut BTreeSet<u32>, event: u32) -> usize {
+    let verb = if mirror.contains(&event) { "retire" } else { "add" };
+    let mut injected = 0;
+    for _ in 0..4 {
+        let (status, body) = one_shot(addr, "POST", &format!("/events/{verb}?event={event}"));
+        match status {
+            202 => {
+                if verb == "add" {
+                    mirror.insert(event);
+                } else {
+                    mirror.remove(&event);
+                }
+                return injected;
+            }
+            500 => injected += 1,
+            other => panic!("churn {verb} {event}: unexpected {other}: {body}"),
+        }
+    }
+    panic!("churn {verb} {event}: no ack after {injected} injected 500s + retries");
+}
+
+/// Open-loop nominal serving leg: pre-laid Poisson arrivals dealt onto
+/// keep-alive connections, with a concurrent churn stream (the WAL's
+/// fsync path) running until the leg ends. Returns
+/// `(scheduled, completed_2xx, churn_acks)`.
+fn serving_leg(
+    addr: &str,
+    num_users: usize,
+    num_events: usize,
+    rate: f64,
+    secs: f64,
+    conns: usize,
+    seed: u64,
+) -> (usize, usize, usize) {
+    let mut rng = gem_sampling::rng_from_seed(seed);
+    let mut arrivals: Vec<(f64, u32)> = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.random::<f64>();
+        t += -(1.0 - u).ln() / rate;
+        if t >= secs {
+            break;
+        }
+        arrivals.push((t, (rng.random::<f64>() * num_users as f64) as u32));
+    }
+    let scheduled = arrivals.len();
+    let start = Instant::now() + Duration::from_millis(50);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let addr = addr.to_string();
+        let stop = Arc::clone(&stop);
+        let mut crng = gem_sampling::rng_from_seed(seed ^ 0x5eed);
+        std::thread::spawn(move || {
+            let mut mirror = BTreeSet::new();
+            let mut acks = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let event = (crng.random::<f64>() * num_events as f64) as u32;
+                churn_acked(&addr, &mut mirror, event);
+                acks += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            acks
+        })
+    };
+
+    let senders: Vec<_> = (0..conns)
+        .map(|w| {
+            let mine: Vec<(f64, u32)> = arrivals.iter().skip(w).step_by(conns).copied().collect();
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut completed = 0usize;
+                let Ok(stream) = connect(&addr) else { return 0 };
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut stream = stream;
+                for &(offset, user) in &mine {
+                    let due = start + Duration::from_secs_f64(offset);
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let raw =
+                        format!("GET /recommend?user={user}&n=10 HTTP/1.1\r\nHost: s\r\n\r\n");
+                    let outcome =
+                        stream.write_all(raw.as_bytes()).and_then(|()| read_response(&mut reader));
+                    match outcome {
+                        Ok(status) if (200..300).contains(&status) => completed += 1,
+                        Ok(_) => {}
+                        Err(_) => match connect(&addr) {
+                            Ok(fresh) => {
+                                reader = BufReader::new(fresh.try_clone().expect("clone"));
+                                stream = fresh;
+                            }
+                            Err(_) => break,
+                        },
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+    let completed: usize = senders.into_iter().map(|h| h.join().expect("sender")).sum();
+    stop.store(true, Ordering::Relaxed);
+    let churn_acks = churner.join().expect("churner");
+    (scheduled, completed, churn_acks)
+}
+
+/// Train a small GEM-A model on the shared graphs and save it as v3.
+fn train_and_save(
+    graphs: &TrainingGraphs,
+    seed: u64,
+    dim: usize,
+    steps: u64,
+    path: &Path,
+) -> gem_core::GemModel {
+    let mut cfg = TrainConfig::gem_a(seed);
+    cfg.dim = dim;
+    let trainer = GemTrainer::new(graphs, cfg).expect("trainer construction");
+    trainer.run(steps, 2);
+    let model = trainer.model();
+    save_model_v3(&model, path).expect("save model v3");
+    model
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let seed = args.get("seed", 7u64);
+    let scale = args.get("scale", 200usize);
+    let dim = args.get("dim", 8usize);
+    let steps = args.get("steps", 1_500u64);
+
+    let scratch = std::env::temp_dir().join(format!("gem_soak_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    println!(
+        "soak_drill{}: synthesizing 1/{scale} dataset, training dim-{dim} models",
+        if smoke { " --smoke" } else { "" }
+    );
+    let (dataset, _) = gem_ebsn::synth::generate(&SynthConfig::beijing_like(seed, scale));
+    let split = ChronoSplit::new(&dataset, SplitRatios::default());
+    let graphs = TrainingGraphs::build(&dataset, &split, &GraphBuildConfig::default(), &[]);
+
+    let model_a_path = scratch.join("soak_model_a.v3");
+    let model_b_path = scratch.join("soak_model_b.v3");
+    let model_dim_path = scratch.join("soak_model_dim.v3");
+    let corrupt_path = scratch.join("soak_model_corrupt.v3");
+    let model_a = train_and_save(&graphs, seed, dim, steps, &model_a_path);
+    train_and_save(&graphs, seed + 1, dim, steps, &model_b_path);
+    train_and_save(&graphs, seed + 2, dim + 4, 200, &model_dim_path);
+    let mut corrupt = std::fs::read(&model_b_path).expect("read model b");
+    let flip_at = corrupt.len() - 8;
+    corrupt[flip_at] ^= 0x40;
+    std::fs::write(&corrupt_path, &corrupt).expect("write corrupt model");
+
+    let num_users = model_a.num_users();
+    let num_events = model_a.num_events();
+    let live0 = (num_events * 3 / 5).max(1);
+    println!("  model: {num_users} users x {num_events} events, {live0} initially live");
+
+    // ---- Leg 1: steady-state WAL overhead --------------------------------
+    let (rate, leg_secs, conns) = if smoke { (250.0, 2.5, 2) } else { (400.0, 6.0, 2) };
+    let mut completion = [0.0f64; 2]; // [no_wal, wal]
+    let mut churn_acks = [0usize; 2];
+    let mut append_stats = (0u64, 0.0f64, 0.0f64); // (appends, mean_ms, p99_ms)
+    for (i, with_wal) in [false, true].into_iter().enumerate() {
+        let wal_path = scratch.join("overhead.wal");
+        let _ = std::fs::remove_file(&wal_path);
+        let wal = with_wal.then_some(wal_path.as_path());
+        let (mut daemon, _) = spawn_daemon(&model_a_path, live0, wal, None);
+        println!(
+            "  [overhead {}] open-loop {rate} rps x {leg_secs}s + churn stream (wal={with_wal})",
+            i + 1
+        );
+        let (scheduled, completed, acks) = serving_leg(
+            &daemon.addr,
+            num_users,
+            num_events,
+            rate,
+            leg_secs,
+            conns,
+            seed + i as u64,
+        );
+        completion[i] = completed as f64 / scheduled.max(1) as f64;
+        churn_acks[i] = acks;
+        if with_wal {
+            let (_, stats) = one_shot(&daemon.addr, "GET", "/stats");
+            append_stats = (
+                json_num(&stats, "server.wal_appends").unwrap_or(0.0) as u64,
+                json_hist(&stats, "server.wal_append_ns", "mean").unwrap_or(0.0) / 1e6,
+                json_hist(&stats, "server.wal_append_ns", "p99").unwrap_or(0.0) / 1e6,
+            );
+        }
+        println!(
+            "      completion {:.4} ({completed}/{scheduled} at {:.0} rps), {acks} churn acks",
+            completion[i],
+            completed as f64 / leg_secs,
+        );
+        assert!(sigterm_drain(&mut daemon), "overhead-leg daemon did not drain cleanly");
+    }
+    let overhead_pct = ((completion[0] - completion[1]) / completion[0].max(1e-9) * 100.0).max(0.0);
+    println!(
+        "      WAL overhead {overhead_pct:.2}% (append mean {:.3} ms, p99 {:.3} ms over {} appends)",
+        append_stats.1, append_stats.2, append_stats.0
+    );
+
+    // ---- Leg 2: Poisson-bursty churn, mid-burst SIGKILL, replay ----------
+    let wal_path = scratch.join("churn.wal");
+    let _ = std::fs::remove_file(&wal_path);
+    let (mut daemon, _) = spawn_daemon(&model_a_path, live0, Some(&wal_path), None);
+    println!("  [crash] bursty churn on {}, SIGKILL mid-burst", daemon.addr);
+
+    let mut mirror: BTreeSet<u32> = (0..live0 as u32).collect();
+    let mut rng = gem_sampling::rng_from_seed(seed ^ 0xdead);
+    let bursts = if smoke { 10 } else { 30 };
+    let kill_at = (bursts / 2, 3usize); // burst index, op index within it
+    let mut acked_before_kill = 0usize;
+    let mut killed = false;
+    for burst in 0..bursts {
+        let size = 4 + (rng.random::<f64>() * 10.0) as usize;
+        for op in 0..size {
+            if (burst, op) == kill_at {
+                sigkill(&mut daemon);
+                killed = true;
+                break;
+            }
+            let event = (rng.random::<f64>() * num_events as f64) as u32;
+            churn_acked(&daemon.addr, &mut mirror, event);
+            acked_before_kill += 1;
+        }
+        if killed {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis((rng.random::<f64>() * 60.0) as u64));
+    }
+    assert!(killed, "kill point never reached; widen the burst schedule");
+
+    // Torn tail on top of whatever the SIGKILL left: replay must drop it.
+    {
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal_path).expect("open wal");
+        f.write_all(&[0xde, 0xad, 0xbe]).expect("tear wal tail");
+    }
+
+    // Restart (with the next leg's WAL fail points pre-armed) and check
+    // zero acknowledged-op loss.
+    let (daemon2, recovery) =
+        spawn_daemon(&model_a_path, live0, Some(&wal_path), Some("wal.append=1;wal.fsync=1"));
+    let mut daemon = daemon2;
+    let recovery_ms = recovery.as_secs_f64() * 1e3;
+    let served = served_live(&daemon.addr);
+    let crash_match = served == mirror;
+    let (_, stats) = one_shot(&daemon.addr, "GET", "/stats");
+    let replayed_ops = json_num(&stats, "server.wal_replayed_ops").unwrap_or(0.0) as u64;
+    println!(
+        "      {acked_before_kill} acked ops, recovery {recovery_ms:.0} ms, \
+         {replayed_ops} replayed, fingerprint {:#010x} match={crash_match}",
+        mirror_fp(&mirror)
+    );
+
+    // ---- Leg 3: fault-injected appends, second crash ---------------------
+    println!("  [faults] churn through armed wal.append/wal.fsync fail points");
+    let mut injected_500s = 0usize;
+    for _ in 0..(if smoke { 20 } else { 60 }) {
+        let event = (rng.random::<f64>() * num_events as f64) as u32;
+        injected_500s += churn_acked(&daemon.addr, &mut mirror, event);
+    }
+    let (_, metrics_text) = one_shot(&daemon.addr, "GET", "/metrics");
+    let append_hits = metrics_text
+        .lines()
+        .find(|l| l.starts_with("faults_wal_append_hits "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0) as u64;
+    let (_, stats) = one_shot(&daemon.addr, "GET", "/stats");
+    let fsync_hits = json_num(&stats, "faults.wal.fsync.hits").unwrap_or(0.0) as u64;
+    let append_errors = json_num(&stats, "server.wal_append_errors").unwrap_or(0.0) as u64;
+    println!(
+        "      {injected_500s} injected 500s absorbed by retries \
+         (append hits {append_hits}, fsync hits {fsync_hits}, append errors {append_errors})"
+    );
+
+    sigkill(&mut daemon);
+    let (daemon3, recovery2) =
+        spawn_daemon(&model_a_path, live0, Some(&wal_path), Some("server.reload=1"));
+    daemon = daemon3;
+    let recovery2_ms = recovery2.as_secs_f64() * 1e3;
+    let fault_match = served_live(&daemon.addr) == mirror;
+    println!("      post-fault recovery {recovery2_ms:.0} ms, fingerprint match={fault_match}");
+
+    // ---- Leg 4: validated hot-reload -------------------------------------
+    println!("  [reload] rejection paths, then a real swap");
+    let (_, health) = one_shot(&daemon.addr, "GET", "/healthz");
+    let gen_before = json_num(&health, "generation").unwrap_or(-1.0) as u64;
+    let missing = scratch.join("soak_model_missing.v3");
+    let reload = |path: &Path| -> (u16, String) {
+        one_shot(&daemon.addr, "POST", &format!("/reload?path={}", path.display()))
+    };
+    let (missing_status, _) = reload(&missing);
+    let (corrupt_status, corrupt_body) = reload(&corrupt_path);
+    let (dim_status, dim_body) = reload(&model_dim_path);
+    let (injected_status, _) = reload(&model_b_path); // server.reload armed once
+                                                      // Old generation still answering after every rejection:
+    let (serve_status, _) = one_shot(&daemon.addr, "GET", "/recommend?user=1&n=5");
+    let (_, health) = one_shot(&daemon.addr, "GET", "/healthz");
+    let gen_after_rejects = json_num(&health, "generation").unwrap_or(-1.0) as u64;
+    let serving_after_rejects = serve_status == 200 && gen_after_rejects == gen_before;
+    let (success_status, success_body) = reload(&model_b_path);
+    let gen_after = json_num(&success_body, "generation").unwrap_or(0.0) as u64;
+    let reload_live_match = served_live(&daemon.addr) == mirror;
+    let (_, stats) = one_shot(&daemon.addr, "GET", "/stats");
+    let reloads = json_num(&stats, "server.reloads").unwrap_or(0.0) as u64;
+    let reloads_rejected = json_num(&stats, "server.reloads_rejected").unwrap_or(0.0) as u64;
+    println!(
+        "      missing={missing_status} corrupt={corrupt_status} dim={dim_status} \
+         injected={injected_status} success={success_status} \
+         (gen {gen_before} -> {gen_after}, live preserved={reload_live_match})"
+    );
+
+    // ---- Leg 5: drain ----------------------------------------------------
+    let drain_ok = sigterm_drain(&mut daemon);
+    println!("  [drain] SIGTERM exit_ok={drain_ok}");
+
+    let connect_retries = CONNECT_RETRIES.load(Ordering::Relaxed);
+
+    // ---- Artifacts -------------------------------------------------------
+    let mut journal =
+        gem_obs::Journal::create("journal_soak_bench.jsonl").expect("create soak journal");
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "soak_bench")
+            .str("leg", "wal_overhead")
+            .f64("no_wal_completion", completion[0])
+            .f64("wal_completion", completion[1])
+            .f64("overhead_pct", overhead_pct)
+            .u64("wal_appends", append_stats.0)
+            .f64("append_mean_ms", append_stats.1)
+            .f64("append_p99_ms", append_stats.2),
+    );
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "soak_bench")
+            .str("leg", "crash_replay")
+            .u64("acked_ops", acked_before_kill as u64)
+            .u64("fingerprint_match", crash_match as u64)
+            .f64("recovery_ms", recovery_ms)
+            .u64("replayed_ops", replayed_ops),
+    );
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "soak_bench")
+            .str("leg", "fault_injection")
+            .u64("injected_500s", injected_500s as u64)
+            .u64("append_hits", append_hits)
+            .u64("fsync_hits", fsync_hits)
+            .u64("fingerprint_match", fault_match as u64)
+            .f64("recovery_ms", recovery2_ms),
+    );
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "soak_bench")
+            .str("leg", "reload")
+            .u64("missing_status", missing_status as u64)
+            .u64("corrupt_status", corrupt_status as u64)
+            .u64("dim_mismatch_status", dim_status as u64)
+            .u64("injected_status", injected_status as u64)
+            .u64("success_status", success_status as u64)
+            .u64("serving_after_rejects", serving_after_rejects as u64)
+            .u64("live_preserved", reload_live_match as u64),
+    );
+    journal.append(
+        &gem_obs::JournalRecord::new()
+            .str("journal", "soak_bench")
+            .str("leg", "drain")
+            .u64("exit_ok", drain_ok as u64)
+            .u64("connect_retries", connect_retries),
+    );
+    assert_eq!(journal.write_errors(), 0, "soak journal hit I/O errors");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"soak_drill\",\n",
+            "  \"smoke\": {smoke},\n",
+            "{host},\n",
+            "  \"daemon\": {{ \"scale\": {scale}, \"dim\": {dim}, \"steps\": {steps}, ",
+            "\"num_users\": {num_users}, \"num_events\": {num_events}, ",
+            "\"initial_live\": {live0}, \"staleness_budget\": 48 }},\n",
+            "  \"wal_overhead\": {{ \"rate_rps\": {rate:.0}, \"duration_s\": {secs:.1}, ",
+            "\"no_wal_completion\": {c0:.4}, \"wal_completion\": {c1:.4}, ",
+            "\"overhead_pct\": {overhead:.3}, \"wal_appends\": {appends}, ",
+            "\"append_mean_ms\": {amean:.4}, \"append_p99_ms\": {ap99:.4}, ",
+            "\"churn_acks_no_wal\": {acks0}, \"churn_acks_wal\": {acks1} }},\n",
+            "  \"crash\": {{ \"acked_ops\": {acked}, \"fingerprint_match\": {cmatch}, ",
+            "\"recovery_ms\": {rec1:.1}, \"replayed_ops\": {replayed}, ",
+            "\"torn_bytes_injected\": 3 }},\n",
+            "  \"faults\": {{ \"injected_500s\": {inj}, \"wal_append_hits\": {ahits}, ",
+            "\"wal_fsync_hits\": {fhits}, \"wal_append_errors\": {aerrs}, ",
+            "\"fingerprint_match\": {fmatch}, \"recovery_ms\": {rec2:.1} }},\n",
+            "  \"reload\": {{ \"missing_status\": {miss}, \"corrupt_status\": {corr}, ",
+            "\"dim_mismatch_status\": {dimst}, \"injected_status\": {injst}, ",
+            "\"success_status\": {succ}, \"generation_before\": {g0}, ",
+            "\"generation_after\": {g1}, \"serving_after_rejects\": {serving}, ",
+            "\"live_preserved\": {lmatch}, \"reloads\": {rl}, \"reloads_rejected\": {rlr} }},\n",
+            "  \"drain\": {{ \"sigterm_exit_ok\": {drain} }},\n",
+            "  \"connect_retries\": {retries}\n",
+            "}}\n",
+        ),
+        smoke = smoke,
+        host = gem_bench::host_json("  "),
+        scale = scale,
+        dim = dim,
+        steps = steps,
+        num_users = num_users,
+        num_events = num_events,
+        live0 = live0,
+        rate = rate,
+        secs = leg_secs,
+        c0 = completion[0],
+        c1 = completion[1],
+        overhead = overhead_pct,
+        appends = append_stats.0,
+        amean = append_stats.1,
+        ap99 = append_stats.2,
+        acks0 = churn_acks[0],
+        acks1 = churn_acks[1],
+        acked = acked_before_kill,
+        cmatch = crash_match,
+        rec1 = recovery_ms,
+        replayed = replayed_ops,
+        inj = injected_500s,
+        ahits = append_hits,
+        fhits = fsync_hits,
+        aerrs = append_errors,
+        fmatch = fault_match,
+        rec2 = recovery2_ms,
+        miss = missing_status,
+        corr = corrupt_status,
+        dimst = dim_status,
+        injst = injected_status,
+        succ = success_status,
+        g0 = gen_before,
+        g1 = gen_after,
+        serving = serving_after_rejects,
+        lmatch = reload_live_match,
+        rl = reloads,
+        rlr = reloads_rejected,
+        drain = drain_ok,
+        retries = connect_retries,
+    );
+    std::fs::write("BENCH_soak.json", &json).expect("write BENCH_soak.json");
+    println!("  wrote BENCH_soak.json + journal_soak_bench.jsonl");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // ---- Gates (asserted in smoke mode) ----------------------------------
+    if smoke {
+        assert!(crash_match, "acknowledged ops lost across SIGKILL + restart");
+        assert!(fault_match, "acknowledged ops lost across fault-injected leg + second crash");
+        assert!(
+            recovery_ms < 30_000.0 && recovery2_ms < 30_000.0,
+            "recovery unbounded: {recovery_ms:.0} ms / {recovery2_ms:.0} ms"
+        );
+        assert!(
+            overhead_pct < 2.0,
+            "steady-state WAL overhead {overhead_pct:.2}% breaches the 2% budget"
+        );
+        assert_eq!(missing_status, 404, "missing model file must 404");
+        assert_eq!(corrupt_status, 400, "corrupt model accepted: {corrupt_body}");
+        assert_eq!(dim_status, 400, "dim-mismatched model accepted: {dim_body}");
+        assert_eq!(injected_status, 500, "injected reload fault not surfaced");
+        assert!(serving_after_rejects, "old generation stopped serving after rejected reloads");
+        assert_eq!(success_status, 200, "valid reload rejected: {success_body}");
+        assert!(gen_after > gen_before, "successful reload did not advance the generation");
+        assert!(reload_live_match, "reload did not preserve the live-event set");
+        assert!(injected_500s >= 2, "armed WAL fail points never fired over churn");
+        assert_eq!(append_hits, 1, "wal.append fail point hits");
+        assert_eq!(fsync_hits, 1, "wal.fsync fail point hits");
+        assert_eq!(append_errors, 2, "server.wal_append_errors");
+        assert_eq!(reloads, 1, "server.reloads");
+        assert_eq!(reloads_rejected, 4, "server.reloads_rejected");
+        assert!(drain_ok, "daemon did not exit cleanly on SIGTERM after the soak");
+        println!(
+            "smoke OK: zero acked-op loss across 2 crashes, WAL overhead {overhead_pct:.2}%, \
+             reload rejections 404/400/400/500 with the old generation serving, clean drain"
+        );
+    }
+}

@@ -264,30 +264,79 @@ pub fn host_json(indent: &str) -> String {
 /// bench's own artifacts stay authoritative. (`convergence_report` is the
 /// exception: it gates on the dashboard inline, with hard asserts.)
 pub fn emit_report() {
-    let inputs = match gem_report::discover(std::path::Path::new(".")) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("report.html skipped: cannot scan working directory: {e}");
-            return;
-        }
-    };
-    let report = gem_report::build_report(&inputs);
-    if report.charts.is_empty() {
-        eprintln!("report.html skipped: no renderable journals or bench artifacts here");
-        return;
-    }
-    if let Err(e) = gem_report::check_tag_balance(&report.html) {
-        eprintln!("report.html skipped: failed well-formedness self-check: {e}");
-        return;
-    }
-    match std::fs::write("report.html", &report.html) {
-        Ok(()) => println!(
+    match gem_report::emit_into(std::path::Path::new(".")) {
+        Ok(out) => println!(
             "Wrote report.html ({} charts from {} journal(s) + {} bench artifact(s))",
-            report.charts.len(),
-            report.journals,
-            report.benches
+            out.charts, out.journals, out.benches
         ),
-        Err(e) => eprintln!("report.html skipped: write failed: {e}"),
+        Err(e) => eprintln!("report.html skipped: {e}"),
+    }
+}
+
+/// TCP client plumbing shared by the serving benches (`server_throughput`,
+/// `soak_drill`): connect with bounded exponential-backoff retry and
+/// per-attempt timeouts instead of aborting the whole bench on one
+/// refused connection (daemon restarting, accept queue momentarily full).
+pub mod net {
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    /// Retry/timeout envelope for one logical connect.
+    #[derive(Debug, Clone, Copy)]
+    pub struct RetryPolicy {
+        /// Total connect attempts before giving up.
+        pub attempts: u32,
+        /// Backoff before attempt `i` is `base_delay << (i-1)`, capped at
+        /// [`Self::max_delay`].
+        pub base_delay: Duration,
+        /// Backoff cap.
+        pub max_delay: Duration,
+        /// Per-attempt connect timeout.
+        pub connect_timeout: Duration,
+        /// Read timeout installed on the returned stream.
+        pub read_timeout: Duration,
+    }
+
+    impl Default for RetryPolicy {
+        fn default() -> Self {
+            RetryPolicy {
+                attempts: 8,
+                base_delay: Duration::from_millis(20),
+                max_delay: Duration::from_secs(1),
+                connect_timeout: Duration::from_secs(2),
+                read_timeout: Duration::from_secs(10),
+            }
+        }
+    }
+
+    /// Connect to `addr`, retrying per `policy`. Returns the stream (with
+    /// nodelay + read timeout installed) and how many retries it took, so
+    /// benches can journal retry counts instead of hiding them.
+    pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> io::Result<(TcpStream, u32)> {
+        let sock: SocketAddr = addr
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+        let mut last = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                let shift = (attempt - 1).min(16);
+                let delay = policy
+                    .base_delay
+                    .checked_mul(1u32 << shift)
+                    .map_or(policy.max_delay, |d| d.min(policy.max_delay));
+                std::thread::sleep(delay);
+            }
+            match TcpStream::connect_timeout(&sock, policy.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(policy.read_timeout))?;
+                    return Ok((stream, attempt));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "no attempts made")))
     }
 }
 

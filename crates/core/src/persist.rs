@@ -686,6 +686,30 @@ impl ModelReader {
         self.chunk_rows
     }
 
+    /// User-matrix row count — the serving tier's "how many users does
+    /// this model cover" question, without materializing anything.
+    pub fn num_users(&self) -> usize {
+        self.rows[0]
+    }
+
+    /// Event-matrix row count.
+    pub fn num_events(&self) -> usize {
+        self.rows[1]
+    }
+
+    /// Read and CRC-verify every chunk without keeping the model: the full
+    /// validation a hot-reload wants before committing to a swap, at one
+    /// chunk buffer of peak memory. [`Self::open`] already pinned the
+    /// header and the chunk skeleton; this walks the payloads too, so a
+    /// bit flip anywhere in the file is caught *before* the serving tier
+    /// starts building on it.
+    pub fn verify(&mut self) -> Result<(), PersistError> {
+        for ci in 0..self.chunks.len() {
+            self.load_chunk(ci)?;
+        }
+        Ok(())
+    }
+
     /// One embedding row of matrix `matrix` (0 = users … 4 = words),
     /// materialized on demand. The owning chunk is read and CRC-verified on
     /// first access and cached until a different chunk is touched.
@@ -793,6 +817,29 @@ mod tests {
         let loaded = load_model(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded, model);
+    }
+
+    #[test]
+    fn reader_validation_surface_reports_shape_and_catches_payload_flips() {
+        let model = toy();
+        let path = tmp("verify");
+        save_model_v3(&model, &path).unwrap();
+
+        let mut reader = ModelReader::open(&path).unwrap();
+        assert_eq!(reader.num_users(), 2);
+        assert_eq!(reader.num_events(), 1);
+        assert_eq!(reader.dim(), 3);
+        reader.verify().expect("pristine file verifies");
+
+        // Flip one byte inside a chunk payload: open() still succeeds (it
+        // only walks frame heads), but verify() must refuse.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 8; // inside the last chunk's payload/CRC
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut reader = ModelReader::open(&path).expect("header-only open survives");
+        assert!(matches!(reader.verify(), Err(PersistError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! Zero-dep and cheap by construction:
 //!
 //! * **Disarmed** (the default, and the production state) a fail-point
-//!   check is one relaxed atomic load of a process-wide arm counter plus a
-//!   predicted-not-taken branch — no locks, no allocation, no clock reads.
+//!   check is two atomic loads — the one-time env-init flag and a
+//!   process-wide arm counter — plus a predicted-not-taken branch; no
+//!   locks, no allocation, no clock reads.
 //!   The training-throughput smoke gate holds this to <2% end-to-end.
 //! * **Armed** checks take a registry mutex; armed runs are test runs, so
 //!   the lock cost is irrelevant.
@@ -69,12 +70,22 @@ fn registry() -> &'static Mutex<HashMap<String, FaultState>> {
 
 /// Read `GEM_FAILPOINTS` once and arm whatever it names. Called lazily by
 /// every public entry point, so subprocess drills need no explicit init.
+///
+/// The cell is *set before* parsing, not via `get_or_init`: parsing calls
+/// [`arm`], which re-enters this function, and a re-entrant
+/// `OnceLock::get_or_init` deadlocks. The published-but-still-parsing
+/// window this opens is harmless — a racing thread sees whatever subset of
+/// the env spec has been armed so far, which is indistinguishable from it
+/// having called a moment earlier.
 fn ensure_env_init() {
-    ENV_INIT.get_or_init(|| {
+    if ENV_INIT.get().is_some() {
+        return;
+    }
+    if ENV_INIT.set(()).is_ok() {
         if let Ok(spec) = std::env::var("GEM_FAILPOINTS") {
             arm_from_spec(&spec);
         }
-    });
+    }
 }
 
 /// Arm fail points from a `name=spec[;name=spec...]` string (the
@@ -143,9 +154,14 @@ pub fn disarm_all() {
 /// Evaluate a fail point: `true` means the caller must inject its fault.
 ///
 /// The disarmed fast path (no fail point armed anywhere in the process) is
-/// a single relaxed load — safe to call from hot loops at a modest cadence.
+/// two atomic loads — the env-init check and the arm counter — and no
+/// locks; safe to call from hot loops at a modest cadence. The env check
+/// must come first: until `GEM_FAILPOINTS` is parsed the arm counter is
+/// zero, and a subprocess drill's very first evaluation has to see its
+/// env-armed points.
 #[inline]
 pub fn should_fail(name: &str) -> bool {
+    ensure_env_init();
     if ARMED.load(Ordering::Relaxed) == 0 {
         return false;
     }

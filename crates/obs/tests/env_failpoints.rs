@@ -1,0 +1,36 @@
+//! `GEM_FAILPOINTS` env arming, exercised in a fresh process.
+//!
+//! This must be its own integration-test binary: env-spec parsing happens
+//! exactly once per process, on the first call into `gem_obs::faults`, and
+//! the unit tests in the library binary have already consumed that
+//! initialization by the time they run. Regression coverage for two bugs
+//! found by the soak drill:
+//!
+//! * the first public entry point used to deadlock when the env var was
+//!   set (`ensure_env_init` re-entered its own `OnceLock` via `arm`), and
+//! * `should_fail`'s disarmed fast path returned before ever parsing the
+//!   env, so env-armed points never fired unless some other entry point
+//!   ran first.
+
+use gem_obs::faults;
+
+#[test]
+fn env_armed_points_fire_on_first_evaluation() {
+    // Safe in edition 2021; this test binary is single-threaded at this
+    // point (one #[test] in the file runs before any parallelism matters,
+    // and the variable is set before the first faults call).
+    std::env::set_var("GEM_FAILPOINTS", "test.env_armed=2; test.env_always=always");
+
+    // First-ever faults call in this process: must not deadlock, and must
+    // see the env-armed point immediately.
+    assert!(faults::should_fail("test.env_armed"), "env-armed point ignored");
+    assert!(faults::should_fail("test.env_armed"));
+    assert!(!faults::should_fail("test.env_armed"), "Times(2) must disarm after two fires");
+    assert_eq!(faults::hits("test.env_armed"), 2);
+
+    assert!(faults::io_error("test.env_always").is_some());
+    faults::disarm("test.env_always");
+
+    let snap = faults::snapshot();
+    assert!(snap.iter().any(|(n, h)| n == "test.env_armed" && *h == 2));
+}

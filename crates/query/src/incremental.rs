@@ -391,6 +391,45 @@ impl IncrementalEngine {
         self.metrics.maint_rebuilds.inc();
     }
 
+    /// Rebuild the whole engine over a *different* model — the hot-reload
+    /// half of the serving daemon's `POST /reload`. Everything else is
+    /// preserved: the partner list, the current live-event set (including
+    /// churn absorbed since boot), the requested prune-k and the
+    /// [`MemBudget`] (budgeted engines re-resolve k against the new model's
+    /// dim exactly like a fresh [`Self::build_within_budget`]).
+    ///
+    /// Returns a new engine; `self` is untouched, so a failed reload keeps
+    /// the old master serving (rollback is the no-op).
+    ///
+    /// The caller must have validated coverage first: `model` needs a row
+    /// for every partner and every live event (the daemon checks this via
+    /// `ModelReader` dims before materializing). Scoring an uncovered id
+    /// panics, same as [`Self::build`].
+    ///
+    /// # Errors
+    /// [`BuildError::BudgetExceeded`] when the budgeted footprint no longer
+    /// fits even at `k = 1` (e.g. the new model's dim grew).
+    pub fn reload_model(&self, model: GemModel) -> Result<IncrementalEngine, BuildError> {
+        let partners = self.base.partners.clone();
+        match self.budget {
+            Some(budget) => Self::build_within_budget(
+                model,
+                &partners,
+                &self.live,
+                self.requested_k,
+                budget,
+                self.metrics.clone(),
+            ),
+            None => Ok(Self::build(
+                model,
+                &partners,
+                &self.live,
+                self.requested_k,
+                self.metrics.clone(),
+            )),
+        }
+    }
+
     /// Publish an immutable queryable view of the current state. Cheap:
     /// the base is `Arc`-shared and only the small overlays are copied, so
     /// the maintenance thread can publish per churn batch while serving
@@ -659,6 +698,29 @@ mod tests {
         let inc = IncrementalEngine::build(model, &partners, &events, 2, EngineMetrics::disabled());
         assert_matches_scratch(&inc, &partners, 5);
         assert_eq!(inc.staleness(), 0);
+    }
+
+    #[test]
+    fn reload_model_keeps_live_set_and_matches_scratch_on_new_model() {
+        let old = random_model(6, 10, 3, 11);
+        let new = random_model(6, 10, 3, 99);
+        let partners: Vec<UserId> = (0..6).map(UserId).collect();
+        let initial: Vec<EventId> = (0..5).map(EventId).collect();
+        let mut inc =
+            IncrementalEngine::build(old, &partners, &initial, 3, EngineMetrics::disabled());
+        // Churn before the reload: the reloaded engine must carry the
+        // *churned* live set, not the boot set.
+        inc.add_event(EventId(8)).unwrap();
+        inc.retire_event(EventId(1)).unwrap();
+        let live_before: Vec<EventId> = inc.live_events().to_vec();
+
+        let reloaded = inc.reload_model(new.clone()).expect("unbudgeted reload");
+        assert_eq!(reloaded.live_events(), &live_before[..]);
+        assert_eq!(reloaded.staleness(), 0, "a reload is a fresh base");
+        assert_matches_scratch(&reloaded, &partners, 4);
+        // The old master is untouched (rollback is the no-op).
+        assert_eq!(inc.live_events(), &live_before[..]);
+        assert_matches_scratch(&inc, &partners, 4);
     }
 
     #[test]

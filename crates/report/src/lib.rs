@@ -85,6 +85,47 @@ pub fn discover(dir: &Path) -> std::io::Result<ReportInputs> {
     Ok(inputs)
 }
 
+/// Outcome of a successful [`emit_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmitOutcome {
+    /// Charts rendered into the report.
+    pub charts: usize,
+    /// Training journals consumed.
+    pub journals: usize,
+    /// Bench artifacts consumed.
+    pub benches: usize,
+}
+
+/// Discover journals/bench artifacts in `dir`, build the dashboard,
+/// self-check it, and write `dir/report.html` — the one-call regenerate
+/// path shared by the bench harness (`gem_bench::emit_report`) and the
+/// serving daemon's `GET /report` route.
+///
+/// # Errors
+/// A human-readable reason when nothing renderable exists in `dir`, the
+/// rendered HTML fails the tag-balance self-check, or the write fails.
+/// Callers decide whether that is fatal (the daemon answers 404 with the
+/// reason as a hint; benches log it and move on).
+pub fn emit_into(dir: &Path) -> Result<EmitOutcome, String> {
+    let inputs = discover(dir).map_err(|e| format!("cannot scan {}: {e}", dir.display()))?;
+    let report = build_report(&inputs);
+    if report.charts.is_empty() {
+        return Err(format!(
+            "no renderable journal_*.jsonl or BENCH_*.json in {}; run a bench with journals first",
+            dir.display()
+        ));
+    }
+    check_tag_balance(&report.html)
+        .map_err(|e| format!("report failed well-formedness self-check: {e}"))?;
+    std::fs::write(dir.join("report.html"), &report.html)
+        .map_err(|e| format!("write report.html: {e}"))?;
+    Ok(EmitOutcome {
+        charts: report.charts.len(),
+        journals: report.journals,
+        benches: report.benches,
+    })
+}
+
 /// Build the dashboard from parsed inputs.
 pub fn build_report(inputs: &ReportInputs) -> Report {
     let mut charts = Vec::new();

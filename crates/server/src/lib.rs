@@ -16,10 +16,15 @@
 //!   maintenance thread owning the mutable
 //!   [`gem_query::IncrementalEngine`] (incremental add/retire, background
 //!   full rebuild past the staleness budget), routes, metrics and drain.
+//! - [`wal`] — the crash-durable churn write-ahead log backing the 202
+//!   acknowledgement: fsync-before-ack appends, snapshot compaction after
+//!   published rebuilds, torn-tail-tolerant startup replay.
 //!
-//! See DESIGN.md §5.6 for the architecture and the invariants, and
-//! `crates/bench/src/bin/server_throughput.rs` for the open-loop load
-//! generator that gates this daemon in CI.
+//! See DESIGN.md §5.6 (daemon) and §5.9 (WAL + validated hot-reload +
+//! chaos soak) for the architecture and invariants, and
+//! `crates/bench/src/bin/{server_throughput,soak_drill}.rs` for the
+//! open-loop load generator and the fault-injected soak that gate this
+//! daemon in CI.
 
 #![warn(missing_docs)]
 
@@ -28,7 +33,9 @@ pub mod http;
 pub mod shard;
 pub mod signal;
 pub mod swap;
+pub mod wal;
 
 pub use daemon::{Daemon, DaemonConfig, MaintOp};
 pub use shard::{ShardPermit, ShardSet};
 pub use swap::GenerationCell;
+pub use wal::{apply_records, live_fingerprint, ChurnWal, WalRecord, WalReplay};

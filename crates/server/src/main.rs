@@ -6,12 +6,18 @@
 //! then serves until SIGTERM/SIGINT or `POST /shutdown`.
 //!
 //! ```text
-//! gem-serverd [--addr 127.0.0.1:0] [--model PATH]
+//! gem-serverd [--addr 127.0.0.1:0] [--model PATH] [--live-events N]
 //!             [--scale 20] [--steps 8000] [--train-threads 2] [--seed 7]
 //!             [--dim 24] [--top-k 16] [--workers 4] [--shards 8]
 //!             [--shard-capacity 64] [--deadline-us 5000]
 //!             [--staleness-budget 256] [--top-n 10] [--journal PATH]
+//!             [--wal PATH] [--report-dir DIR] [--reload-timeout-ms 30000]
 //! ```
+//!
+//! `--wal PATH` turns churn `202`s into crash-durability promises: ops are
+//! fsync-logged before the ack and replayed on the next start (DESIGN.md
+//! §5.9). `--live-events N` (with `--model`) starts with only the first N
+//! events live — the soak drill uses it so churn has headroom to add.
 //!
 //! Prints exactly one `LISTENING <addr>` line on stdout once the socket is
 //! bound (the load generator parses it to discover an ephemeral port).
@@ -61,11 +67,13 @@ fn bootstrap(args: &Args, registry: &MetricsRegistry) -> IncrementalEngine {
         let model = gem_core::load_model(std::path::Path::new(path))
             .unwrap_or_else(|e| panic!("load --model {path}: {e:?}"));
         let partners: Vec<UserId> = (0..model.num_users() as u32).map(UserId).collect();
-        let events: Vec<EventId> = (0..model.num_events() as u32).map(EventId).collect();
+        let live = args.get("live-events", model.num_events()).min(model.num_events());
+        let events: Vec<EventId> = (0..live as u32).map(EventId).collect();
         eprintln!(
-            "gem-serverd: loaded model from {path} ({} users, {} events)",
+            "gem-serverd: loaded model from {path} ({} users, {} of {} events live)",
             partners.len(),
-            events.len()
+            events.len(),
+            model.num_events(),
         );
         return IncrementalEngine::build(model, &partners, &events, top_k, metrics);
     }
@@ -116,6 +124,9 @@ fn main() {
         idle_timeout: Duration::from_millis(100),
         watch_os_signals: true,
         journal_path: args.get_opt("journal").map(std::path::PathBuf::from),
+        wal_path: args.get_opt("wal").map(std::path::PathBuf::from),
+        report_dir: std::path::PathBuf::from(args.get_opt("report-dir").unwrap_or(".")),
+        reload_timeout: Duration::from_millis(args.get("reload-timeout-ms", 30_000u64)),
     };
 
     signal::install();
